@@ -1,0 +1,107 @@
+"""Ablation: cross-rack recovery traffic vs EAR's parameter c.
+
+Section III-D's trade-off: at c = 1 a stripe spans n racks, so repairing a
+lost block downloads k - 1 of its k inputs across racks.  Raising c (and
+confining stripes to ceil(n/c) target racks) keeps more inputs in the
+recovering node's rack, cutting cross-rack repair traffic — at the price
+of tolerating fewer rack failures.
+"""
+
+import random
+
+from repro.cluster.topology import ClusterTopology
+from repro.erasure.codec import CodeParams
+from repro.experiments.config import LargeScaleConfig
+from repro.experiments.runner import build_cluster, format_table, mean, populate_until_sealed
+
+from .conftest import emit, run_once
+
+CODE = CodeParams(14, 10)
+NUM_STRIPES = 40
+SEEDS = (0, 1)
+
+
+def measure_recovery(c, seed):
+    base = LargeScaleConfig()
+    topology = ClusterTopology.large_scale()
+    target = None if c == 1 else CODE.min_racks(c)
+    setup = build_cluster(
+        "ear", topology, CODE, base.scheme(), seed,
+        ear_c=c, ear_target_racks=target,
+    )
+    populate_until_sealed(setup, NUM_STRIPES)
+    stripes = setup.namenode.sealed_stripes()[:NUM_STRIPES]
+
+    def encode_all():
+        for stripe in stripes:
+            yield from setup.encoder.encode_stripe(stripe)
+
+    setup.sim.process(encode_all())
+    setup.sim.run()
+
+    # Fail the first data block of every stripe and recover it onto a node
+    # of the same rack it occupied (a replacement machine).
+    store = setup.namenode.block_store
+    rng = random.Random(seed + 77)
+
+    def recover_all():
+        for stripe in stripes:
+            lost = stripe.block_ids[0]
+            old_node = store.replica_nodes(lost)[0]
+            store.remove_replica(lost, old_node)
+            rack = topology.rack_of(old_node)
+            candidates = [
+                n for n in topology.nodes_in_rack(rack)
+                if lost not in store.blocks_on_node(n)
+            ]
+            yield from setup.raidnode.recover_block(
+                stripe, lost, rng.choice(candidates)
+            )
+
+    setup.sim.process(recover_all())
+    setup.sim.run()
+    records = setup.raidnode.recoveries
+    return (
+        mean(r.cross_rack_reads for r in records),
+        mean(r.duration for r in records),
+    )
+
+
+def run_all():
+    out = {}
+    for c in (1, 2, 4):
+        reads = []
+        durations = []
+        for seed in SEEDS:
+            r, d = measure_recovery(c, seed)
+            reads.append(r)
+            durations.append(d)
+        out[c] = (mean(reads), mean(durations))
+    return out
+
+
+def test_ablation_recovery_traffic_vs_c(benchmark):
+    out = run_once(benchmark, run_all)
+    rows = [
+        [
+            c,
+            CODE.rack_failures_tolerated(c),
+            f"{out[c][0]:.1f}",
+            f"{out[c][1]:.2f}",
+        ]
+        for c in (1, 2, 4)
+    ]
+    emit(
+        "Ablation (Section III-D): repairing one block of a (14,10) stripe "
+        "(k=10 inputs; paper: k-1 cross-rack reads at c=1)",
+        format_table(
+            ["c", "rack failures tolerated", "mean cross-rack reads",
+             "mean repair time (s)"],
+            rows,
+        ),
+    )
+    # c = 1: nearly all of the k inputs cross racks.
+    assert out[1][0] > CODE.k - 2
+    # Larger c keeps stripes in fewer racks: repairs read more locally.
+    assert out[4][0] < out[1][0]
+    assert out[2][0] < out[1][0]

@@ -1,0 +1,55 @@
+"""Figure 10 / Experiment A.3: MapReduce performance before encoding.
+
+Paper shape: the cumulative job-completion curves of RR and EAR are nearly
+identical — EAR does not hurt MapReduce on replicated data.  Scale: 30
+SWIM-like jobs instead of 50 (see EXPERIMENTS.md).
+"""
+
+from repro.experiments.config import TestbedConfig
+from repro.experiments.runner import format_table
+from repro.experiments.testbed import completion_curve, run_mapreduce_workload
+
+from .conftest import emit, fmt_pct, run_once
+
+CONFIG = TestbedConfig()
+NUM_JOBS = 30
+SEEDS = (0, 1)
+
+
+def run_all():
+    curves = {}
+    for policy in ("rr", "ear"):
+        makespans = []
+        runtimes = []
+        for seed in SEEDS:
+            records = run_mapreduce_workload(
+                policy, num_jobs=NUM_JOBS, config=CONFIG, seed=seed
+            )
+            makespans.append(max(r.finish_time for r in records))
+            runtimes.append(sum(r.runtime for r in records) / len(records))
+        curves[policy] = {
+            "makespan": sum(makespans) / len(makespans),
+            "mean_runtime": sum(runtimes) / len(runtimes),
+        }
+    return curves
+
+
+def test_fig10_mapreduce_before_encoding(benchmark):
+    out = run_once(benchmark, run_all)
+    delta = out["ear"]["makespan"] / out["rr"]["makespan"] - 1.0
+    rows = [
+        [
+            policy.upper(),
+            f"{out[policy]['makespan']:.0f}",
+            f"{out[policy]['mean_runtime']:.1f}",
+        ]
+        for policy in ("rr", "ear")
+    ]
+    rows.append(["EAR vs RR makespan", fmt_pct(delta), "-"])
+    emit(
+        f"Figure 10: {NUM_JOBS} SWIM jobs on replicated data "
+        "(paper: near-identical curves)",
+        format_table(["policy", "makespan (s)", "mean job runtime (s)"], rows),
+    )
+    # Shape: within 15% of each other — EAR preserves MapReduce performance.
+    assert abs(delta) < 0.15

@@ -1,0 +1,36 @@
+"""Figure 13(a): normalized EAR/RR throughput vs k (n - k = 4).
+
+Paper shape: encoding gain grows with k (~78.7% at k = 12); write gain
+positive throughout.  Scale: 400 stripes x 3 seeds (paper: 1000 x 30).
+"""
+
+from repro.experiments.config import LargeScaleConfig
+from repro.experiments.largescale import sweep_k
+from repro.experiments.runner import format_table
+
+from .conftest import emit, fmt_pct, run_once
+
+BASE = LargeScaleConfig().scaled(20)
+KS = (6, 8, 10, 12)
+SEEDS = (0, 1, 2)
+
+
+def test_fig13a_vary_k(benchmark):
+    points = run_once(
+        benchmark, lambda: sweep_k(ks=KS, base=BASE, seeds=SEEDS)
+    )
+    rows = [
+        [int(p.parameter), fmt_pct(p.encode_gain), fmt_pct(p.write_gain)]
+        for p in points
+    ]
+    emit(
+        "Figure 13(a): EAR-over-RR gains vs k, n-k=4 "
+        "(paper: encode gain grows to +78.7% at k=12, write +36.8%)",
+        format_table(["k", "encode gain", "write gain"], rows),
+    )
+    by_k = {p.parameter: p for p in points}
+    for p in points:
+        assert p.encode_gain > 0
+        assert p.write_gain > 0
+    # More data blocks downloaded by RR -> bigger EAR encode advantage.
+    assert by_k[12].encode_gain > by_k[6].encode_gain

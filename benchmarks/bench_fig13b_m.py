@@ -1,0 +1,38 @@
+"""Figure 13(b): normalized EAR/RR throughput vs n - k (k = 10).
+
+Paper shape: encoding gain roughly stable around +70%; write gain shrinks
+as parity (written by both policies) dominates (33.9% -> 14.1%).
+"""
+
+from repro.experiments.config import LargeScaleConfig
+from repro.experiments.largescale import sweep_m
+from repro.experiments.runner import format_table
+
+from .conftest import emit, fmt_pct, run_once
+
+BASE = LargeScaleConfig().scaled(20)
+MS = (2, 3, 4, 5, 6)
+SEEDS = (0, 1, 2)
+
+
+def test_fig13b_vary_parity(benchmark):
+    points = run_once(
+        benchmark, lambda: sweep_m(ms=MS, base=BASE, seeds=SEEDS)
+    )
+    rows = [
+        [int(p.parameter), fmt_pct(p.encode_gain), fmt_pct(p.write_gain)]
+        for p in points
+    ]
+    emit(
+        "Figure 13(b): EAR-over-RR gains vs n-k, k=10 "
+        "(paper: encode gain stable ~+70%, write gain 33.9% -> 14.1%)",
+        format_table(["n-k", "encode gain", "write gain"], rows),
+    )
+    by_m = {p.parameter: p for p in points}
+    for p in points:
+        assert p.encode_gain > 0
+    # The encode gain stays in a band rather than collapsing.
+    gains = [p.encode_gain for p in points]
+    assert max(gains) - min(gains) < 0.6
+    # More parity dilutes the write advantage.
+    assert by_m[6].write_gain < by_m[2].write_gain

@@ -1,0 +1,34 @@
+"""Figure 13(c): normalized EAR/RR throughput vs link bandwidth.
+
+Paper shape: the scarcer the links, the bigger EAR's encode gain (up to
++165.2% at 0.2 Gb/s); write gain around +20% throughout.
+"""
+
+from repro.experiments.config import LargeScaleConfig
+from repro.experiments.largescale import sweep_bandwidth
+from repro.experiments.runner import format_table
+
+from .conftest import emit, fmt_pct, run_once
+
+BASE = LargeScaleConfig().scaled(20)
+GBPS = (0.2, 0.5, 1.0, 2.0)
+SEEDS = (0, 1, 2)
+
+
+def test_fig13c_vary_bandwidth(benchmark):
+    points = run_once(
+        benchmark, lambda: sweep_bandwidth(gbps=GBPS, base=BASE, seeds=SEEDS)
+    )
+    rows = [
+        [p.parameter, fmt_pct(p.encode_gain), fmt_pct(p.write_gain)]
+        for p in points
+    ]
+    emit(
+        "Figure 13(c): EAR-over-RR gains vs link bandwidth (Gb/s) "
+        "(paper: encode gain +165.2% at 0.2 Gb/s)",
+        format_table(["Gb/s", "encode gain", "write gain"], rows),
+    )
+    by_bw = {p.parameter: p for p in points}
+    for p in points:
+        assert p.encode_gain > 0
+    assert by_bw[0.2].encode_gain > by_bw[2.0].encode_gain

@@ -1,0 +1,37 @@
+"""Figure 13(f): normalized EAR/RR throughput vs replication factor.
+
+One rack per replica (unlike the default two-rack layout).  Paper shape:
+encode gain steady around +70%; write gain falls from 34.7% (2 replicas)
+to 20.5% (8 replicas) because both policies pay for the extra copies.
+"""
+
+from repro.experiments.config import LargeScaleConfig
+from repro.experiments.largescale import sweep_replicas
+from repro.experiments.runner import format_table
+
+from .conftest import emit, fmt_pct, run_once
+
+BASE = LargeScaleConfig().scaled(20)
+REPLICAS = (2, 3, 5, 8)
+SEEDS = (0, 1, 2)
+
+
+def test_fig13f_vary_replicas(benchmark):
+    points = run_once(
+        benchmark,
+        lambda: sweep_replicas(replica_counts=REPLICAS, base=BASE, seeds=SEEDS),
+    )
+    rows = [
+        [int(p.parameter), fmt_pct(p.encode_gain), fmt_pct(p.write_gain)]
+        for p in points
+    ]
+    emit(
+        "Figure 13(f): EAR-over-RR gains vs replicas (one rack per copy) "
+        "(paper: encode ~+70%, write gain 34.7% -> 20.5%)",
+        format_table(["replicas", "encode gain", "write gain"], rows),
+    )
+    by_r = {int(p.parameter): p for p in points}
+    for p in points:
+        assert p.encode_gain > 0
+    # Writing more replicas dilutes the relative write advantage.
+    assert by_r[8].write_gain < by_r[2].write_gain * 1.2

@@ -1,0 +1,40 @@
+"""Figure 14 / Experiment C.1: storage load balancing.
+
+Paper shape: per-rack replica shares, sorted descending, lie between 4.92%
+and 5.08% for both policies on 20 racks — EAR's constraints do not skew
+storage.  Scale: 10,000 blocks x 50 runs (paper: 10,000 x 10,000).
+"""
+
+from repro.experiments.loadbalance import storage_balance
+from repro.experiments.runner import format_table
+
+from .conftest import emit, run_once
+
+NUM_BLOCKS = 10_000
+RUNS = 20
+
+
+def test_fig14_storage_balance(benchmark):
+    shares = run_once(
+        benchmark,
+        lambda: storage_balance(num_blocks=NUM_BLOCKS, runs=RUNS),
+    )
+    ranks = (0, 4, 9, 14, 19)
+    rows = [
+        [policy.upper()]
+        + [f"{100 * shares[policy][rank]:.3f}%" for rank in ranks]
+        for policy in ("rr", "ear")
+    ]
+    emit(
+        "Figure 14: per-rack replica share by rank (20 racks; paper band "
+        "4.92%-5.08%)",
+        format_table(
+            ["policy"] + [f"rank {rank + 1}" for rank in ranks], rows
+        ),
+    )
+    for policy in ("rr", "ear"):
+        assert shares[policy][0] < 0.054
+        assert shares[policy][-1] > 0.046
+    # EAR tracks RR at every rank.
+    for a, b in zip(shares["rr"], shares["ear"]):
+        assert abs(a - b) < 0.003

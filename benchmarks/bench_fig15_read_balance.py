@@ -1,0 +1,38 @@
+"""Figure 15 / Experiment C.2: read load balancing (hotness index H).
+
+Paper shape: H falls towards 1/R = 5% as the file grows from 1 to 10,000
+blocks, and RR and EAR sit on "almost identical" curves.
+"""
+
+from repro.experiments.loadbalance import read_balance
+from repro.experiments.runner import format_table
+
+from .conftest import emit, run_once
+
+FILE_SIZES = (1, 10, 100, 1_000, 10_000)
+RUNS = 12
+
+
+def test_fig15_read_balance(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: read_balance(file_sizes=FILE_SIZES, runs=RUNS),
+    )
+    rows = [
+        [policy.upper()]
+        + [f"{100 * result[policy][size]:.2f}%" for size in FILE_SIZES]
+        for policy in ("rr", "ear")
+    ]
+    emit(
+        "Figure 15: hotness index H vs file size in blocks "
+        "(perfect balance = 5%)",
+        format_table(
+            ["policy"] + [f"F={size}" for size in FILE_SIZES], rows
+        ),
+    )
+    for policy in ("rr", "ear"):
+        curve = [result[policy][size] for size in FILE_SIZES]
+        assert curve == sorted(curve, reverse=True)
+        assert curve[-1] < 0.07  # near 1/R at 10,000 blocks
+    for size in FILE_SIZES:
+        assert abs(result["rr"][size] - result["ear"][size]) < 0.02

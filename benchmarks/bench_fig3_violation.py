@@ -1,0 +1,50 @@
+"""Figure 3: probability that preliminary EAR violates rack fault tolerance.
+
+Regenerates the full curve set (k in {6, 8, 10, 12}, R from 14 to 40) from
+Equation (1) and cross-checks two points by Monte-Carlo over the actual
+flow-graph machinery.  Paper anchor: f ~= 0.97 at k = 12, R = 16.
+"""
+
+import random
+
+from repro.analysis.violation import (
+    figure3_table,
+    violation_probability,
+    violation_probability_mc,
+)
+from repro.experiments.runner import format_table
+
+from .conftest import emit, run_once
+
+RACKS = tuple(range(14, 41, 2))
+KS = (6, 8, 10, 12)
+
+
+def test_fig3_violation_probability(benchmark):
+    table = run_once(benchmark, lambda: figure3_table(RACKS, KS))
+
+    rng = random.Random(0)
+    rows = []
+    for i, r in enumerate(RACKS):
+        rows.append([r] + [f"{table[k][i]:.3f}" for k in KS])
+    emit(
+        "Figure 3: violation probability f of preliminary EAR (Eq. 1)",
+        format_table(["R"] + [f"k={k}" for k in KS], rows),
+    )
+
+    mc = violation_probability_mc(16, 12, 40_000, rng)
+    exact = violation_probability(16, 12)
+    emit(
+        "Monte-Carlo cross-check at (R=16, k=12)",
+        format_table(
+            ["source", "f"],
+            [["closed form (paper: 0.97)", f"{exact:.4f}"],
+             ["Monte-Carlo 40k trials", f"{mc:.4f}"]],
+        ),
+    )
+    assert abs(exact - 0.97) < 0.005
+    assert abs(mc - exact) < 0.01
+    # Shape: f falls with R, rises with k.
+    for k in KS:
+        assert table[k][0] > table[k][-1]
+    assert table[12][0] > table[6][0]

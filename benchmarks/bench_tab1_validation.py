@@ -1,0 +1,83 @@
+"""Table I + Figure 12 / Experiment B.1: simulator validation.
+
+The paper validates its CSIM simulator against the physical testbed (gap
+under 4.3%).  Without hardware we validate against closed forms: idle-
+network operations must match hand-computed durations exactly, and the
+Table I structure (write RTs with/without encoding) must reproduce with
+the right orderings.  Figure 12's encoded-stripes-vs-time curves are
+emitted for both policies.
+"""
+
+from repro.experiments.config import TestbedConfig
+from repro.experiments.runner import format_table
+from repro.experiments.validation import (
+    encoded_stripes_curves,
+    table1_rows,
+    validate_single_stripe_encode,
+    validate_write_path,
+)
+
+from .conftest import emit, run_once
+
+CONFIG = TestbedConfig()
+
+
+def run_all():
+    checks = [
+        validate_write_path(CONFIG),
+        validate_single_stripe_encode(config=CONFIG),
+    ]
+    rows = table1_rows(seeds=(0, 1), config=CONFIG)
+    curves = encoded_stripes_curves(config=CONFIG, seed=0)
+    return checks, rows, curves
+
+
+def test_tab1_simulator_validation(benchmark):
+    checks, rows, curves = run_once(benchmark, run_all)
+
+    emit(
+        "Analytic validation (idle network): measured vs expected",
+        format_table(
+            ["check", "measured (s)", "expected (s)", "rel. error"],
+            [
+                [c.name, f"{c.measured:.4f}", f"{c.expected:.4f}",
+                 f"{c.relative_error:.2e}"]
+                for c in checks
+            ],
+        ),
+    )
+    emit(
+        "Table I structure: write RTs without/with background encoding "
+        "(paper testbed: RR 1.4->2.4 s, gaps vs sim < 4.3%)",
+        format_table(
+            ["policy", "RT no encoding (s)", "RT with encoding (s)",
+             "encoding time (s)"],
+            [
+                [r.policy.upper(), f"{r.rt_without_encoding:.2f}",
+                 f"{r.rt_with_encoding:.2f}", f"{r.encoding_time:.0f}"]
+                for r in rows
+            ],
+        ),
+    )
+    quarters = [24, 48, 72, 96]
+    emit(
+        "Figure 12: time (s) to encode N of 96 stripes",
+        format_table(
+            ["policy"] + [f"N={q}" for q in quarters],
+            [
+                [policy.upper()]
+                + [
+                    f"{next(t for t, c in curve if c >= q):.0f}"
+                    for q in quarters
+                ]
+                for policy, curve in curves.items()
+            ],
+        ),
+    )
+    for check in checks:
+        assert check.relative_error < 1e-9
+    by_policy = {r.policy: r for r in rows}
+    assert by_policy["ear"].encoding_time < by_policy["rr"].encoding_time
+    for r in rows:
+        assert r.rt_with_encoding > r.rt_without_encoding
+    assert curves["ear"][-1][0] < curves["rr"][-1][0]

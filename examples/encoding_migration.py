@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Replication-to-erasure-coding migration on the simulated testbed.
+
+Reproduces the heart of the paper's Experiment A.1/A.2 story as a runnable
+scenario: a 12-rack HDFS cluster writes 64 MB blocks under RR and under
+EAR, then encodes them to (10, 8) Reed-Solomon with a 12-map MapReduce job
+while a Poisson write stream keeps arriving.  Prints encoding throughput,
+write response times before/during encoding, and the cross-rack traffic
+both policies generated.
+
+Run:  python examples/encoding_migration.py [--stripes N]
+"""
+
+import argparse
+
+from repro.erasure.codec import CodeParams
+from repro.experiments.config import TestbedConfig
+from repro.experiments.runner import format_table
+from repro.experiments.testbed import run_raw_encoding, run_write_during_encoding
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--stripes", type=int, default=96,
+        help="stripes to write and encode (paper: 96)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = TestbedConfig().scaled(args.stripes)
+    code = CodeParams(10, 8)
+    print(f"testbed: {config.num_racks} single-node racks, 1 Gb/s, "
+          f"{args.stripes} stripes of {code}\n")
+
+    # --- raw encoding (Experiment A.1) -----------------------------------
+    rows = []
+    raw = {}
+    for policy in ("rr", "ear"):
+        result = run_raw_encoding(policy, code, config, seed=args.seed)
+        raw[policy] = result
+        rows.append([
+            policy.upper(),
+            f"{result.throughput_mb_s:.0f}",
+            f"{result.encoding_time:.0f}",
+            result.cross_rack_downloads,
+            result.cross_rack_uploads,
+        ])
+    gain = raw["ear"].throughput_mb_s / raw["rr"].throughput_mb_s - 1
+    print("Raw encoding performance:")
+    print(format_table(
+        ["policy", "encode MB/s", "time (s)", "x-rack downloads",
+         "x-rack uploads"],
+        rows,
+    ))
+    print(f"-> EAR encoding throughput gain: {100 * gain:+.1f}% "
+          "(paper: +20% to +120% depending on congestion)\n")
+
+    # --- encoding under live writes (Experiment A.2) ----------------------
+    rows = []
+    for policy in ("rr", "ear"):
+        result = run_write_during_encoding(
+            policy, code, config, seed=args.seed, write_rate=0.5,
+            warmup_duration=120.0,
+        )
+        rows.append([
+            policy.upper(),
+            f"{result.write_rt_before:.2f}",
+            f"{result.write_rt_during:.2f}",
+            f"{result.encoding_time:.0f}",
+        ])
+    print("Encoding while serving writes (0.5 writes/s):")
+    print(format_table(
+        ["policy", "write RT before (s)", "write RT during (s)",
+         "encoding time (s)"],
+        rows,
+    ))
+    print("-> EAR encodes faster *and* disturbs foreground writes less.")
+
+
+if __name__ == "__main__":
+    main()

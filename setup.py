@@ -1,0 +1,5 @@
+"""Setup shim enabling legacy editable installs (pip install -e .)."""
+
+from setuptools import setup
+
+setup()

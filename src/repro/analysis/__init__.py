@@ -1,0 +1,48 @@
+"""Closed-form and Monte-Carlo analyses from the paper.
+
+* :mod:`repro.analysis.violation` — Equation (1) / Figure 3: probability
+  that preliminary EAR violates rack-level fault tolerance.
+* :mod:`repro.analysis.iterations` — Theorem 1: expected layout redraws.
+* :mod:`repro.analysis.load_balance` — Section V-C: storage distribution
+  and the read hotness index H.
+"""
+
+from repro.analysis.iterations import (
+    empirical_attempts,
+    theorem1_bound,
+    theorem1_bounds,
+)
+from repro.analysis.load_balance import (
+    hotness_index,
+    read_balance_study,
+    storage_balance_study,
+)
+from repro.analysis.traffic import (
+    encoding_traffic_reduction,
+    expected_ear_cross_rack_downloads,
+    expected_encoding_traffic,
+    expected_recovery_cross_rack_reads,
+    expected_rr_cross_rack_downloads,
+)
+from repro.analysis.violation import (
+    violation_probability,
+    violation_probability_flowgraph_mc,
+    violation_probability_mc,
+)
+
+__all__ = [
+    "encoding_traffic_reduction",
+    "expected_ear_cross_rack_downloads",
+    "expected_encoding_traffic",
+    "expected_recovery_cross_rack_reads",
+    "expected_rr_cross_rack_downloads",
+    "empirical_attempts",
+    "hotness_index",
+    "read_balance_study",
+    "storage_balance_study",
+    "theorem1_bound",
+    "theorem1_bounds",
+    "violation_probability",
+    "violation_probability_flowgraph_mc",
+    "violation_probability_mc",
+]

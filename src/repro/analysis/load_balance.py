@@ -1,0 +1,110 @@
+"""Section V-C: storage and read load-balancing analysis.
+
+EAR constrains replica placement, so the paper verifies by Monte-Carlo
+simulation that it still spreads load like RR:
+
+* **Experiment C.1** — place many blocks, count replicas per rack, sort the
+  per-rack shares in descending order (Figure 14; both policies sit in a
+  narrow 4.9-5.1% band on 20 racks).
+* **Experiment C.2** — the *hotness index* ``H = max_i L(i)`` where
+  ``L(i)`` is the share of read requests rack ``i`` receives when every
+  block of a file is equally likely to be read and a read goes to a uniform
+  random replica-holding rack (Figure 15).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.policy import PlacementPolicy
+
+#: A factory producing a fresh policy per run (policies are stateful).
+PolicyFactory = Callable[[random.Random], PlacementPolicy]
+
+
+def rack_replica_shares(
+    policy: PlacementPolicy, num_blocks: int
+) -> List[float]:
+    """Place ``num_blocks`` blocks; return per-rack replica shares, sorted
+    in descending order (one Figure 14 curve)."""
+    if num_blocks < 1:
+        raise ValueError("num_blocks must be positive")
+    topology = policy.topology
+    counts = [0] * topology.num_racks
+    total = 0
+    for block_id in range(num_blocks):
+        decision = policy.place_block(block_id)
+        for node in decision.node_ids:
+            counts[topology.rack_of(node)] += 1
+            total += 1
+    return sorted((c / total for c in counts), reverse=True)
+
+
+def storage_balance_study(
+    factory: PolicyFactory,
+    num_blocks: int,
+    runs: int,
+    seed: int = 0,
+) -> List[float]:
+    """Average the sorted per-rack shares over ``runs`` seeded runs.
+
+    Returns:
+        Mean share per rank (rank 0 = most loaded rack), descending.
+    """
+    if runs < 1:
+        raise ValueError("runs must be positive")
+    accumulated: Optional[List[float]] = None
+    for run in range(runs):
+        policy = factory(random.Random(seed + run))
+        shares = rack_replica_shares(policy, num_blocks)
+        if accumulated is None:
+            accumulated = shares
+        else:
+            accumulated = [a + s for a, s in zip(accumulated, shares)]
+    assert accumulated is not None
+    return [a / runs for a in accumulated]
+
+
+def hotness_index(
+    policy: PlacementPolicy, file_blocks: int
+) -> float:
+    """The hotness index H of one file placed by ``policy``.
+
+    Every data block is equally likely to be read and each read is directed
+    to a uniformly random rack holding a replica, so rack ``i`` expects
+    ``L(i) = (1/F) * sum_b [i holds b] / |racks(b)|`` of the requests.
+
+    Returns:
+        ``H = max_i L(i)`` — small is balanced; ``1/R`` is perfect.
+    """
+    if file_blocks < 1:
+        raise ValueError("file_blocks must be positive")
+    topology = policy.topology
+    load = [0.0] * topology.num_racks
+    for block_id in range(file_blocks):
+        decision = policy.place_block(block_id)
+        racks = {topology.rack_of(node) for node in decision.node_ids}
+        for rack in racks:
+            load[rack] += 1.0 / len(racks)
+    return max(load) / file_blocks
+
+
+def read_balance_study(
+    factory: PolicyFactory,
+    file_sizes: Sequence[int],
+    runs: int,
+    seed: int = 0,
+) -> Dict[int, float]:
+    """Mean hotness index per file size over ``runs`` runs (Figure 15)."""
+    if runs < 1:
+        raise ValueError("runs must be positive")
+    means: Dict[int, float] = {}
+    for size in file_sizes:
+        total = 0.0
+        for run in range(runs):
+            policy = factory(random.Random(seed + 1000 * size + run))
+            total += hotness_index(policy, size)
+        means[size] = total / runs
+    return means

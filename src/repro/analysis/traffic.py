@@ -1,0 +1,134 @@
+"""Closed-form cross-rack traffic analysis (Section II-B).
+
+The paper motivates EAR with a simple expectation: under RR with 3-way
+replication over two racks, "the probability that Rack i contains a replica
+of a particular data block is 2/R", so a random encoder must download
+
+    E[cross-rack downloads] = k (1 - 2/R)
+
+of the ``k`` data blocks — "almost k if R is large".  This module provides
+that arithmetic (generalised to any replica-rack count), the per-stripe
+encoding traffic expectations for both policies, and the recovery traffic
+expectation of Section III-D, so simulations can be sanity-checked against
+closed forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.erasure.codec import CodeParams
+
+
+def rack_holds_replica_probability(num_racks: int, replica_racks: int) -> float:
+    """P[a given rack holds a replica of a given block].
+
+    With each block's copies spread over ``replica_racks`` racks chosen
+    uniformly, this is ``replica_racks / R`` (the paper's ``2 / R``).
+    """
+    if num_racks < 1:
+        raise ValueError("need at least one rack")
+    if not 1 <= replica_racks <= num_racks:
+        raise ValueError("replica_racks must lie in [1, num_racks]")
+    return replica_racks / num_racks
+
+
+def expected_rr_cross_rack_downloads(
+    k: int, num_racks: int, replica_racks: int = 2
+) -> float:
+    """E[cross-rack downloads] for encoding one RR stripe: ``k (1 - c/R)``.
+
+    Args:
+        k: Data blocks per stripe.
+        num_racks: Total racks ``R``.
+        replica_racks: Racks each block's replicas span (2 for HDFS's
+            default 3-way layout).
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    p_local = rack_holds_replica_probability(num_racks, replica_racks)
+    return k * (1.0 - p_local)
+
+
+def expected_ear_cross_rack_downloads() -> float:
+    """E[cross-rack downloads] for encoding one EAR stripe: exactly 0."""
+    return 0.0
+
+
+@dataclass(frozen=True)
+class EncodingTraffic:
+    """Expected per-stripe cross-rack encoding traffic, in blocks."""
+
+    downloads: float
+    uploads: float
+
+    @property
+    def total(self) -> float:
+        """Cross-rack blocks moved per stripe end to end."""
+        return self.downloads + self.uploads
+
+
+def expected_encoding_traffic(
+    policy: str,
+    code: CodeParams,
+    num_racks: int,
+    replica_racks: int = 2,
+    ear_c: int = 1,
+) -> EncodingTraffic:
+    """Expected cross-rack traffic of encoding one stripe.
+
+    * **RR**: ``k (1 - c/R)`` downloads plus (nearly) all ``n - k`` parity
+      uploads (a parity block lands in the encoder's rack with probability
+      ~``1/R``, which we neglect as the paper does).
+    * **EAR**: zero downloads; ``n - k - min(c - 1, n - k)`` uploads when
+      the core rack keeps ``min(c - 1, n - k)`` parity blocks (all
+      ``n - k`` at ``c = 1``).
+    """
+    if policy == "rr":
+        return EncodingTraffic(
+            downloads=expected_rr_cross_rack_downloads(
+                code.k, num_racks, replica_racks
+            ),
+            uploads=float(code.num_parity),
+        )
+    if policy == "ear":
+        reserved = min(ear_c - 1, code.num_parity)
+        return EncodingTraffic(
+            downloads=0.0,
+            uploads=float(code.num_parity - reserved),
+        )
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+def expected_recovery_cross_rack_reads(code: CodeParams, ear_c: int = 1) -> float:
+    """Expected cross-rack reads to repair one lost block (Section III-D).
+
+    With the stripe spread one block per rack (``c = 1``) the repairing
+    node finds at most one input in its own rack: ``k - 1`` cross-rack
+    reads.  With ``c`` blocks per rack, up to ``c - 1`` other inputs are
+    rack-local: ``k - c`` cross-rack reads (floored at zero).
+    """
+    if ear_c < 1:
+        raise ValueError("c must be positive")
+    return float(max(0, code.k - ear_c))
+
+
+def encoding_traffic_reduction(
+    code: CodeParams,
+    num_racks: int,
+    replica_racks: int = 2,
+    ear_c: int = 1,
+) -> float:
+    """Fraction of cross-rack encoding traffic EAR eliminates vs RR.
+
+    The headline back-of-envelope: at (14,10), R=20, two replica racks,
+    RR moves 9 + 4 = 13 cross-rack blocks per stripe while EAR moves 4 —
+    a ~69% reduction, matching the ~70% encoding gains of Figure 13.
+    """
+    rr = expected_encoding_traffic("rr", code, num_racks, replica_racks)
+    ear = expected_encoding_traffic(
+        "ear", code, num_racks, replica_racks, ear_c=ear_c
+    )
+    if rr.total == 0:
+        raise ValueError("RR traffic expectation is zero; nothing to reduce")
+    return 1.0 - ear.total / rr.total

@@ -1,0 +1,337 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig3
+    python -m repro fig8a --stripes 96 --seeds 3
+    python -m repro fig13a --stripes-per-process 10 --seeds 2
+    python -m repro fig14 --runs 10
+
+Every command prints the same table the corresponding benchmark emits; the
+``--stripes`` / ``--seeds`` style options trade precision for speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.erasure.codec import CodeParams
+from repro.experiments.config import LargeScaleConfig, TestbedConfig
+from repro.experiments.runner import format_table, mean
+
+
+def _pct(x: float) -> str:
+    return f"{100 * x:+.1f}%"
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def cmd_fig3(args) -> None:
+    """Figure 3: Equation (1) violation probability."""
+    from repro.analysis.violation import figure3_table
+
+    racks = list(range(args.min_racks, args.max_racks + 1, 2))
+    ks = (6, 8, 10, 12)
+    table = figure3_table(racks, ks)
+    rows = [[r] + [f"{table[k][i]:.3f}" for k in ks] for i, r in enumerate(racks)]
+    print(format_table(["R"] + [f"k={k}" for k in ks], rows))
+
+
+def cmd_theorem1(args) -> None:
+    """Theorem 1: measured redraws vs the bound."""
+    import random
+
+    from repro.analysis.iterations import empirical_attempts, theorem1_bound
+
+    code = CodeParams(args.k + 4, args.k)
+    measured = empirical_attempts(
+        num_racks=args.racks,
+        nodes_per_rack=40,
+        code=code,
+        num_stripes=args.stripes,
+        rng=random.Random(args.seed),
+    )
+    rows = [
+        [i, f"{measured[i]:.3f}", f"{theorem1_bound(i, args.racks):.3f}"]
+        for i in range(1, code.k + 1)
+    ]
+    print(format_table(["i", "measured E_i", "bound"], rows))
+
+
+def cmd_fig8a(args) -> None:
+    """Figure 8(a): encoding throughput vs (n, k)."""
+    from repro.experiments.testbed import sweep_nk
+
+    from repro.experiments.charts import bar_chart
+
+    config = TestbedConfig().scaled(args.stripes)
+    results = sweep_nk(ks=(4, 6, 8, 10), seeds=range(args.seeds), config=config)
+    rows = [
+        [f"({k + 2},{k})", f"{r['rr']:.0f}", f"{r['ear']:.0f}", _pct(r["gain"])]
+        for k, r in sorted(results.items())
+    ]
+    print(format_table(["(n,k)", "RR MB/s", "EAR MB/s", "gain"], rows))
+    print()
+    labels, values = [], []
+    for k, r in sorted(results.items()):
+        labels.extend([f"({k + 2},{k}) RR", f"({k + 2},{k}) EAR"])
+        values.extend([round(r["rr"]), round(r["ear"])])
+    print(bar_chart(labels, values, unit=" MB/s"))
+
+
+def cmd_fig8b(args) -> None:
+    """Figure 8(b): encoding throughput vs UDP cross-traffic."""
+    from repro.experiments.testbed import sweep_udp
+
+    config = TestbedConfig().scaled(args.stripes)
+    results = sweep_udp(seeds=range(args.seeds), config=config)
+    rows = [
+        [f"{rate:.0f}", f"{r['rr']:.0f}", f"{r['ear']:.0f}", _pct(r["gain"])]
+        for rate, r in sorted(results.items())
+    ]
+    print(format_table(["UDP Mb/s", "RR MB/s", "EAR MB/s", "gain"], rows))
+
+
+def cmd_fig9(args) -> None:
+    """Figure 9: write response times while encoding."""
+    from repro.experiments.testbed import run_write_during_encoding
+
+    config = TestbedConfig().scaled(args.stripes)
+    rows = []
+    for policy in ("rr", "ear"):
+        results = [
+            run_write_during_encoding(policy, config=config, seed=s)
+            for s in range(args.seeds)
+        ]
+        rows.append([
+            policy.upper(),
+            f"{mean(r.write_rt_before for r in results):.2f}",
+            f"{mean(r.write_rt_during for r in results):.2f}",
+            f"{mean(r.encoding_time for r in results):.0f}",
+        ])
+    print(format_table(
+        ["policy", "RT before (s)", "RT during (s)", "encode time (s)"], rows
+    ))
+
+
+def cmd_fig10(args) -> None:
+    """Figure 10: SWIM MapReduce jobs before encoding."""
+    from repro.experiments.testbed import run_mapreduce_workload
+
+    config = TestbedConfig()
+    rows = []
+    for policy in ("rr", "ear"):
+        records = run_mapreduce_workload(
+            policy, num_jobs=args.jobs, config=config, seed=args.seed
+        )
+        rows.append([
+            policy.upper(),
+            f"{max(r.finish_time for r in records):.0f}",
+            f"{mean(r.runtime for r in records):.1f}",
+        ])
+    print(format_table(["policy", "makespan (s)", "mean runtime (s)"], rows))
+
+
+def cmd_fig12(args) -> None:
+    """Figure 12 / Table I: validation curves and write RTs."""
+    from repro.experiments.validation import (
+        encoded_stripes_curves,
+        validate_single_stripe_encode,
+        validate_write_path,
+    )
+
+    config = TestbedConfig().scaled(args.stripes)
+    for check in (
+        validate_write_path(config),
+        validate_single_stripe_encode(config=config),
+    ):
+        print(f"{check.name}: measured {check.measured:.4f}s, "
+              f"expected {check.expected:.4f}s "
+              f"(error {check.relative_error:.2e})")
+    curves = encoded_stripes_curves(config=config, seed=args.seed)
+    rows = [
+        [policy.upper(), f"{curve[-1][0]:.0f}"]
+        for policy, curve in curves.items()
+    ]
+    print(format_table(["policy", f"time to encode {config.num_stripes} stripes (s)"], rows))
+    from repro.experiments.charts import line_chart
+
+    print()
+    print(line_chart(
+        {policy: curve for policy, curve in curves.items()},
+        width=60, height=12, x_label="seconds", y_label="stripes",
+    ))
+
+
+def _largescale_sweep(sweep, args, header: str, formatter) -> None:
+    base = LargeScaleConfig().scaled(args.stripes_per_process)
+    points = sweep(base=base, seeds=range(args.seeds))
+    rows = [
+        [formatter(p.parameter), _pct(p.encode_gain), _pct(p.write_gain)]
+        for p in points
+    ]
+    print(format_table([header, "encode gain", "write gain"], rows))
+
+
+def cmd_fig13a(args) -> None:
+    """Figure 13(a): gains vs k."""
+    from repro.experiments.largescale import sweep_k
+
+    _largescale_sweep(sweep_k, args, "k", lambda v: int(v))
+
+
+def cmd_fig13b(args) -> None:
+    """Figure 13(b): gains vs n - k."""
+    from repro.experiments.largescale import sweep_m
+
+    _largescale_sweep(sweep_m, args, "n-k", lambda v: int(v))
+
+
+def cmd_fig13c(args) -> None:
+    """Figure 13(c): gains vs link bandwidth."""
+    from repro.experiments.largescale import sweep_bandwidth
+
+    _largescale_sweep(sweep_bandwidth, args, "Gb/s", lambda v: v)
+
+
+def cmd_fig13d(args) -> None:
+    """Figure 13(d): gains vs write request rate."""
+    from repro.experiments.largescale import sweep_write_rate
+
+    _largescale_sweep(sweep_write_rate, args, "req/s", lambda v: v)
+
+
+def cmd_fig13e(args) -> None:
+    """Figure 13(e): gains vs EAR's tolerable rack failures."""
+    from repro.experiments.largescale import sweep_rack_tolerance
+
+    _largescale_sweep(sweep_rack_tolerance, args, "t", lambda v: int(v))
+
+
+def cmd_fig13f(args) -> None:
+    """Figure 13(f): gains vs replication factor."""
+    from repro.experiments.largescale import sweep_replicas
+
+    _largescale_sweep(sweep_replicas, args, "replicas", lambda v: int(v))
+
+
+def cmd_fig14(args) -> None:
+    """Figure 14: storage load balance."""
+    from repro.experiments.loadbalance import storage_balance
+
+    shares = storage_balance(num_blocks=args.blocks, runs=args.runs)
+    ranks = (0, 4, 9, 14, 19)
+    rows = [
+        [p.upper()] + [f"{100 * shares[p][r]:.3f}%" for r in ranks]
+        for p in ("rr", "ear")
+    ]
+    print(format_table(["policy"] + [f"rank {r + 1}" for r in ranks], rows))
+
+
+def cmd_fig15(args) -> None:
+    """Figure 15: read load balance (hotness index)."""
+    from repro.experiments.loadbalance import read_balance
+
+    sizes = (1, 10, 100, 1000, 10_000)
+    result = read_balance(file_sizes=sizes, runs=args.runs)
+    rows = [
+        [p.upper()] + [f"{100 * result[p][s]:.2f}%" for s in sizes]
+        for p in ("rr", "ear")
+    ]
+    print(format_table(["policy"] + [f"F={s}" for s in sizes], rows))
+
+
+# ----------------------------------------------------------------------
+# Parser assembly
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate experiments from Li, Hu & Lee (DSN 2015).",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments")
+
+    p = sub.add_parser("fig3", help=cmd_fig3.__doc__)
+    p.add_argument("--min-racks", type=int, default=14)
+    p.add_argument("--max-racks", type=int, default=40)
+    p.set_defaults(func=cmd_fig3)
+
+    p = sub.add_parser("theorem1", help=cmd_theorem1.__doc__)
+    p.add_argument("--racks", type=int, default=20)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--stripes", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_theorem1)
+
+    for name, func in (("fig8a", cmd_fig8a), ("fig8b", cmd_fig8b),
+                       ("fig9", cmd_fig9)):
+        p = sub.add_parser(name, help=func.__doc__)
+        p.add_argument("--stripes", type=int, default=96)
+        p.add_argument("--seeds", type=int, default=3)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("fig10", help=cmd_fig10.__doc__)
+    p.add_argument("--jobs", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fig10)
+
+    p = sub.add_parser("fig12", help=cmd_fig12.__doc__)
+    p.add_argument("--stripes", type=int, default=96)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fig12)
+
+    for name, func in (
+        ("fig13a", cmd_fig13a), ("fig13b", cmd_fig13b),
+        ("fig13c", cmd_fig13c), ("fig13d", cmd_fig13d),
+        ("fig13e", cmd_fig13e), ("fig13f", cmd_fig13f),
+    ):
+        p = sub.add_parser(name, help=func.__doc__)
+        p.add_argument("--stripes-per-process", type=int, default=10)
+        p.add_argument("--seeds", type=int, default=2)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("fig14", help=cmd_fig14.__doc__)
+    p.add_argument("--blocks", type=int, default=10_000)
+    p.add_argument("--runs", type=int, default=10)
+    p.set_defaults(func=cmd_fig14)
+
+    p = sub.add_parser("fig15", help=cmd_fig15.__doc__)
+    p.add_argument("--runs", type=int, default=10)
+    p.set_defaults(func=cmd_fig15)
+
+    return parser
+
+
+def list_experiments() -> List[str]:
+    """Experiment ids the CLI can run."""
+    return [
+        "fig3", "theorem1", "fig8a", "fig8b", "fig9", "fig10", "fig12",
+        "fig13a", "fig13b", "fig13c", "fig13d", "fig13e", "fig13f",
+        "fig14", "fig15",
+    ]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "list":
+        for name in list_experiments():
+            print(name)
+        return 0
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

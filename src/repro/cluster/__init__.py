@@ -1,0 +1,47 @@
+"""Cluster substrate: topology, blocks, replicas, and failure analysis.
+
+This package models the physical layout of a clustered file system (CFS):
+racks of storage nodes connected by top-of-rack switches and a network core
+(Figure 1 of the paper).  It also provides the block/replica bookkeeping that
+the placement policies in :mod:`repro.core` operate on, and the availability
+analysis used to decide whether an erasure-coded stripe satisfies node- and
+rack-level fault tolerance.
+"""
+
+from repro.cluster.block import (
+    Block,
+    BlockId,
+    BlockStore,
+    Replica,
+)
+from repro.cluster.failure import (
+    FailureModel,
+    stripe_node_fault_tolerance,
+    stripe_rack_fault_tolerance,
+    stripe_survives,
+    violates_rack_fault_tolerance,
+)
+from repro.cluster.topology import (
+    ClusterTopology,
+    Node,
+    NodeId,
+    Rack,
+    RackId,
+)
+
+__all__ = [
+    "Block",
+    "BlockId",
+    "BlockStore",
+    "ClusterTopology",
+    "FailureModel",
+    "Node",
+    "NodeId",
+    "Rack",
+    "RackId",
+    "Replica",
+    "stripe_node_fault_tolerance",
+    "stripe_rack_fault_tolerance",
+    "stripe_survives",
+    "violates_rack_fault_tolerance",
+]

@@ -1,0 +1,178 @@
+"""Failure and availability analysis for replicated and erasure-coded data.
+
+The paper's availability requirement (Section II-B, III-B) is twofold:
+
+* **node level** — an ``(n, k)`` stripe placed on ``n`` distinct nodes
+  tolerates any ``n - k`` node failures;
+* **rack level** — with at most ``c`` blocks of a stripe per rack, the stripe
+  tolerates ``floor((n - k) / c)`` rack failures.  Facebook's deployment uses
+  ``c = 1`` (one block per rack, ``n`` racks, ``n - k`` rack failures
+  tolerated).
+
+``violates_rack_fault_tolerance`` is the check performed by the
+``PlacementMonitor`` module of HDFS-RAID: stripes that fail it must have
+blocks relocated by the ``BlockMover`` (see :mod:`repro.core.relocation`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence, Tuple
+
+from repro.cluster.topology import ClusterTopology, NodeId, RackId
+
+
+def stripe_node_fault_tolerance(node_ids: Sequence[NodeId], k: int) -> int:
+    """Number of node failures an ``(n, k)`` stripe placed on ``node_ids`` survives.
+
+    With all ``n`` blocks on distinct nodes this is ``n - k``; co-located
+    blocks reduce it because one node failure then removes several blocks.
+
+    Args:
+        node_ids: The node of each of the stripe's ``n`` blocks.
+        k: Number of blocks required to reconstruct the stripe.
+
+    Returns:
+        The largest ``t`` such that every ``t``-node failure leaves at least
+        ``k`` blocks available.
+    """
+    n = len(node_ids)
+    if not 0 < k <= n:
+        raise ValueError(f"require 0 < k <= n, got k={k}, n={n}")
+    per_node = sorted(Counter(node_ids).values(), reverse=True)
+    budget = n - k  # how many blocks we can afford to lose
+    tolerated = 0
+    for blocks_lost in per_node:
+        if budget - blocks_lost < 0:
+            break
+        budget -= blocks_lost
+        tolerated += 1
+    return tolerated
+
+
+def stripe_rack_fault_tolerance(
+    topology: ClusterTopology, node_ids: Sequence[NodeId], k: int
+) -> int:
+    """Number of rack failures an ``(n, k)`` stripe survives.
+
+    Computed greedily: losing the racks holding the most blocks first is the
+    worst case, so the stripe tolerates ``t`` rack failures iff the ``t``
+    fullest racks together hold at most ``n - k`` blocks.
+    """
+    n = len(node_ids)
+    if not 0 < k <= n:
+        raise ValueError(f"require 0 < k <= n, got k={k}, n={n}")
+    per_rack = sorted(
+        Counter(topology.rack_of(node) for node in node_ids).values(), reverse=True
+    )
+    budget = n - k
+    tolerated = 0
+    for blocks_lost in per_rack:
+        if budget - blocks_lost < 0:
+            break
+        budget -= blocks_lost
+        tolerated += 1
+    return tolerated
+
+
+def violates_rack_fault_tolerance(
+    topology: ClusterTopology,
+    node_ids: Sequence[NodeId],
+    k: int,
+    required_rack_failures: int,
+) -> bool:
+    """PlacementMonitor check: does the stripe need block relocation?
+
+    Args:
+        topology: Cluster layout.
+        node_ids: Node of each of the stripe's blocks.
+        k: Reconstruction threshold of the code.
+        required_rack_failures: Rack failures the deployment must survive
+            (``n - k`` at Facebook; ``floor((n - k) / c)`` with parameter c).
+
+    Returns:
+        True when the current layout tolerates fewer rack failures than
+        required, i.e. the BlockMover must relocate blocks.
+    """
+    return (
+        stripe_rack_fault_tolerance(topology, node_ids, k) < required_rack_failures
+    )
+
+
+def stripe_survives(
+    topology: ClusterTopology,
+    node_ids: Sequence[NodeId],
+    k: int,
+    failed_nodes: Iterable[NodeId] = (),
+    failed_racks: Iterable[RackId] = (),
+) -> bool:
+    """Can the stripe be reconstructed after the given concrete failures?
+
+    A stripe survives iff at least ``k`` of its blocks live on nodes that are
+    neither failed themselves nor inside a failed rack.
+    """
+    failed_node_set = set(failed_nodes)
+    failed_rack_set = set(failed_racks)
+    alive = sum(
+        1
+        for node in node_ids
+        if node not in failed_node_set
+        and topology.rack_of(node) not in failed_rack_set
+    )
+    return alive >= k
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """A concrete set of simultaneous failures."""
+
+    failed_nodes: Tuple[NodeId, ...] = ()
+    failed_racks: Tuple[RackId, ...] = ()
+
+
+class FailureModel:
+    """Exhaustive failure enumeration for availability verification.
+
+    Used by tests and the availability example to *prove* (for small
+    clusters) that a stripe layout meets its fault-tolerance contract, by
+    enumerating all node subsets / rack subsets of a given size.
+    """
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        self.topology = topology
+
+    def all_node_failures(self, count: int) -> Iterable[FailureScenario]:
+        """Every scenario in which exactly ``count`` nodes fail."""
+        for nodes in combinations(range(self.topology.num_nodes), count):
+            yield FailureScenario(failed_nodes=nodes)
+
+    def all_rack_failures(self, count: int) -> Iterable[FailureScenario]:
+        """Every scenario in which exactly ``count`` racks fail."""
+        for racks in combinations(range(self.topology.num_racks), count):
+            yield FailureScenario(failed_racks=racks)
+
+    def stripe_tolerates_node_failures(
+        self, node_ids: Sequence[NodeId], k: int, count: int
+    ) -> bool:
+        """True when the stripe survives *every* ``count``-node failure."""
+        relevant = sorted(set(node_ids))
+        # Only failures hitting the stripe's own nodes matter; checking those
+        # subsets is equivalent to checking all subsets of the whole cluster.
+        max_hit = min(count, len(relevant))
+        for hit in combinations(relevant, max_hit):
+            if not stripe_survives(self.topology, node_ids, k, failed_nodes=hit):
+                return False
+        return True
+
+    def stripe_tolerates_rack_failures(
+        self, node_ids: Sequence[NodeId], k: int, count: int
+    ) -> bool:
+        """True when the stripe survives *every* ``count``-rack failure."""
+        relevant = sorted({self.topology.rack_of(n) for n in node_ids})
+        max_hit = min(count, len(relevant))
+        for hit in combinations(relevant, max_hit):
+            if not stripe_survives(self.topology, node_ids, k, failed_racks=hit):
+                return False
+        return True

@@ -1,0 +1,216 @@
+"""The stripe flow graph of Figure 4: blocks -> nodes -> racks -> sink.
+
+Given the replica layout of the (partial) stripe, the graph decides whether
+the layout admits a *retention plan*: one replica kept per block, at most one
+block per node, at most ``c`` blocks of the stripe per rack, and (optionally)
+all retained replicas inside a chosen set of target racks (Section III-D).
+
+Construction, following Section III-B exactly:
+
+* source ``S`` -> each block vertex, capacity 1 (each block keeps one copy);
+* block vertex -> node vertex for every replica of the block, capacity 1;
+* node vertex -> its rack vertex, capacity 1 (≤ 1 stripe block per node);
+* rack vertex -> sink ``T``, capacity ``c`` (≤ c stripe blocks per rack),
+  with non-target racks omitted entirely in the target-rack variant.
+
+The layout is *feasible* iff the max flow equals the number of blocks; the
+retained replica of each block is the block->node edge carrying flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set
+
+from repro.cluster.topology import ClusterTopology, NodeId, RackId
+from repro.core.maxflow import Dinic
+
+_SOURCE = ("S",)
+_SINK = ("T",)
+
+
+class StripeFlowGraph:
+    """Feasibility test and matching extraction for one stripe's replicas.
+
+    Args:
+        topology: Cluster layout (to map nodes to racks).
+        c: Maximum blocks of the stripe a single rack may hold after
+            encoding.
+        target_racks: Optional restriction of retained replicas to this rack
+            set (Section III-D); ``None`` admits every rack.
+        capacity_overrides: Optional per-rack capacities replacing ``c`` for
+            specific racks.  The encoding planner uses this to reserve part
+            of the core rack's capacity for parity blocks (keeping
+            data/parity in one rack to cut cross-rack uploads, the behaviour
+            Figure 13(e) exploits when ``c > 1``).
+
+    Example:
+        >>> topo = ClusterTopology(nodes_per_rack=2, num_racks=4)
+        >>> graph = StripeFlowGraph(topo, c=1)
+        >>> layout = {0: (0, 2), 1: (1, 4)}   # block -> replica nodes
+        >>> graph.max_matching_size(layout)
+        2
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        c: int = 1,
+        target_racks: Optional[Sequence[RackId]] = None,
+        capacity_overrides: Optional[Dict[RackId, int]] = None,
+    ) -> None:
+        if c <= 0:
+            raise ValueError("c must be positive")
+        self.topology = topology
+        self.c = c
+        self.target_racks: Optional[Set[RackId]] = (
+            None if target_racks is None else set(target_racks)
+        )
+        if self.target_racks is not None:
+            for rack in self.target_racks:
+                topology.rack(rack)
+        self.capacity_overrides: Dict[RackId, int] = dict(capacity_overrides or {})
+        for rack, capacity in self.capacity_overrides.items():
+            topology.rack(rack)
+            if capacity < 0:
+                raise ValueError(f"capacity override for rack {rack} is negative")
+
+    # ------------------------------------------------------------------
+    def _rack_admissible(self, rack_id: RackId) -> bool:
+        return self.target_racks is None or rack_id in self.target_racks
+
+    def rack_capacity(self, rack_id: RackId) -> int:
+        """Blocks of this stripe the rack may retain (``c`` unless overridden)."""
+        return self.capacity_overrides.get(rack_id, self.c)
+
+    def _build(self, layout: Dict[object, Sequence[NodeId]]) -> Dinic:
+        graph = Dinic()
+        racks_added: Set[RackId] = set()
+        nodes_added: Set[NodeId] = set()
+        for block, node_ids in layout.items():
+            graph.add_edge(_SOURCE, ("B", block), 1)
+            for node_id in node_ids:
+                rack_id = self.topology.rack_of(node_id)
+                if not self._rack_admissible(rack_id):
+                    # Replicas outside target racks cannot be retained:
+                    # Section III-D removes their rack->sink edges; we simply
+                    # omit the whole path.
+                    continue
+                graph.add_edge(("B", block), ("N", node_id), 1)
+                if node_id not in nodes_added:
+                    nodes_added.add(node_id)
+                    graph.add_edge(("N", node_id), ("R", rack_id), 1)
+                if rack_id not in racks_added:
+                    racks_added.add(rack_id)
+                    graph.add_edge(("R", rack_id), _SINK, self.rack_capacity(rack_id))
+        return graph
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def max_matching_size(self, layout: Dict[object, Sequence[NodeId]]) -> int:
+        """Size of the maximum matching for the given replica layout.
+
+        Args:
+            layout: Mapping block -> node ids of its replicas.
+
+        Returns:
+            The max flow of the Figure 4(b) graph; the layout is feasible iff
+            this equals ``len(layout)``.
+        """
+        if not layout:
+            return 0
+        graph = self._build(layout)
+        return graph.max_flow(_SOURCE, _SINK)
+
+    def is_feasible(self, layout: Dict[object, Sequence[NodeId]]) -> bool:
+        """True when every block can retain a replica within the constraints."""
+        return self.max_matching_size(layout) == len(layout)
+
+    def find_matching(
+        self, layout: Dict[object, Sequence[NodeId]]
+    ) -> Optional[Dict[object, NodeId]]:
+        """Extract a retention plan: which replica each block keeps.
+
+        Returns:
+            Mapping block -> retained node, or ``None`` when the layout is
+            infeasible (max flow below the block count).
+        """
+        if not layout:
+            return {}
+        graph = self._build(layout)
+        flow = graph.max_flow(_SOURCE, _SINK)
+        if flow != len(layout):
+            return None
+        matching: Dict[object, NodeId] = {}
+        for block, node_ids in layout.items():
+            for node_id in node_ids:
+                rack_id = self.topology.rack_of(node_id)
+                if not self._rack_admissible(rack_id):
+                    continue
+                if graph.flow_on(("B", block), ("N", node_id)) > 0:
+                    matching[block] = node_id
+                    break
+        if len(matching) != len(layout):
+            raise AssertionError("max flow equals block count but matching is partial")
+        return matching
+
+    def find_partial_matching(
+        self, layout: Dict[object, Sequence[NodeId]]
+    ) -> Dict[object, NodeId]:
+        """Best-effort retention: match as many blocks as the flow allows.
+
+        Unlike :meth:`find_matching` this never returns ``None``; blocks the
+        max flow could not serve are simply absent from the result.  Used
+        for RR stripes, whose layouts carry no feasibility guarantee.
+        """
+        if not layout:
+            return {}
+        graph = self._build(layout)
+        graph.max_flow(_SOURCE, _SINK)
+        matching: Dict[object, NodeId] = {}
+        for block, node_ids in layout.items():
+            for node_id in node_ids:
+                if not self._rack_admissible(self.topology.rack_of(node_id)):
+                    continue
+                if graph.flow_on(("B", block), ("N", node_id)) > 0:
+                    matching[block] = node_id
+                    break
+        return matching
+
+    def rack_usage(self, matching: Dict[object, NodeId]) -> Dict[RackId, int]:
+        """Blocks retained per rack under a retention plan."""
+        usage: Dict[RackId, int] = {}
+        for node_id in matching.values():
+            rack_id = self.topology.rack_of(node_id)
+            usage[rack_id] = usage.get(rack_id, 0) + 1
+        return usage
+
+    def validate_matching(
+        self, layout: Dict[object, Sequence[NodeId]], matching: Dict[object, NodeId]
+    ) -> None:
+        """Assert that a retention plan satisfies every constraint.
+
+        Raises:
+            ValueError: Describing the first violated constraint.
+        """
+        if set(matching) != set(layout):
+            raise ValueError("matching must cover exactly the layout's blocks")
+        used_nodes: Set[NodeId] = set()
+        for block, node_id in matching.items():
+            if node_id not in layout[block]:
+                raise ValueError(
+                    f"block {block} retained on node {node_id} without a replica"
+                )
+            if node_id in used_nodes:
+                raise ValueError(f"node {node_id} retains more than one block")
+            used_nodes.add(node_id)
+            rack_id = self.topology.rack_of(node_id)
+            if not self._rack_admissible(rack_id):
+                raise ValueError(f"rack {rack_id} is not a target rack")
+        for rack_id, used in self.rack_usage(matching).items():
+            capacity = self.rack_capacity(rack_id)
+            if used > capacity:
+                raise ValueError(
+                    f"rack {rack_id} retains {used} blocks, exceeding its "
+                    f"capacity {capacity}"
+                )

@@ -1,0 +1,183 @@
+"""Dinic's maximum-flow algorithm.
+
+A from-scratch implementation used by :mod:`repro.core.flowgraph` to decide
+whether a replica layout admits a maximum matching under the per-rack
+capacity constraint (Section III-B).  The graphs involved are tiny (a few
+dozen vertices), but the implementation is a complete, general max-flow
+solver with BFS level graphs and DFS blocking flows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+
+class Dinic:
+    """Max-flow solver on a directed graph with integer capacities.
+
+    Vertices are arbitrary hashable labels; edges are added with
+    :meth:`add_edge` and the flow is computed by :meth:`max_flow`.  After a
+    solve, :meth:`flow_on` reports the flow routed over a given edge, which
+    the flow-graph layer uses to extract the replica matching.
+
+    Example:
+        >>> g = Dinic()
+        >>> g.add_edge("s", "a", 1)
+        >>> g.add_edge("a", "t", 1)
+        >>> g.max_flow("s", "t")
+        1
+    """
+
+    def __init__(self) -> None:
+        self._index: Dict[object, int] = {}
+        self._labels: List[object] = []
+        # Adjacency: for each vertex, list of edge ids.
+        self._adj: List[List[int]] = []
+        # Edge arrays: to-vertex, capacity remaining, original capacity.
+        self._to: List[int] = []
+        self._cap: List[int] = []
+        self._orig_cap: List[int] = []
+        # Map (u, v) -> first edge id added, for flow_on queries.
+        self._edge_id: Dict[Tuple[object, object], int] = {}
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def vertex(self, label: object) -> int:
+        """Intern a vertex label, returning its internal id."""
+        if label not in self._index:
+            self._index[label] = len(self._labels)
+            self._labels.append(label)
+            self._adj.append([])
+        return self._index[label]
+
+    def add_edge(self, u: object, v: object, capacity: int) -> None:
+        """Add a directed edge ``u -> v`` with the given capacity.
+
+        Adding the same (u, v) pair twice creates parallel edges; flow_on
+        reports only the first.
+        """
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        ui, vi = self.vertex(u), self.vertex(v)
+        self._edge_id.setdefault((u, v), len(self._to))
+        # Forward edge.
+        self._adj[ui].append(len(self._to))
+        self._to.append(vi)
+        self._cap.append(capacity)
+        self._orig_cap.append(capacity)
+        # Residual edge.
+        self._adj[vi].append(len(self._to))
+        self._to.append(ui)
+        self._cap.append(0)
+        self._orig_cap.append(0)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of distinct vertices added so far."""
+        return len(self._labels)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def max_flow(self, source: object, sink: object) -> int:
+        """Compute the maximum flow from ``source`` to ``sink``.
+
+        Can be called repeatedly; each call continues from the current
+        residual state, so calling twice without modifying the graph returns
+        0 the second time.  Use a fresh instance (or :meth:`reset`) for a
+        from-scratch solve.
+        """
+        if source not in self._index or sink not in self._index:
+            return 0
+        s, t = self._index[source], self._index[sink]
+        if s == t:
+            raise ValueError("source and sink must differ")
+        total = 0
+        while True:
+            level = self._bfs_levels(s, t)
+            if level is None:
+                return total
+            iters = [0] * self.num_vertices
+            while True:
+                pushed = self._dfs(s, t, float("inf"), level, iters)
+                if pushed == 0:
+                    break
+                total += pushed
+
+    def reset(self) -> None:
+        """Restore all edge capacities, discarding any routed flow."""
+        self._cap = list(self._orig_cap)
+
+    def flow_on(self, u: object, v: object) -> int:
+        """Flow routed over the (first) edge ``u -> v`` after a solve."""
+        edge = self._edge_id.get((u, v))
+        if edge is None:
+            raise KeyError(f"no edge {u!r} -> {v!r}")
+        return self._orig_cap[edge] - self._cap[edge]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _bfs_levels(self, s: int, t: int) -> Optional[List[int]]:
+        level = [-1] * self.num_vertices
+        level[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for edge in self._adj[u]:
+                v = self._to[edge]
+                if self._cap[edge] > 0 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        return level if level[t] >= 0 else None
+
+    def _dfs(self, u: int, t: int, limit, level: List[int], iters: List[int]) -> int:
+        if u == t:
+            return int(limit) if limit != float("inf") else self._huge()
+        while iters[u] < len(self._adj[u]):
+            edge = self._adj[u][iters[u]]
+            v = self._to[edge]
+            if self._cap[edge] > 0 and level[v] == level[u] + 1:
+                pushed = self._dfs(
+                    v, t, min(limit, self._cap[edge]), level, iters
+                )
+                if pushed > 0:
+                    self._cap[edge] -= pushed
+                    self._cap[edge ^ 1] += pushed
+                    return pushed
+            iters[u] += 1
+        return 0
+
+    def _huge(self) -> int:
+        return sum(self._orig_cap) + 1
+
+
+def bipartite_max_matching(
+    left: List[object], right: List[object], edges: List[Tuple[object, object]]
+) -> Dict[object, object]:
+    """Maximum bipartite matching via max-flow (utility / test oracle).
+
+    Args:
+        left: Left-side vertex labels.
+        right: Right-side vertex labels.
+        edges: Admissible (left, right) pairs.
+
+    Returns:
+        A maximum matching as a dict ``left_label -> right_label``.
+    """
+    graph = Dinic()
+    source, sink = ("__source__",), ("__sink__",)
+    for u in left:
+        graph.add_edge(source, ("L", u), 1)
+    for v in right:
+        graph.add_edge(("R", v), sink, 1)
+    for u, v in edges:
+        graph.add_edge(("L", u), ("R", v), 1)
+    graph.max_flow(source, sink)
+    matching: Dict[object, object] = {}
+    for u, v in edges:
+        if u not in matching and graph.flow_on(("L", u), ("R", v)) > 0:
+            matching[u] = v
+    return matching

@@ -1,0 +1,199 @@
+"""Placement-policy interface and replica layout schemes.
+
+A *replication scheme* describes how the ``r`` replicas of one block spread
+over racks; a *placement policy* (RR, preliminary EAR, EAR) decides the
+concrete racks and nodes.  The NameNode model
+(:mod:`repro.hdfs.namenode`) records the policy's decisions in the
+:class:`~repro.cluster.block.BlockStore`.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.block import BlockId, BlockStore
+from repro.cluster.topology import ClusterTopology, NodeId, RackId
+
+
+class PlacementError(RuntimeError):
+    """Raised when a policy cannot produce a valid layout."""
+
+
+@dataclass(frozen=True)
+class ReplicationScheme:
+    """How one block's replicas spread across racks.
+
+    Attributes:
+        replicas: Total copies per block, ``r``.
+        racks: Number of distinct racks the copies span.
+
+    The first rack receives exactly one copy (the primary replica — the copy
+    EAR pins to the core rack); the remaining ``r - 1`` copies are spread as
+    evenly as possible over the other ``racks - 1`` racks.  HDFS's default
+    3-way layout is ``ReplicationScheme(3, 2)``: one copy in the first rack,
+    two copies on distinct nodes of a second rack.
+    """
+
+    replicas: int
+    racks: int
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError("need at least one replica")
+        if not 1 <= self.racks <= self.replicas:
+            raise ValueError(
+                f"racks must lie in [1, replicas], got racks={self.racks}, "
+                f"replicas={self.replicas}"
+            )
+        if self.replicas > 1 and self.racks < 2:
+            raise ValueError("multi-replica schemes must span at least two racks")
+
+    def rack_group_sizes(self) -> Tuple[int, ...]:
+        """Copies per rack: primary rack first, then the remaining racks.
+
+        Example:
+            >>> ReplicationScheme(3, 2).rack_group_sizes()
+            (1, 2)
+            >>> ReplicationScheme(4, 4).rack_group_sizes()
+            (1, 1, 1, 1)
+        """
+        if self.replicas == 1:
+            return (1,)
+        remaining_copies = self.replicas - 1
+        remaining_racks = self.racks - 1
+        base, extra = divmod(remaining_copies, remaining_racks)
+        sizes = [base + 1] * extra + [base] * (remaining_racks - extra)
+        return (1, *sizes)
+
+
+#: HDFS's default 3-way layout: primary rack + two copies in a second rack.
+TWO_RACKS = ReplicationScheme(3, 2)
+
+#: One rack per replica (used in Experiment B.2(f)'s replica sweep).
+DISTINCT_RACKS = ReplicationScheme(3, 3)
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """The outcome of placing one block.
+
+    Attributes:
+        block_id: The placed block.
+        node_ids: Chosen nodes; ``node_ids[0]`` holds the primary replica.
+        core_rack: The stripe's core rack (EAR policies only).
+        stripe_id: Stripe the block was assigned to, when known at placement
+            time (EAR assigns eagerly; RR stripes are formed later by the
+            RaidNode).
+        attempts: Number of random layouts drawn before one satisfied the
+            policy's constraints (1 for RR; Theorem 1 bounds EAR's value).
+    """
+
+    block_id: BlockId
+    node_ids: Tuple[NodeId, ...]
+    core_rack: Optional[RackId] = None
+    stripe_id: Optional[int] = None
+    attempts: int = 1
+
+
+class PlacementPolicy(ABC):
+    """Chooses replica locations for newly written blocks.
+
+    Args:
+        topology: The cluster to place into.
+        scheme: Replica spread description (default: HDFS 3-way, two racks).
+        rng: Random source; pass a seeded ``random.Random`` for
+            reproducibility.
+    """
+
+    #: Short machine-readable policy name ("rr", "ear", ...).
+    name = "abstract"
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        scheme: ReplicationScheme = TWO_RACKS,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if topology.num_racks < scheme.racks:
+            raise ValueError(
+                f"scheme spans {scheme.racks} racks but cluster has only "
+                f"{topology.num_racks}"
+            )
+        self.topology = topology
+        self.scheme = scheme
+        self.rng = rng if rng is not None else random.Random()
+
+    @abstractmethod
+    def place_block(
+        self, block_id: BlockId, writer_node: Optional[NodeId] = None
+    ) -> PlacementDecision:
+        """Choose the replica nodes for a new block.
+
+        Args:
+            block_id: Identifier of the block being written.
+            writer_node: Node issuing the write, when known.  HDFS places the
+                first replica on the writer; policies may use this hint.
+
+        Returns:
+            The placement decision; callers record it in the block store.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared random-selection helpers
+    # ------------------------------------------------------------------
+    def _random_rack(
+        self, exclude: Sequence[RackId] = (), min_nodes: int = 1
+    ) -> RackId:
+        """A uniformly random rack outside ``exclude`` with enough nodes.
+
+        Heterogeneous clusters may contain racks too small to host a
+        multi-copy replica group; those are never eligible for it.
+        """
+        excluded = set(exclude)
+        candidates = [
+            r
+            for r in self.topology.rack_ids()
+            if r not in excluded and len(self.topology.rack(r)) >= min_nodes
+        ]
+        if not candidates:
+            raise PlacementError(
+                f"no eligible rack with at least {min_nodes} node(s) remains"
+            )
+        return self.rng.choice(candidates)
+
+    def _random_nodes_in_rack(
+        self, rack_id: RackId, count: int, exclude: Sequence[NodeId] = ()
+    ) -> List[NodeId]:
+        """``count`` distinct random nodes of one rack, outside ``exclude``."""
+        excluded = set(exclude)
+        candidates = [
+            n for n in self.topology.nodes_in_rack(rack_id) if n not in excluded
+        ]
+        if len(candidates) < count:
+            raise PlacementError(
+                f"rack {rack_id} has only {len(candidates)} eligible nodes, "
+                f"need {count}"
+            )
+        return self.rng.sample(candidates, count)
+
+    def _draw_layout(self, first_rack: RackId) -> List[NodeId]:
+        """Draw one full random layout with the primary copy in ``first_rack``.
+
+        Follows the scheme's rack group sizes: one copy on a random node of
+        ``first_rack``; each further group lands on distinct random nodes of
+        a distinct random rack.
+        """
+        sizes = self.scheme.rack_group_sizes()
+        used_racks: List[RackId] = [first_rack]
+        nodes: List[NodeId] = self._random_nodes_in_rack(first_rack, 1)
+        for group_size in sizes[1:]:
+            rack = self._random_rack(exclude=used_racks, min_nodes=group_size)
+            used_racks.append(rack)
+            nodes.extend(self._random_nodes_in_rack(rack, group_size))
+        return nodes
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(scheme={self.scheme})"

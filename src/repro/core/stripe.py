@@ -1,0 +1,173 @@
+"""Stripe bookkeeping and the pre-encoding store.
+
+The paper's HDFS integration adds a *pre-encoding store* to the NameNode
+(Section IV-B) that keeps, for each future stripe, the list of data block
+identifiers that will be encoded together.  EAR fills it eagerly (a stripe is
+sealed when its core rack accumulates ``k`` data blocks); under RR the
+RaidNode simply groups every ``k`` data blocks in metadata order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cluster.block import BlockId
+from repro.cluster.topology import RackId
+
+
+class StripeState:
+    """Lifecycle of a stripe."""
+
+    OPEN = "open"          # still accumulating data blocks
+    SEALED = "sealed"      # k data blocks collected, eligible for encoding
+    ENCODED = "encoded"    # parity written, redundant replicas deleted
+
+
+@dataclass
+class Stripe:
+    """A group of ``k`` data blocks that are (or will be) encoded together.
+
+    Attributes:
+        stripe_id: Unique identifier.
+        k: Data blocks per stripe.
+        block_ids: The data blocks collected so far, in arrival order.
+        core_rack: The rack holding one replica of every data block (EAR);
+            ``None`` under RR.
+        target_racks: Racks the post-encoding stripe must stay within
+            (Section III-D), or ``None`` when every rack is admissible.
+        state: One of :class:`StripeState`.
+        parity_block_ids: Parity blocks, populated once encoded.
+    """
+
+    stripe_id: int
+    k: int
+    block_ids: List[BlockId] = field(default_factory=list)
+    core_rack: Optional[RackId] = None
+    target_racks: Optional[Tuple[RackId, ...]] = None
+    state: str = StripeState.OPEN
+    parity_block_ids: List[BlockId] = field(default_factory=list)
+
+    def is_full(self) -> bool:
+        """True when the stripe holds ``k`` data blocks."""
+        return len(self.block_ids) >= self.k
+
+    def add_block(self, block_id: BlockId) -> None:
+        """Append a data block to an open stripe.
+
+        Raises:
+            ValueError: If the stripe is not open or already full.
+        """
+        if self.state != StripeState.OPEN:
+            raise ValueError(f"stripe {self.stripe_id} is {self.state}, not open")
+        if self.is_full():
+            raise ValueError(f"stripe {self.stripe_id} already holds k={self.k} blocks")
+        if block_id in self.block_ids:
+            raise ValueError(f"block {block_id} already in stripe {self.stripe_id}")
+        self.block_ids.append(block_id)
+
+    def seal(self) -> None:
+        """Mark the stripe eligible for encoding.
+
+        Raises:
+            ValueError: Unless the stripe is open and holds exactly k blocks.
+        """
+        if self.state != StripeState.OPEN:
+            raise ValueError(f"stripe {self.stripe_id} is {self.state}, not open")
+        if len(self.block_ids) != self.k:
+            raise ValueError(
+                f"stripe {self.stripe_id} holds {len(self.block_ids)} blocks, "
+                f"needs exactly k={self.k} to seal"
+            )
+        self.state = StripeState.SEALED
+
+    def mark_encoded(self, parity_block_ids: Sequence[BlockId]) -> None:
+        """Record the parity blocks and flip the stripe to encoded."""
+        if self.state != StripeState.SEALED:
+            raise ValueError(f"stripe {self.stripe_id} is {self.state}, not sealed")
+        self.parity_block_ids = list(parity_block_ids)
+        self.state = StripeState.ENCODED
+
+    def all_block_ids(self) -> List[BlockId]:
+        """Data blocks followed by parity blocks (stripe order)."""
+        return list(self.block_ids) + list(self.parity_block_ids)
+
+
+class PreEncodingStore:
+    """NameNode-side registry of stripes awaiting (or past) encoding.
+
+    Args:
+        k: Data blocks per stripe.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self._stripes: Dict[int, Stripe] = {}
+        self._ids = itertools.count()
+        self._block_to_stripe: Dict[BlockId, int] = {}
+
+    # ------------------------------------------------------------------
+    def new_stripe(
+        self,
+        core_rack: Optional[RackId] = None,
+        target_racks: Optional[Sequence[RackId]] = None,
+    ) -> Stripe:
+        """Open a fresh stripe."""
+        stripe = Stripe(
+            stripe_id=next(self._ids),
+            k=self.k,
+            core_rack=core_rack,
+            target_racks=None if target_racks is None else tuple(target_racks),
+        )
+        self._stripes[stripe.stripe_id] = stripe
+        return stripe
+
+    def add_block(self, stripe_id: int, block_id: BlockId, seal_when_full: bool = True) -> Stripe:
+        """Add a block to a stripe; seal automatically when it reaches k."""
+        stripe = self.stripe(stripe_id)
+        stripe.add_block(block_id)
+        self._block_to_stripe[block_id] = stripe_id
+        if seal_when_full and stripe.is_full():
+            stripe.seal()
+        return stripe
+
+    def stripe(self, stripe_id: int) -> Stripe:
+        """Look up a stripe by id."""
+        try:
+            return self._stripes[stripe_id]
+        except KeyError:
+            raise KeyError(f"unknown stripe id {stripe_id}") from None
+
+    def stripe_of_block(self, block_id: BlockId) -> Optional[Stripe]:
+        """The stripe a block belongs to, if any."""
+        stripe_id = self._block_to_stripe.get(block_id)
+        return None if stripe_id is None else self._stripes[stripe_id]
+
+    # ------------------------------------------------------------------
+    def stripes(self, state: Optional[str] = None) -> List[Stripe]:
+        """All stripes, optionally filtered by state."""
+        found = list(self._stripes.values())
+        if state is not None:
+            found = [s for s in found if s.state == state]
+        return found
+
+    def sealed_stripes(self) -> List[Stripe]:
+        """Stripes ready for the encoding operation."""
+        return self.stripes(StripeState.SEALED)
+
+    def open_stripes(self) -> List[Stripe]:
+        """Stripes still accumulating blocks."""
+        return self.stripes(StripeState.OPEN)
+
+    def encoded_stripes(self) -> List[Stripe]:
+        """Stripes whose encoding has completed."""
+        return self.stripes(StripeState.ENCODED)
+
+    def __len__(self) -> int:
+        return len(self._stripes)
+
+    def __iter__(self) -> Iterator[Stripe]:
+        return iter(list(self._stripes.values()))

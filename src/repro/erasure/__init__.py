@@ -1,0 +1,33 @@
+"""Erasure-coding substrate: GF(2^8) arithmetic and Reed-Solomon codecs.
+
+The paper encodes replicated data with systematic ``(n, k)`` erasure codes —
+Reed-Solomon codes as implemented by HDFS-RAID.  This package provides real,
+byte-level implementations built from scratch:
+
+* :mod:`repro.erasure.galois` — GF(2^8) field arithmetic with log/antilog
+  tables, vectorised over numpy arrays.
+* :mod:`repro.erasure.matrix` — matrix algebra (multiply, invert) over the
+  field.
+* :mod:`repro.erasure.reed_solomon` — systematic Vandermonde-derived RS.
+* :mod:`repro.erasure.cauchy` — systematic Cauchy Reed-Solomon.
+* :mod:`repro.erasure.codec` — the ``ErasureCodec`` interface plus stripe
+  helpers (encode k data blocks -> n-k parity blocks; reconstruct from any k).
+"""
+
+from repro.erasure.codec import (
+    CauchyRSCodec,
+    CodeParams,
+    ErasureCodec,
+    ReedSolomonCodec,
+    make_codec,
+)
+from repro.erasure.galois import GF256
+
+__all__ = [
+    "CauchyRSCodec",
+    "CodeParams",
+    "ErasureCodec",
+    "GF256",
+    "ReedSolomonCodec",
+    "make_codec",
+]

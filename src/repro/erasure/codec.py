@@ -1,0 +1,236 @@
+"""High-level erasure codec interface used by the rest of the library.
+
+``CodeParams`` captures the ``(n, k)`` parameters that appear everywhere in
+the paper; ``ErasureCodec`` wraps the matrix machinery behind an API phrased
+in terms of stripes of byte blocks, padding uneven inputs the way HDFS-RAID
+zero-pads the tail of a file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.erasure import cauchy, reed_solomon
+
+
+@dataclass(frozen=True)
+class CodeParams:
+    """Parameters of an ``(n, k)`` systematic erasure code.
+
+    Attributes:
+        n: Total blocks per stripe (data + parity).
+        k: Data blocks per stripe; any ``k`` of the ``n`` blocks reconstruct
+            the stripe.
+    """
+
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.k < self.n:
+            raise ValueError(f"require 0 < k < n, got n={self.n}, k={self.k}")
+        if self.n > 256:
+            raise ValueError("codes over GF(2^8) support at most n = 256")
+
+    @property
+    def num_parity(self) -> int:
+        """Number of parity blocks per stripe, ``n - k``."""
+        return self.n - self.k
+
+    @property
+    def storage_overhead(self) -> float:
+        """Redundancy factor ``n / k`` (e.g. 1.4 for (14, 10))."""
+        return self.n / self.k
+
+    @property
+    def node_failures_tolerated(self) -> int:
+        """Node failures survivable with one block per node: ``n - k``."""
+        return self.n - self.k
+
+    def rack_failures_tolerated(self, c: int) -> int:
+        """Rack failures survivable with at most ``c`` stripe blocks per rack.
+
+        Section III-B: a stripe tolerates ``floor((n - k) / c)`` rack
+        failures.
+        """
+        if c <= 0:
+            raise ValueError("c must be positive")
+        return (self.n - self.k) // c
+
+    def min_racks(self, c: int) -> int:
+        """Minimum racks needed to place a stripe: ``ceil(n / c)``."""
+        if c <= 0:
+            raise ValueError("c must be positive")
+        return -(-self.n // c)
+
+    def __str__(self) -> str:
+        return f"({self.n},{self.k})"
+
+
+class ErasureCodec:
+    """A systematic (n, k) erasure codec operating on lists of byte blocks.
+
+    Subclasses supply the parity matrix; this base class handles padding,
+    shard stacking, and the encode/decode/repair workflows.
+
+    Args:
+        params: The ``(n, k)`` code parameters.
+    """
+
+    #: Human-readable scheme name, overridden by subclasses.
+    scheme = "abstract"
+
+    def __init__(self, params: CodeParams) -> None:
+        self.params = params
+        self._generator = self._build_generator(params.n, params.k)
+
+    # -- hooks ----------------------------------------------------------
+    def _build_generator(self, n: int, k: int) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- public API -----------------------------------------------------
+    def encode(self, data_blocks: Sequence[bytes]) -> List[bytes]:
+        """Compute the stripe's parity blocks.
+
+        Args:
+            data_blocks: Exactly ``k`` byte strings.  Shorter blocks are
+                zero-padded to the longest block's length, mirroring
+                HDFS-RAID's treatment of a file's final partial block.
+
+        Returns:
+            ``n - k`` parity blocks, each as long as the longest data block.
+        """
+        shards = self._stack(data_blocks, expected=self.params.k)
+        parity_rows = self._generator[self.params.k :, :]
+        parity = self._apply(parity_rows, shards)
+        return [row.tobytes() for row in parity]
+
+    def decode(
+        self, available: Dict[int, bytes], original_lengths: Optional[Sequence[int]] = None
+    ) -> List[bytes]:
+        """Reconstruct all ``k`` data blocks from any ``k`` surviving blocks.
+
+        Args:
+            available: Mapping stripe-index -> block bytes; must contain at
+                least ``k`` entries.  Indices ``< k`` are data blocks.
+            original_lengths: Optional true lengths of the data blocks so the
+                zero padding can be stripped.
+
+        Returns:
+            The ``k`` data blocks in stripe order.
+        """
+        if len(available) < self.params.k:
+            raise ValueError(
+                f"need at least k={self.params.k} blocks, got {len(available)}"
+            )
+        chosen = sorted(available)[: self.params.k]
+        shards = self._stack([available[i] for i in chosen], expected=self.params.k)
+        from repro.erasure import matrix as gfm
+
+        decode_matrix = gfm.invert(self._generator[chosen, :])
+        data = self._apply(decode_matrix, shards)
+        blocks = [row.tobytes() for row in data]
+        if original_lengths is not None:
+            if len(original_lengths) != self.params.k:
+                raise ValueError("original_lengths must have k entries")
+            blocks = [b[:length] for b, length in zip(blocks, original_lengths)]
+        return blocks
+
+    def reconstruct(self, target_index: int, available: Dict[int, bytes]) -> bytes:
+        """Repair one lost block (data or parity) from any ``k`` survivors."""
+        if not 0 <= target_index < self.params.n:
+            raise ValueError(f"target index {target_index} outside stripe")
+        data = self.decode(available)
+        if target_index < self.params.k:
+            return data[target_index]
+        shards = self._stack(data, expected=self.params.k)
+        row = self._generator[target_index : target_index + 1, :]
+        return self._apply(row, shards)[0].tobytes()
+
+    def verify(self, blocks: Dict[int, bytes]) -> bool:
+        """Check that a full stripe is internally consistent.
+
+        Args:
+            blocks: All ``n`` blocks of a stripe, keyed by stripe index.
+
+        Returns:
+            True iff re-encoding the data blocks reproduces every parity
+            block (the RaidNode's periodic corruption check).
+        """
+        if sorted(blocks) != list(range(self.params.n)):
+            raise ValueError("verify requires all n blocks of the stripe")
+        expected = self.encode([blocks[i] for i in range(self.params.k)])
+        length = max(len(b) for b in blocks.values())
+        for offset, parity in enumerate(expected):
+            actual = blocks[self.params.k + offset]
+            if actual.ljust(length, b"\0") != parity:
+                return False
+        return True
+
+    # -- helpers --------------------------------------------------------
+    @staticmethod
+    def _stack(blocks: Sequence[bytes], expected: int) -> np.ndarray:
+        if len(blocks) != expected:
+            raise ValueError(f"expected {expected} blocks, got {len(blocks)}")
+        if any(len(b) == 0 for b in blocks):
+            raise ValueError("blocks must be non-empty")
+        length = max(len(b) for b in blocks)
+        out = np.zeros((expected, length), dtype=np.uint8)
+        for i, b in enumerate(blocks):
+            out[i, : len(b)] = np.frombuffer(bytes(b), dtype=np.uint8)
+        return out
+
+    @staticmethod
+    def _apply(coeffs: np.ndarray, shards: np.ndarray) -> np.ndarray:
+        from repro.erasure import matrix as gfm
+
+        return gfm.apply_to_shards(coeffs, shards)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(params={self.params})"
+
+
+class ReedSolomonCodec(ErasureCodec):
+    """Systematic Vandermonde Reed-Solomon codec (HDFS-RAID's default)."""
+
+    scheme = "reed-solomon"
+
+    def _build_generator(self, n: int, k: int) -> np.ndarray:
+        return reed_solomon.build_generator_matrix(n, k)
+
+
+class CauchyRSCodec(ErasureCodec):
+    """Systematic Cauchy Reed-Solomon codec."""
+
+    scheme = "cauchy-rs"
+
+    def _build_generator(self, n: int, k: int) -> np.ndarray:
+        return cauchy.build_generator_matrix(n, k)
+
+
+_SCHEMES = {
+    ReedSolomonCodec.scheme: ReedSolomonCodec,
+    CauchyRSCodec.scheme: CauchyRSCodec,
+    "rs": ReedSolomonCodec,
+    "cauchy": CauchyRSCodec,
+}
+
+
+def make_codec(n: int, k: int, scheme: str = "reed-solomon") -> ErasureCodec:
+    """Factory for codecs by scheme name.
+
+    Args:
+        n: Total blocks per stripe.
+        k: Data blocks per stripe.
+        scheme: ``"reed-solomon"``/``"rs"`` or ``"cauchy-rs"``/``"cauchy"``.
+    """
+    try:
+        cls = _SCHEMES[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; choose from {sorted(_SCHEMES)}"
+        ) from None
+    return cls(CodeParams(n, k))

@@ -1,0 +1,159 @@
+"""Matrix algebra over GF(2^8).
+
+Matrices are 2-D numpy ``uint8`` arrays interpreted element-wise as field
+elements.  Provides the multiply / invert / solve primitives that the
+Reed-Solomon and Cauchy codecs are built on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.erasure.galois import GF256
+
+
+class SingularMatrixError(ValueError):
+    """Raised when inverting a matrix that has no inverse over GF(2^8)."""
+
+
+def identity(size: int) -> np.ndarray:
+    """The ``size x size`` identity matrix."""
+    return np.eye(size, dtype=np.uint8)
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2^8).
+
+    Args:
+        a: ``(r, m)`` uint8 matrix.
+        b: ``(m, c)`` uint8 matrix.
+
+    Returns:
+        ``(r, c)`` uint8 matrix ``a @ b`` with field arithmetic.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} x {b.shape}")
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for i in range(a.shape[0]):
+        row = out[i]
+        for j in range(a.shape[1]):
+            GF256.addmul_array(row, int(a[i, j]), b[j])
+    return out
+
+
+def matvec(a: np.ndarray, x: Sequence[int]) -> np.ndarray:
+    """Matrix-vector product over GF(2^8)."""
+    column = np.asarray(x, dtype=np.uint8).reshape(-1, 1)
+    return matmul(a, column).reshape(-1)
+
+
+def apply_to_shards(coeffs: np.ndarray, shards: np.ndarray) -> np.ndarray:
+    """Apply a coefficient matrix to a stack of byte shards.
+
+    This is the workhorse of encoding/decoding: given ``m`` input shards of
+    ``L`` bytes each (an ``(m, L)`` uint8 array) and an ``(r, m)`` coefficient
+    matrix, produce ``r`` output shards.
+
+    Args:
+        coeffs: ``(r, m)`` coefficient matrix.
+        shards: ``(m, L)`` array, one row per input shard.
+
+    Returns:
+        ``(r, L)`` array, one row per output shard.
+    """
+    coeffs = np.asarray(coeffs, dtype=np.uint8)
+    shards = np.asarray(shards, dtype=np.uint8)
+    if shards.ndim != 2 or coeffs.ndim != 2 or coeffs.shape[1] != shards.shape[0]:
+        raise ValueError(
+            f"incompatible shapes: coeffs {coeffs.shape}, shards {shards.shape}"
+        )
+    out = np.zeros((coeffs.shape[0], shards.shape[1]), dtype=np.uint8)
+    for i in range(coeffs.shape[0]):
+        acc = out[i]
+        for j in range(coeffs.shape[1]):
+            GF256.addmul_array(acc, int(coeffs[i, j]), shards[j])
+    return out
+
+
+def invert(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(2^8) by Gauss-Jordan elimination.
+
+    Raises:
+        SingularMatrixError: If the matrix is singular.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"matrix must be square, got {matrix.shape}")
+    size = matrix.shape[0]
+    # Work in an augmented [M | I] matrix of Python ints for exactness.
+    work = np.concatenate([matrix.copy(), identity(size)], axis=1).astype(np.int32)
+
+    for col in range(size):
+        # Find a pivot at or below the diagonal.
+        pivot_row = next(
+            (r for r in range(col, size) if work[r, col] != 0), None
+        )
+        if pivot_row is None:
+            raise SingularMatrixError("matrix is singular over GF(2^8)")
+        if pivot_row != col:
+            work[[col, pivot_row]] = work[[pivot_row, col]]
+        # Normalise the pivot row.
+        pivot_inv = GF256.inv(int(work[col, col]))
+        for j in range(2 * size):
+            work[col, j] = GF256.mul(pivot_inv, int(work[col, j]))
+        # Eliminate the column from every other row.
+        for r in range(size):
+            if r == col or work[r, col] == 0:
+                continue
+            factor = int(work[r, col])
+            for j in range(2 * size):
+                work[r, j] ^= GF256.mul(factor, int(work[col, j]))
+
+    return work[:, size:].astype(np.uint8)
+
+
+def rank(matrix: np.ndarray) -> int:
+    """Rank of a matrix over GF(2^8) (row echelon elimination)."""
+    work = np.asarray(matrix, dtype=np.uint8).astype(np.int32).copy()
+    rows, cols = work.shape
+    rank_found = 0
+    for col in range(cols):
+        pivot_row = next(
+            (r for r in range(rank_found, rows) if work[r, col] != 0), None
+        )
+        if pivot_row is None:
+            continue
+        if pivot_row != rank_found:
+            work[[rank_found, pivot_row]] = work[[pivot_row, rank_found]]
+        pivot_inv = GF256.inv(int(work[rank_found, col]))
+        for j in range(cols):
+            work[rank_found, j] = GF256.mul(pivot_inv, int(work[rank_found, j]))
+        for r in range(rows):
+            if r == rank_found or work[r, col] == 0:
+                continue
+            factor = int(work[r, col])
+            for j in range(cols):
+                work[r, j] ^= GF256.mul(factor, int(work[rank_found, j]))
+        rank_found += 1
+        if rank_found == rows:
+            break
+    return rank_found
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """The ``rows x cols`` Vandermonde matrix ``V[i, j] = i ** j`` over GF(2^8).
+
+    Any ``cols`` distinct rows of a Vandermonde matrix are linearly
+    independent, which is the property RS coding relies on.
+    """
+    if rows > 256:
+        raise ValueError("at most 256 distinct evaluation points exist in GF(2^8)")
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = GF256.pow(i, j)
+    return out

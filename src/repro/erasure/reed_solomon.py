@@ -1,0 +1,118 @@
+"""Systematic Reed-Solomon coding over GF(2^8).
+
+Builds the generator matrix the way production RS libraries do: start from an
+``n x k`` Vandermonde matrix (any ``k`` rows independent), then transform it
+so the top ``k x k`` sub-matrix is the identity.  The row-space property is
+preserved by the transformation, so any ``k`` of the ``n`` encoded shards
+still suffice to reconstruct the data — and the first ``k`` shards *are* the
+data (systematic form), matching HDFS-RAID's behaviour of keeping the data
+blocks intact.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.erasure import matrix as gfm
+
+
+def build_generator_matrix(n: int, k: int) -> np.ndarray:
+    """The ``n x k`` systematic generator matrix for an (n, k) RS code.
+
+    The first ``k`` rows form the identity; the remaining ``n - k`` rows are
+    the parity coefficients.
+
+    Raises:
+        ValueError: If the parameters do not satisfy ``0 < k < n <= 256``.
+    """
+    if not 0 < k < n:
+        raise ValueError(f"require 0 < k < n, got n={n}, k={k}")
+    if n > 256:
+        raise ValueError("RS over GF(2^8) supports at most n = 256")
+    vander = gfm.vandermonde(n, k)
+    top_inverse = gfm.invert(vander[:k, :])
+    generator = gfm.matmul(vander, top_inverse)
+    # Guard against arithmetic mistakes: the top must now be the identity.
+    if not np.array_equal(generator[:k, :], gfm.identity(k)):
+        raise AssertionError("generator matrix is not systematic")
+    return generator
+
+
+def parity_matrix(n: int, k: int) -> np.ndarray:
+    """Just the ``(n - k) x k`` parity rows of the generator matrix."""
+    return build_generator_matrix(n, k)[k:, :]
+
+
+def encode(data_shards: np.ndarray, n: int, k: int) -> np.ndarray:
+    """Compute the ``n - k`` parity shards for ``k`` data shards.
+
+    Args:
+        data_shards: ``(k, L)`` uint8 array, one row per data block.
+        n: Total shards per stripe.
+        k: Data shards per stripe.
+
+    Returns:
+        ``(n - k, L)`` uint8 array of parity shards.
+    """
+    data_shards = np.asarray(data_shards, dtype=np.uint8)
+    if data_shards.ndim != 2 or data_shards.shape[0] != k:
+        raise ValueError(f"expected {k} data shards, got shape {data_shards.shape}")
+    return gfm.apply_to_shards(parity_matrix(n, k), data_shards)
+
+
+def decode(
+    available_shards: np.ndarray,
+    available_indices: Sequence[int],
+    n: int,
+    k: int,
+) -> np.ndarray:
+    """Reconstruct the ``k`` original data shards from any ``k`` survivors.
+
+    Args:
+        available_shards: ``(k, L)`` array of surviving shards (data or
+            parity), one row per shard.
+        available_indices: Stripe index (0..n-1) of each surviving shard;
+            indices < k are data shards, >= k parity shards.
+        n: Total shards per stripe.
+        k: Data shards per stripe.
+
+    Returns:
+        ``(k, L)`` array holding the original data shards in order.
+
+    Raises:
+        ValueError: If fewer/more than ``k`` distinct shard indices are given.
+    """
+    indices = list(available_indices)
+    if len(indices) != k or len(set(indices)) != k:
+        raise ValueError(f"need exactly k={k} distinct shard indices, got {indices}")
+    if not all(0 <= i < n for i in indices):
+        raise ValueError(f"shard indices must lie in [0, {n}), got {indices}")
+    available_shards = np.asarray(available_shards, dtype=np.uint8)
+    if available_shards.shape[0] != k:
+        raise ValueError(
+            f"expected {k} shard rows, got shape {available_shards.shape}"
+        )
+    generator = build_generator_matrix(n, k)
+    decode_matrix = gfm.invert(generator[indices, :])
+    return gfm.apply_to_shards(decode_matrix, available_shards)
+
+
+def reconstruct_shard(
+    target_index: int,
+    available_shards: np.ndarray,
+    available_indices: Sequence[int],
+    n: int,
+    k: int,
+) -> np.ndarray:
+    """Repair a single lost shard (data or parity) from any ``k`` survivors.
+
+    This is the degraded-read / recovery path discussed in Section III-D: the
+    repairing node downloads ``k`` blocks and re-derives the missing one.
+    """
+    data = decode(available_shards, available_indices, n, k)
+    if target_index < k:
+        return data[target_index].copy()
+    generator = build_generator_matrix(n, k)
+    return gfm.apply_to_shards(generator[target_index : target_index + 1, :], data)[0]

@@ -1,0 +1,101 @@
+"""Terminal charts: render figure-shaped results without matplotlib.
+
+The benchmark tables carry the numbers; these helpers make the *shapes*
+visible in a terminal — horizontal bars for grouped comparisons (the
+Figure 8 style) and a dot-matrix line plot for series (the Figure 12
+"stripes encoded over time" style).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+#: Glyphs assigned to series in plot order.
+_MARKERS = "ox+*#@%&"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label.
+
+    Args:
+        labels: Row labels.
+        values: Non-negative row values (bars scale to the maximum).
+        width: Maximum bar length in characters.
+        unit: Suffix printed after each value.
+
+    Example:
+        >>> print(bar_chart(["RR", "EAR"], [785, 1155], width=20))
+        RR  | ##############       785
+        EAR | #################### 1155
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        raise ValueError("nothing to chart")
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+    if width < 1:
+        raise ValueError("width must be positive")
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
+        lines.append(
+            f"{label.ljust(label_width)} | {bar.ljust(width)} "
+            f"{value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 15,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Dot-matrix line plot of one or more (x, y) series.
+
+    Each series gets a marker from ``o x + * ...``; a legend line maps
+    markers back to series names.  Axes are annotated with the data range.
+    """
+    if not series:
+        raise ValueError("nothing to chart")
+    if width < 2 or height < 2:
+        raise ValueError("chart must be at least 2x2")
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [x for x, __ in points]
+    ys = [y for __, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for __ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            col = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    top = f"{y_max:g} {y_label}"
+    bottom = f"{y_min:g}"
+    lines = [top]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append(bottom + " +" + "-" * (width - 1))
+    lines.append(f"  {x_min:g} .. {x_max:g} {x_label}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

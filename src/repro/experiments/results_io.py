@@ -1,0 +1,87 @@
+"""Result persistence: dump experiment outcomes to JSON and back.
+
+Experiment drivers return plain dataclasses; this module serialises them
+(and anything similarly simple — dataclasses, dicts, tuples, CodeParams)
+so benchmark runs can archive their numbers and downstream tooling can
+plot them without re-running the simulations.
+
+Example:
+    >>> from repro.experiments.results_io import dumps, loads
+    >>> loads(dumps({"gain": 0.7, "ratios": (1.6, 1.8)}))
+    {'gain': 0.7, 'ratios': [1.6, 1.8]}
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.erasure.codec import CodeParams
+
+#: Format marker written into every result file.
+SCHEMA_VERSION = 1
+
+
+def _encode(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        payload = {
+            field.name: _encode(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        payload["__type__"] = type(value).__name__
+        return payload
+    if isinstance(value, dict):
+        return {str(key): _encode(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot serialise {type(value).__name__}: {value!r}")
+
+
+def dumps(result: Any, indent: Optional[int] = None) -> str:
+    """Serialise a result object to a JSON string."""
+    return json.dumps(
+        {"schema": SCHEMA_VERSION, "result": _encode(result)}, indent=indent
+    )
+
+
+def loads(payload: str) -> Any:
+    """Parse a JSON string produced by :func:`dumps`.
+
+    Dataclasses come back as plain dicts carrying a ``__type__`` marker;
+    tuples come back as lists (JSON has no tuple type).
+
+    Raises:
+        ValueError: On schema mismatches or malformed payloads.
+    """
+    document = json.loads(payload)
+    if not isinstance(document, dict) or "result" not in document:
+        raise ValueError("not a repro results document")
+    if document.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema {document.get('schema')!r}; "
+            f"expected {SCHEMA_VERSION}"
+        )
+    return document["result"]
+
+
+def save(result: Any, path: Union[str, Path]) -> Path:
+    """Write a result object to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(dumps(result, indent=2))
+    return path
+
+
+def load(path: Union[str, Path]) -> Any:
+    """Read a result document written by :func:`save`."""
+    return loads(Path(path).read_text())
+
+
+def code_params_from(payload: Dict[str, Any]) -> CodeParams:
+    """Rehydrate a :class:`CodeParams` from its serialised dict."""
+    if payload.get("__type__") != "CodeParams":
+        raise ValueError("payload is not a serialised CodeParams")
+    return CodeParams(payload["n"], payload["k"])

@@ -1,0 +1,140 @@
+"""Summary statistics for experiment results.
+
+The paper presents Experiment B.2 as boxplots — "minimum, lower quartile,
+median, upper quartile, maximum, and any outlier over 30 runs".  This
+module provides that five-number summary (with Tukey outlier detection)
+plus simple mean/stdev/confidence-interval helpers, all dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean.
+
+    Raises:
+        ValueError: On empty input.
+    """
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n - 1 denominator; 0 for single values)."""
+    if not values:
+        raise ValueError("stdev of empty sequence")
+    if len(values) == 1:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (len(values) - 1))
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile (the common 'type 7' definition)."""
+    if not values:
+        raise ValueError("quantile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must lie in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+@dataclass(frozen=True)
+class FiveNumberSummary:
+    """The boxplot statistics of Figure 13.
+
+    Attributes:
+        minimum / maximum: Whisker ends (extremes of the non-outlier data).
+        q1 / median / q3: The box.
+        outliers: Points beyond 1.5 IQR from the box (Tukey's rule).
+    """
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    outliers: Tuple[float, ...] = ()
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range."""
+        return self.q3 - self.q1
+
+    def __str__(self) -> str:
+        body = (
+            f"min={self.minimum:.3g} q1={self.q1:.3g} "
+            f"med={self.median:.3g} q3={self.q3:.3g} max={self.maximum:.3g}"
+        )
+        if self.outliers:
+            body += f" outliers={[f'{o:.3g}' for o in self.outliers]}"
+        return body
+
+
+def five_number_summary(values: Sequence[float]) -> FiveNumberSummary:
+    """Boxplot statistics with Tukey outlier detection.
+
+    Raises:
+        ValueError: On empty input.
+    """
+    if not values:
+        raise ValueError("summary of empty sequence")
+    q1 = quantile(values, 0.25)
+    median = quantile(values, 0.5)
+    q3 = quantile(values, 0.75)
+    fence = 1.5 * (q3 - q1)
+    inliers = [v for v in values if q1 - fence <= v <= q3 + fence]
+    outliers = tuple(sorted(v for v in values if v not in inliers))
+    # On tiny samples an interpolated quartile can lie beyond every inlier
+    # (it interpolates towards an outlier); clamp the whiskers so the
+    # boxplot ordering min <= q1 <= median <= q3 <= max always holds.
+    return FiveNumberSummary(
+        minimum=min(min(inliers), q1),
+        q1=q1,
+        median=median,
+        q3=q3,
+        maximum=max(max(inliers), q3),
+        outliers=outliers,
+    )
+
+
+#: Two-sided 95% t critical values by degrees of freedom (1..30);
+#: falls back to the normal 1.96 beyond the table.
+_T_95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def confidence_interval_95(values: Sequence[float]) -> Tuple[float, float]:
+    """Two-sided 95% confidence interval for the mean (t-distribution).
+
+    Returns:
+        ``(low, high)``; degenerate (mean, mean) for a single value.
+
+    Raises:
+        ValueError: On empty input.
+    """
+    if not values:
+        raise ValueError("confidence interval of empty sequence")
+    m = mean(values)
+    if len(values) == 1:
+        return (m, m)
+    df = len(values) - 1
+    t = _T_95[df - 1] if df <= len(_T_95) else 1.96
+    half = t * stdev(values) / math.sqrt(len(values))
+    return (m - half, m + half)

@@ -1,0 +1,169 @@
+"""The per-stripe encoding operation as a simulation process.
+
+Section II-A's three steps, timed against the network/disk model:
+
+1. the encoder downloads one replica of each of the ``k`` data blocks (in
+   parallel; a copy on the encoder itself is a local disk read);
+2. it computes the ``n - k`` parity blocks (optional CPU cost) and uploads
+   them to their planned nodes (in parallel);
+3. it keeps one replica of each data block and deletes the rest (metadata
+   only — deletion moves no data).
+
+The placement decisions come from an
+:class:`~repro.core.parity.EncodingPlanner`, so the same process serves EAR
+(core-rack encoder, matched retention) and RR (random encoder, best-effort
+retention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.cluster.topology import NodeId
+from repro.core.parity import EncodingPlan, EncodingPlanner, download_plan
+from repro.core.stripe import Stripe
+from repro.hdfs.namenode import NameNode
+from repro.sim.engine import Simulator
+from repro.sim.metrics import ThroughputMeter, TimeSeries
+from repro.sim.netsim import Network
+
+
+@dataclass(frozen=True)
+class EncodedStripe:
+    """Timing record of one completed stripe encoding."""
+
+    stripe_id: int
+    encoder_node: NodeId
+    start_time: float
+    finish_time: float
+    cross_rack_downloads: int
+    cross_rack_uploads: int
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds the stripe's encoding took."""
+        return self.finish_time - self.start_time
+
+
+class StripeEncoder:
+    """Runs the encoding operation for stripes.
+
+    Args:
+        sim: Simulation kernel.
+        network: Link/disk model.
+        namenode: Metadata server whose block store is updated in step 3.
+        planner: Retention/parity planner matching the placement policy.
+        compute_bandwidth: Encoder CPU throughput in bytes/second for the
+            Reed-Solomon computation; ``None`` makes computation free (the
+            paper treats the network as the only bottleneck).
+        throughput: Optional meter fed with each stripe's data volume.
+        timeline: Optional series receiving stripe completion times
+            (Figure 12's "encoded stripes vs time").
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        namenode: NameNode,
+        planner: EncodingPlanner,
+        compute_bandwidth: Optional[float] = None,
+        throughput: Optional[ThroughputMeter] = None,
+        timeline: Optional[TimeSeries] = None,
+    ) -> None:
+        if compute_bandwidth is not None and compute_bandwidth <= 0:
+            raise ValueError("compute bandwidth must be positive")
+        self.sim = sim
+        self.network = network
+        self.namenode = namenode
+        self.planner = planner
+        self.compute_bandwidth = compute_bandwidth
+        self.throughput = throughput
+        self.timeline = timeline
+        self.records: List[EncodedStripe] = []
+
+    # ------------------------------------------------------------------
+    def encode_stripe(
+        self, stripe: Stripe, encoder_node: Optional[NodeId] = None
+    ) -> Generator:
+        """Encode one sealed stripe (generator; run inside a process).
+
+        Args:
+            stripe: A sealed stripe from the pre-encoding store.
+            encoder_node: Node running the work; the planner chooses when
+                omitted (random core-rack node for EAR, random node for RR).
+
+        Returns:
+            The :class:`EncodedStripe` record (generator return value).
+        """
+        start = self.sim.now
+        if encoder_node is None:
+            encoder_node = self.planner.pick_encoder_node(stripe)
+        plan = self.planner.plan(stripe, encoder_node=encoder_node)
+        store = self.namenode.block_store
+
+        # Step 1: parallel downloads of the k data blocks.
+        sources = download_plan(
+            self.namenode.topology, store, stripe, encoder_node
+        )
+        downloads = []
+        data_bytes = 0
+        for block_id, source in sources.items():
+            size = store.block(block_id).size
+            data_bytes += size
+            downloads.append(
+                self.sim.process(
+                    self.network.transfer(
+                        source, encoder_node, size, write_disk=False
+                    )
+                )
+            )
+        if downloads:
+            yield self.sim.all_of(downloads)
+
+        # Step 2: compute parity, then parallel uploads.
+        if self.compute_bandwidth is not None:
+            yield self.sim.timeout(data_bytes / self.compute_bandwidth)
+        uploads = []
+        for node_id in plan.parity_nodes:
+            uploads.append(
+                self.sim.process(
+                    self.network.transfer(
+                        encoder_node,
+                        node_id,
+                        self.namenode.block_size,
+                        read_disk=False,
+                    )
+                )
+            )
+        if uploads:
+            yield self.sim.all_of(uploads)
+
+        # Step 3: retain one replica per block, delete the rest (metadata).
+        self.namenode.record_encoding(stripe, plan)
+
+        record = EncodedStripe(
+            stripe_id=stripe.stripe_id,
+            encoder_node=encoder_node,
+            start_time=start,
+            finish_time=self.sim.now,
+            cross_rack_downloads=plan.cross_rack_downloads,
+            cross_rack_uploads=plan.cross_rack_uploads,
+        )
+        self.records.append(record)
+        if self.throughput is not None:
+            self.throughput.record(self.sim.now, data_bytes)
+        if self.timeline is not None:
+            self.timeline.record(self.sim.now, record.stripe_id)
+        return record
+
+    def encode_stripes(
+        self, stripes: List[Stripe], encoder_node: Optional[NodeId] = None
+    ) -> Generator:
+        """Encode several stripes back to back (one map task's work)."""
+        records = []
+        for stripe in stripes:
+            record = yield from self.encode_stripe(stripe, encoder_node)
+            records.append(record)
+        return records

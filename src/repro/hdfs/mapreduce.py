@@ -1,0 +1,193 @@
+"""MapReduce control path: JobTracker, TaskTrackers, slots, locality.
+
+Models the scheduling behaviour the paper relies on (Section IV):
+
+* every DataNode runs a TaskTracker with a fixed number of map slots;
+* the JobTracker dispatches queued tasks to free slots, honouring each
+  task's *preferred nodes* (MapReduce locality);
+* jobs flagged as *encoding jobs* are pinned: their tasks run **only** on
+  preferred nodes (the paper's third HDFS modification, which stops the
+  JobTracker from pushing an encode map outside the core rack).
+
+Task bodies are simulation generators parameterised by the node they were
+scheduled on, so the same machinery runs encoding work, SWIM map tasks, and
+shuffle/reduce work.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.cluster.topology import ClusterTopology, NodeId
+from repro.sim.engine import Event, Simulator
+
+#: A task body: given the node the task landed on, yield simulation events.
+TaskBody = Callable[[NodeId], Generator]
+
+
+@dataclass
+class MapTask:
+    """One schedulable unit of work.
+
+    Attributes:
+        task_id: Identifier unique within the job.
+        work: The task body, invoked with the scheduled node.
+        preferred_nodes: Locality hints, most preferred first.
+        restrict_to_preferred: When True the task may *only* run on a
+            preferred node (set for encoding jobs).
+    """
+
+    task_id: int
+    work: TaskBody
+    preferred_nodes: Tuple[NodeId, ...] = ()
+    restrict_to_preferred: bool = False
+
+    def __post_init__(self) -> None:
+        if self.restrict_to_preferred and not self.preferred_nodes:
+            raise ValueError("a restricted task needs preferred nodes")
+
+
+@dataclass
+class MapReduceJob:
+    """A bag of tasks submitted together.
+
+    Attributes:
+        job_id: Unique identifier.
+        tasks: The job's tasks.
+        is_encoding_job: The paper's Boolean flag: encoding jobs schedule
+            tasks only onto their preferred (core-rack) nodes.
+    """
+
+    job_id: int
+    tasks: List[MapTask]
+    is_encoding_job: bool = False
+
+    def __post_init__(self) -> None:
+        if self.is_encoding_job:
+            for task in self.tasks:
+                task.restrict_to_preferred = True
+
+
+class TaskTracker:
+    """Per-node task executor with a fixed slot count."""
+
+    def __init__(self, node_id: NodeId, slots: int) -> None:
+        if slots < 1:
+            raise ValueError("a TaskTracker needs at least one slot")
+        self.node_id = node_id
+        self.slots = slots
+        self.busy = 0
+
+    @property
+    def free_slots(self) -> int:
+        """Slots available right now."""
+        return self.slots - self.busy
+
+
+class JobTracker:
+    """Dispatches job tasks onto TaskTracker slots.
+
+    Args:
+        sim: Simulation kernel.
+        topology: Cluster layout (one TaskTracker per node).
+        slots_per_node: Map slots per TaskTracker (the paper's Experiment
+            A.3 uses 4).
+        rng: Random source for tie-breaking among equally good nodes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: ClusterTopology,
+        slots_per_node: int = 4,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.rng = rng if rng is not None else random.Random()
+        self.trackers: Dict[NodeId, TaskTracker] = {
+            node_id: TaskTracker(node_id, slots_per_node)
+            for node_id in topology.node_ids()
+        }
+        self._pending: List[Tuple[MapTask, Event]] = []
+        self._job_ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def new_job_id(self) -> int:
+        """Allocate a job id."""
+        return next(self._job_ids)
+
+    def run_job(self, job: MapReduceJob) -> Generator:
+        """Submit a job and wait for every task to finish (generator).
+
+        Returns:
+            List of per-task results, in task order (generator return
+            value).
+        """
+        completions: List[Event] = []
+        for task in job.tasks:
+            done = self.sim.event()
+            completions.append(done)
+            self._pending.append((task, done))
+        self._dispatch()
+        results = yield self.sim.all_of(completions)
+        return results
+
+    def submit(self, job: MapReduceJob) -> Event:
+        """Submit without waiting; returns the job's completion event."""
+        return self.sim.process(self.run_job(job))
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        scheduled_any = True
+        while scheduled_any:
+            scheduled_any = False
+            for index, (task, done) in enumerate(self._pending):
+                node = self._pick_node(task)
+                if node is None:
+                    continue
+                del self._pending[index]
+                self._start(task, node, done)
+                scheduled_any = True
+                break  # restart the scan: slot state changed
+
+    def _pick_node(self, task: MapTask) -> Optional[NodeId]:
+        for node in task.preferred_nodes:
+            if self.trackers[node].free_slots > 0:
+                return node
+        if task.restrict_to_preferred:
+            return None
+        free = [
+            tracker.node_id
+            for tracker in self.trackers.values()
+            if tracker.free_slots > 0
+        ]
+        if not free:
+            return None
+        most = max(self.trackers[n].free_slots for n in free)
+        return self.rng.choice(
+            [n for n in free if self.trackers[n].free_slots == most]
+        )
+
+    def _start(self, task: MapTask, node: NodeId, done: Event) -> None:
+        self.trackers[node].busy += 1
+        self.sim.process(self._run(task, node, done))
+
+    def _run(self, task: MapTask, node: NodeId, done: Event) -> Generator:
+        try:
+            result = yield from task.work(node)
+        except Exception as exc:  # a crashed task fails its completion event
+            self.trackers[node].busy -= 1
+            self._dispatch()
+            done.fail(exc)
+            return
+        self.trackers[node].busy -= 1
+        self._dispatch()
+        done.succeed(result)

@@ -1,0 +1,349 @@
+"""A generator-based discrete-event simulation kernel.
+
+Processes are Python generators that ``yield`` events; the simulator resumes
+a process when the yielded event triggers, sending the event's value back
+into the generator.  The design follows the classic process-interaction
+style of CSIM/SimPy, implemented from scratch:
+
+Example:
+    >>> sim = Simulator()
+    >>> log = []
+    >>> def worker():
+    ...     yield sim.timeout(2.0)
+    ...     log.append(sim.now)
+    >>> _ = sim.process(worker())
+    >>> sim.run()
+    >>> log
+    [2.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double triggers, yielding non-events, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    Attributes:
+        cause: Arbitrary payload describing why the interrupt happened.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    Events move through three states: *pending* (just created), *triggered*
+    (``succeed``/``fail`` called, scheduled on the event queue), and
+    *processed* (callbacks have run).  Yielding a processed or triggered
+    event resumes the process immediately (at the current simulation time).
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self.value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+        #: Set True to acknowledge a failure nobody waits on (suppresses the
+        #: kernel's unhandled-failure propagation for this event).
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once succeed() or fail() has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def failed(self) -> bool:
+        """True when the event carries an exception instead of a value."""
+        return self._exception is not None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional value."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self.value = value
+        self.sim._schedule(0.0, self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception; waiters see it raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.sim._schedule(0.0, self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed."""
+        if self._processed:
+            # Late subscription: run on the next queue drain at current time.
+            late = Event(self.sim)
+            late.callbacks.append(lambda __: callback(self))
+            late.succeed()
+        else:
+            self.callbacks.append(callback)
+
+    def _process(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        if self._exception is not None and not callbacks and not self.defused:
+            # Nobody is waiting on this failure: surface it instead of
+            # silently dropping a crashed process on the floor.
+            raise self._exception
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        super().__init__(sim)
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        self._triggered = True
+        self.value = value
+        sim._schedule(delay, self)
+
+
+class Condition(Event):
+    """Triggers when all of its child events have been processed.
+
+    The value is a list of the children's values, in the order given.
+    A failing child fails the condition immediately.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self._children:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event.failed:
+            self.fail(event._exception)  # noqa: SLF001 - kernel internal
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([child.value for child in self._children])
+
+
+class AnyOf(Event):
+    """Triggers when the first of its child events is processed."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        children = list(events)
+        if not children:
+            raise SimulationError("AnyOf requires at least one event")
+        for event in children:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event.failed:
+            self.fail(event._exception)  # noqa: SLF001 - kernel internal
+        else:
+            self.succeed(event.value)
+
+
+class Process(Event):
+    """A running generator; also an event that triggers when it returns.
+
+    The process's value is the generator's return value.  An uncaught
+    exception inside the generator fails the process event (and propagates
+    to ``Simulator.run`` if nothing waits on it).
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError("process() requires a generator")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off on the next queue drain at the current time.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            return
+        poke = Event(self.sim)
+        poke.callbacks.append(
+            lambda __: self._resume_with_exception(Interrupt(cause))
+        )
+        poke.succeed()
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Optional[Event]) -> None:
+        if self._triggered:
+            return
+        if event is not None and event is not self._waiting_on and self._waiting_on is not None:
+            return  # stale wake-up after an interrupt redirected the process
+        self._waiting_on = None
+        try:
+            if event is not None and event.failed:
+                target = self._generator.throw(event._exception)  # noqa: SLF001
+            else:
+                target = self._generator.send(event.value if event else None)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            raise SimulationError(
+                "process let an Interrupt escape; catch it or terminate"
+            )
+        except Exception as exc:  # the process crashed
+            self.fail(exc)
+            return
+        self._expect(target)
+
+    def _resume_with_exception(self, exc: BaseException) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as escaped:
+            self.fail(escaped)
+            return
+        except Exception as crashed:
+            self.fail(crashed)
+            return
+        self._expect(target)
+
+    def _expect(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}; processes must yield events"
+            )
+        if target.sim is not self.sim:
+            raise SimulationError("event belongs to a different simulator")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """The event queue and clock.
+
+    Example:
+        >>> sim = Simulator()
+        >>> def pinger(out):
+        ...     for __ in range(3):
+        ...         yield sim.timeout(1.0)
+        ...         out.append(sim.now)
+        >>> times = []
+        >>> _ = sim.process(pinger(times))
+        >>> sim.run()
+        >>> times
+        [1.0, 2.0, 3.0]
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List = []
+        self._seq = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time, in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event triggering ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a process; returns its completion event."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        """An event triggering once every given event has triggered."""
+        return Condition(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event triggering when the first given event triggers."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Drain the event queue, optionally stopping at time ``until``.
+
+        Events scheduled exactly at ``until`` still run; the clock never
+        exceeds ``until`` when it is given.
+        """
+        while self._heap:
+            time, __, event = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return
+            heapq.heappop(self._heap)
+            self._now = time
+            event._process()  # noqa: SLF001 - kernel internal
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def step(self) -> bool:
+        """Process a single event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time, __, event = heapq.heappop(self._heap)
+        self._now = time
+        event._process()  # noqa: SLF001 - kernel internal
+        return True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled event, or ``None`` when idle."""
+        return self._heap[0][0] if self._heap else None
+
+    # ------------------------------------------------------------------
+    def _schedule(self, delay: float, event: Event) -> None:
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))

@@ -1,0 +1,158 @@
+"""Measurement collectors for simulation experiments.
+
+Small, dependency-free statistics helpers used by every experiment driver:
+response-time distributions, throughput meters, time series (for the
+"encoded stripes vs time" plots), and plain counters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class Counter:
+    """A set of named additive counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1) -> None:
+        """Increment ``name`` by ``amount``."""
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0 when never incremented)."""
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """A snapshot of all counters."""
+        return dict(self._counts)
+
+
+class ResponseTimeStats:
+    """Collects request latencies and summarises them."""
+
+    def __init__(self) -> None:
+        self._samples: List[Tuple[float, float]] = []  # (start_time, latency)
+
+    def record(self, start_time: float, latency: float) -> None:
+        """Record one request's start time and latency."""
+        if latency < 0:
+            raise ValueError("latency cannot be negative")
+        self._samples.append((start_time, latency))
+
+    @property
+    def count(self) -> int:
+        """Number of recorded requests."""
+        return len(self._samples)
+
+    def latencies(self) -> List[float]:
+        """All recorded latencies, in arrival order."""
+        return [latency for __, latency in self._samples]
+
+    def mean(self) -> float:
+        """Mean latency.
+
+        Raises:
+            ValueError: With no samples.
+        """
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        return sum(self.latencies()) / len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile latency (nearest-rank)."""
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must lie in [0, 100]")
+        ordered = sorted(self.latencies())
+        rank = max(0, math.ceil(p / 100 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def mean_in_window(self, start: float, end: float) -> Optional[float]:
+        """Mean latency of requests that *started* inside [start, end)."""
+        window = [lat for t, lat in self._samples if start <= t < end]
+        if not window:
+            return None
+        return sum(window) / len(window)
+
+    def series(self) -> List[Tuple[float, float]]:
+        """(start_time, latency) pairs in arrival order (Figure 9 style)."""
+        return list(self._samples)
+
+
+class ThroughputMeter:
+    """Tracks completed work volume over a measured interval."""
+
+    def __init__(self) -> None:
+        self._bytes = 0.0
+        self._start: Optional[float] = None
+        self._end: Optional[float] = None
+
+    def start(self, now: float) -> None:
+        """Mark the start of the measured interval."""
+        self._start = now
+
+    def record(self, now: float, size: float) -> None:
+        """Account ``size`` bytes completed at time ``now``."""
+        if size < 0:
+            raise ValueError("size cannot be negative")
+        self._bytes += size
+        self._end = now
+
+    @property
+    def total_bytes(self) -> float:
+        """Bytes accounted so far."""
+        return self._bytes
+
+    def elapsed(self) -> float:
+        """Seconds between start and the last completion."""
+        if self._start is None or self._end is None:
+            raise ValueError("meter never started or never recorded")
+        return max(self._end - self._start, 0.0)
+
+    def throughput(self) -> float:
+        """Mean throughput in bytes/second over the measured interval.
+
+        Raises:
+            ValueError: If no time elapsed (division by zero).
+        """
+        elapsed = self.elapsed()
+        if elapsed == 0:
+            raise ValueError("no elapsed time; cannot compute throughput")
+        return self._bytes / elapsed
+
+    def throughput_mb_s(self) -> float:
+        """Throughput in MB/s (the unit of Figure 8)."""
+        return self.throughput() / 1e6
+
+
+@dataclass
+class TimeSeries:
+    """An event-time series, e.g. cumulative encoded stripes (Figure 12)."""
+
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        """Append one (time, value) observation."""
+        self.points.append((time, value))
+
+    def cumulative_count(self) -> List[Tuple[float, int]]:
+        """(time, running count) pairs, one per recorded observation."""
+        return [(t, i + 1) for i, (t, __) in enumerate(sorted(self.points))]
+
+    def value_at(self, time: float) -> float:
+        """Last recorded value at or before ``time`` (0 when none)."""
+        best = 0.0
+        for t, v in sorted(self.points):
+            if t <= time:
+                best = v
+            else:
+                break
+        return best
+
+    def __len__(self) -> int:
+        return len(self.points)

@@ -1,0 +1,281 @@
+"""The Topology module: link and disk resources, and timed transfers.
+
+Follows the paper's simulator design (Section V-B): "the Topology module
+simulates the CFS topology and manages both cross-rack and intra-rack link
+resources.  To complete a data transmission request, the Topology module
+holds the corresponding resources for some duration of the request subject
+to the specified link bandwidth."
+
+Resource model:
+
+* every node has a full-duplex NIC — an egress link and an ingress link,
+  each at the topology's intra-rack bandwidth (derate-able per node, which
+  is how the Iperf UDP cross-traffic of Experiment A.1 is modelled);
+* every rack has an uplink and a downlink to the network core, each at the
+  topology's cross-rack bandwidth; the core itself is non-blocking;
+* optionally every node has a single disk with separate read and write
+  bandwidths.  The paper's testbed experiments are disk-aware (the EAR
+  encoder reads its k blocks locally, so its disk is the binding resource),
+  while the paper's large-scale simulator — like ours in that mode — models
+  links only.
+
+A transfer atomically holds every resource along its path (source disk,
+source egress, rack uplink, rack downlink, destination ingress, destination
+disk) for ``size / bottleneck_bandwidth`` seconds, where the bottleneck is
+the slowest held resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.cluster.topology import ClusterTopology, NodeId, RackId
+from repro.sim.engine import Simulator
+from repro.sim.resources import MultiResource
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Per-node disk characteristics (bytes/second).
+
+    The defaults approximate the testbed's Seagate ST1000DM003 under
+    sequential HDFS I/O (with some page-cache help on recently written
+    blocks): reads faster than the 1 Gb/s network, writes a bit slower, so
+    the network stays the per-flow bottleneck (as the paper validated)
+    while a node reading many blocks locally is disk-bound.
+    """
+
+    read_bandwidth: float = 200e6
+    write_bandwidth: float = 150e6
+
+    def __post_init__(self) -> None:
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise ValueError("disk bandwidths must be positive")
+
+
+@dataclass
+class TransferStats:
+    """Aggregate traffic accounting maintained by the network."""
+
+    transfers: int = 0
+    bytes_total: float = 0.0
+    cross_rack_transfers: int = 0
+    bytes_cross_rack: float = 0.0
+
+    def record(self, size: float, cross_rack: bool) -> None:
+        """Account one completed transfer."""
+        self.transfers += 1
+        self.bytes_total += size
+        if cross_rack:
+            self.cross_rack_transfers += 1
+            self.bytes_cross_rack += size
+
+
+class Network:
+    """Timed data transfers over a cluster topology.
+
+    Args:
+        sim: The simulation kernel.
+        topology: Rack/node layout and default bandwidths.
+        disk: When given, transfers also hold source/destination disks and
+            local reads/writes are possible; when ``None`` disks are not
+            modelled (the paper's large-scale simulator mode).
+
+    All public operations are generators meant to run inside simulation
+    processes via ``yield from``:
+
+        >>> # yield from network.transfer(src=3, dst=17, size=64 * 2**20)
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: ClusterTopology,
+        disk: Optional[DiskModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.disk = disk
+        self.links = MultiResource(sim)
+        self.stats = TransferStats()
+        self._node_up_bw: Dict[NodeId, float] = {}
+        self._node_down_bw: Dict[NodeId, float] = {}
+        self._rack_up_bw: Dict[RackId, float] = {}
+        self._rack_down_bw: Dict[RackId, float] = {}
+        self._externals: Dict[int, str] = {}
+        self._next_external = -1
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add_external(self, name: str, bandwidth: Optional[float] = None) -> int:
+        """Register an off-cluster endpoint (e.g. the testbed's master).
+
+        Externals attach straight to the network core: transfers to or from
+        them traverse the peer's rack links but no rack link of their own.
+
+        Returns:
+            A negative pseudo node id usable as a transfer endpoint.
+        """
+        node_id = self._next_external
+        self._next_external -= 1
+        self._externals[node_id] = name
+        bw = self.topology.intra_rack_bandwidth if bandwidth is None else bandwidth
+        self._node_up_bw[node_id] = bw
+        self._node_down_bw[node_id] = bw
+        return node_id
+
+    def set_node_bandwidth(
+        self,
+        node_id: NodeId,
+        up: Optional[float] = None,
+        down: Optional[float] = None,
+    ) -> None:
+        """Override one node's NIC bandwidths (bytes/second).
+
+        Used to model persistent cross-traffic: Experiment A.1's UDP streams
+        reduce the effective bandwidth of the sender's egress and the
+        receiver's ingress.
+        """
+        if up is not None:
+            if up <= 0:
+                raise ValueError("bandwidth must be positive")
+            self._node_up_bw[node_id] = up
+        if down is not None:
+            if down <= 0:
+                raise ValueError("bandwidth must be positive")
+            self._node_down_bw[node_id] = down
+
+    def set_rack_bandwidth(
+        self,
+        rack_id: RackId,
+        up: Optional[float] = None,
+        down: Optional[float] = None,
+    ) -> None:
+        """Override one rack's core link bandwidths (bytes/second)."""
+        if up is not None:
+            if up <= 0:
+                raise ValueError("bandwidth must be positive")
+            self._rack_up_bw[rack_id] = up
+        if down is not None:
+            if down <= 0:
+                raise ValueError("bandwidth must be positive")
+            self._rack_down_bw[rack_id] = down
+
+    # ------------------------------------------------------------------
+    # Bandwidth lookups
+    # ------------------------------------------------------------------
+    def node_up_bandwidth(self, node_id: NodeId) -> float:
+        """Effective egress bandwidth of a node's NIC."""
+        return self._node_up_bw.get(node_id, self.topology.intra_rack_bandwidth)
+
+    def node_down_bandwidth(self, node_id: NodeId) -> float:
+        """Effective ingress bandwidth of a node's NIC."""
+        return self._node_down_bw.get(node_id, self.topology.intra_rack_bandwidth)
+
+    def rack_up_bandwidth(self, rack_id: RackId) -> float:
+        """Effective uplink bandwidth of a rack."""
+        return self._rack_up_bw.get(rack_id, self.topology.cross_rack_bandwidth)
+
+    def rack_down_bandwidth(self, rack_id: RackId) -> float:
+        """Effective downlink bandwidth of a rack."""
+        return self._rack_down_bw.get(rack_id, self.topology.cross_rack_bandwidth)
+
+    def rack_of(self, node_id: NodeId) -> Optional[RackId]:
+        """Rack of a node, or ``None`` for external endpoints."""
+        if node_id in self._externals:
+            return None
+        return self.topology.rack_of(node_id)
+
+    def is_cross_rack(self, src: NodeId, dst: NodeId) -> bool:
+        """True when a transfer between the endpoints traverses the core."""
+        if src == dst:
+            return False
+        src_rack, dst_rack = self.rack_of(src), self.rack_of(dst)
+        if src_rack is None or dst_rack is None:
+            return True  # externals hang off the core
+        return src_rack != dst_rack
+
+    # ------------------------------------------------------------------
+    # Operations (generators for use inside processes)
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        size: float,
+        read_disk: Optional[bool] = None,
+        write_disk: Optional[bool] = None,
+    ) -> Generator:
+        """Move ``size`` bytes from ``src`` to ``dst``.
+
+        Local transfers (``src == dst``) touch only the disk (a block read
+        into the encoding task, say).  ``read_disk``/``write_disk`` default
+        to whether disks are modelled at all.
+
+        Yields:
+            Simulation events; completes after the transfer's duration.
+        """
+        if size <= 0:
+            raise ValueError("transfer size must be positive")
+        use_read = self.disk is not None if read_disk is None else read_disk
+        use_write = self.disk is not None if write_disk is None else write_disk
+        if self.disk is None and (use_read or use_write):
+            raise ValueError("disks are not modelled on this network")
+
+        keys: List[Tuple] = []
+        bandwidths: List[float] = []
+        if src != dst:
+            keys.append(("nup", src))
+            bandwidths.append(self.node_up_bandwidth(src))
+            keys.append(("ndown", dst))
+            bandwidths.append(self.node_down_bandwidth(dst))
+            if self.is_cross_rack(src, dst):
+                src_rack, dst_rack = self.rack_of(src), self.rack_of(dst)
+                if src_rack is not None:
+                    keys.append(("rup", src_rack))
+                    bandwidths.append(self.rack_up_bandwidth(src_rack))
+                if dst_rack is not None:
+                    keys.append(("rdown", dst_rack))
+                    bandwidths.append(self.rack_down_bandwidth(dst_rack))
+        if use_read and src not in self._externals:
+            keys.append(("disk", src))
+            bandwidths.append(self.disk.read_bandwidth)
+        if use_write and dst not in self._externals:
+            keys.append(("disk", dst))
+            bandwidths.append(self.disk.write_bandwidth)
+        if not keys:
+            return  # nothing to hold: an in-memory no-op
+
+        duration = size / min(bandwidths)
+        grant = self.links.acquire(keys)
+        yield grant
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.links.release(grant)
+        self.stats.record(size, self.is_cross_rack(src, dst))
+
+    def disk_read(self, node_id: NodeId, size: float) -> Generator:
+        """Read ``size`` bytes from a node's local disk."""
+        yield from self._disk_op(node_id, size, write=False)
+
+    def disk_write(self, node_id: NodeId, size: float) -> Generator:
+        """Write ``size`` bytes to a node's local disk."""
+        yield from self._disk_op(node_id, size, write=True)
+
+    def _disk_op(self, node_id: NodeId, size: float, write: bool) -> Generator:
+        if self.disk is None:
+            raise ValueError("disks are not modelled on this network")
+        if size <= 0:
+            raise ValueError("size must be positive")
+        bandwidth = (
+            self.disk.write_bandwidth if write else self.disk.read_bandwidth
+        )
+        grant = self.links.acquire([("disk", node_id)])
+        yield grant
+        try:
+            yield self.sim.timeout(size / bandwidth)
+        finally:
+            self.links.release(grant)

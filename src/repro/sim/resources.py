@@ -1,0 +1,156 @@
+"""FCFS resources and a multi-resource arbiter for link holding.
+
+``Resource`` is the classic counted resource (CSIM *facility*): requests
+queue FIFO and are granted as capacity frees up.
+
+``MultiResource`` grants *sets* of unit-capacity resources atomically: a
+request proceeds only when every key it names is free, and requests are
+scanned in arrival order with first-fit granting.  The network model uses it
+to hold all links along a transfer's path simultaneously — acquiring links
+one at a time would either deadlock or block links while merely queueing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, FrozenSet, Iterable, List, Set
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+class Request(Event):
+    """A pending resource claim; triggers when granted."""
+
+    def __init__(self, sim: Simulator, amount: int = 1) -> None:
+        super().__init__(sim)
+        self.amount = amount
+
+
+class Resource:
+    """A counted FCFS resource.
+
+    Example (inside a process):
+        >>> # req = resource.request()
+        >>> # yield req
+        >>> # ... use the resource ...
+        >>> # resource.release(req)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently granted."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a grant."""
+        return len(self._queue)
+
+    def request(self, amount: int = 1) -> Request:
+        """Claim ``amount`` units; yield the returned event to wait."""
+        if not 1 <= amount <= self.capacity:
+            raise ValueError(f"amount must lie in [1, {self.capacity}]")
+        req = Request(self.sim, amount)
+        self._queue.append(req)
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a granted claim's units.
+
+        Raises:
+            SimulationError: If the request was never granted.
+        """
+        if not request.triggered:
+            raise SimulationError("releasing a request that was never granted")
+        self._in_use -= request.amount
+        if self._in_use < 0:
+            raise SimulationError("resource released more than was acquired")
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._queue and self._in_use + self._queue[0].amount <= self.capacity:
+            req = self._queue.popleft()
+            self._in_use += req.amount
+            req.succeed()
+
+
+class MultiRequest(Event):
+    """A pending claim on a set of unit resources; triggers when granted."""
+
+    def __init__(self, sim: Simulator, keys: FrozenSet) -> None:
+        super().__init__(sim)
+        self.keys = keys
+
+
+class MultiResource:
+    """Atomic acquisition of sets of unit-capacity resources.
+
+    Keys are arbitrary hashable labels (links, disks).  ``acquire`` enqueues
+    a claim for a key set; a claim is granted once none of its keys is held.
+    The pending queue is scanned in FIFO order with first-fit granting, so a
+    blocked wide claim does not idle links that later narrow claims can use.
+
+    Example (inside a process):
+        >>> # grant = links.acquire({"uplink:3", "nic:17"})
+        >>> # yield grant
+        >>> # yield sim.timeout(duration)
+        >>> # links.release(grant)
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._held: Set = set()
+        self._queue: List[MultiRequest] = []
+
+    @property
+    def held_keys(self) -> FrozenSet:
+        """Keys currently granted to some claim."""
+        return frozenset(self._held)
+
+    @property
+    def queue_length(self) -> int:
+        """Claims waiting for a grant."""
+        return len(self._queue)
+
+    def acquire(self, keys: Iterable) -> MultiRequest:
+        """Claim every key in ``keys``; yield the returned event to wait."""
+        key_set = frozenset(keys)
+        if not key_set:
+            raise ValueError("acquire requires at least one key")
+        req = MultiRequest(self.sim, key_set)
+        self._queue.append(req)
+        self._grant()
+        return req
+
+    def release(self, request: MultiRequest) -> None:
+        """Return a granted claim's keys.
+
+        Raises:
+            SimulationError: If the claim was never granted or already
+                released.
+        """
+        if not request.triggered:
+            raise SimulationError("releasing a claim that was never granted")
+        if not request.keys <= self._held:
+            raise SimulationError("claim already released")
+        self._held -= request.keys
+        self._grant()
+
+    def _grant(self) -> None:
+        remaining: List[MultiRequest] = []
+        for req in self._queue:
+            if req.keys.isdisjoint(self._held):
+                self._held |= req.keys
+                req.succeed()
+            else:
+                remaining.append(req)
+        self._queue = remaining

@@ -1,0 +1,26 @@
+"""Workload generators: write streams, background traffic, SWIM MapReduce.
+
+* :mod:`repro.workloads.writes` — Poisson block-write request streams
+  (Experiments A.2 and B.2).
+* :mod:`repro.workloads.background` — background transfer streams with a
+  configurable cross-rack/intra-rack mix (Experiment B.2) and constant-rate
+  cross-traffic (the Iperf UDP streams of Experiment A.1).
+* :mod:`repro.workloads.swim` — SWIM-style synthetic MapReduce jobs with
+  heavy-tailed input/shuffle/output sizes (Experiment A.3).
+"""
+
+from repro.workloads.background import BackgroundTraffic, UdpCrossTraffic
+from repro.workloads.reads import ReadResult, ReadStream
+from repro.workloads.swim import SwimJob, SwimWorkload, run_swim_job
+from repro.workloads.writes import WriteStream
+
+__all__ = [
+    "BackgroundTraffic",
+    "ReadResult",
+    "ReadStream",
+    "SwimJob",
+    "SwimWorkload",
+    "UdpCrossTraffic",
+    "WriteStream",
+    "run_swim_job",
+]

@@ -1,0 +1,83 @@
+"""Theorem 1: bound arithmetic and empirical redraw counts."""
+
+import random
+
+import pytest
+
+from repro.analysis.iterations import (
+    empirical_attempts,
+    theorem1_bound,
+    theorem1_bounds,
+)
+from repro.erasure.codec import CodeParams
+
+
+class TestBound:
+    def test_paper_examples(self):
+        # "E_i is at most 1.9 for k = 10 ... at R = 20, c = 1".
+        assert theorem1_bound(10, 20) == pytest.approx(1.9)
+        # k = 12 (Azure): 1 / (1 - 11/19) = 2.375.
+        assert theorem1_bound(12, 20) == pytest.approx(2.375)
+
+    def test_first_block_is_free(self):
+        assert theorem1_bound(1, 20) == 1.0
+
+    def test_monotone_in_index(self):
+        bounds = theorem1_bounds(12, 20)
+        assert bounds == sorted(bounds)
+
+    def test_c_relaxes_bound(self):
+        assert theorem1_bound(10, 20, c=2) < theorem1_bound(10, 20, c=1)
+
+    def test_c2_steps_every_other_index(self):
+        assert theorem1_bound(2, 20, c=2) == 1.0
+        assert theorem1_bound(3, 20, c=2) == pytest.approx(1 / (1 - 1 / 19))
+
+    def test_unplaceable_raises(self):
+        with pytest.raises(ValueError):
+            theorem1_bound(21, 20)  # 20 full racks, only 19 non-core
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem1_bound(0, 20)
+        with pytest.raises(ValueError):
+            theorem1_bound(1, 1)
+        with pytest.raises(ValueError):
+            theorem1_bound(1, 20, c=0)
+
+
+class TestEmpirical:
+    def test_empirical_close_to_bound(self):
+        """With many nodes per rack, the measured mean redraws approach the
+        theorem's bound from below (the bound is an upper bound up to the
+        finite-rack correction)."""
+        measured = empirical_attempts(
+            num_racks=20,
+            nodes_per_rack=40,
+            code=CodeParams(14, 10),
+            num_stripes=250,
+            rng=random.Random(11),
+        )
+        assert set(measured) == set(range(1, 11))
+        assert measured[1] == 1.0
+        for index in range(2, 11):
+            bound = theorem1_bound(index, 20)
+            assert measured[index] <= bound * 1.25
+        # The redraw count grows with the block index overall.
+        assert measured[10] > measured[2]
+
+    def test_empirical_with_c2(self):
+        measured = empirical_attempts(
+            num_racks=10,
+            nodes_per_rack=30,
+            code=CodeParams(8, 6),
+            num_stripes=150,
+            rng=random.Random(13),
+            c=2,
+        )
+        for index in range(1, 7):
+            assert measured[index] <= theorem1_bound(index, 10, c=2) * 1.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            empirical_attempts(10, 5, CodeParams(6, 4), num_stripes=0)

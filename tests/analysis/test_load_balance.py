@@ -1,0 +1,88 @@
+"""Load-balance metrics: storage shares and the hotness index."""
+
+import random
+
+import pytest
+
+from repro.analysis.load_balance import (
+    hotness_index,
+    rack_replica_shares,
+    read_balance_study,
+    storage_balance_study,
+)
+from repro.cluster.topology import ClusterTopology
+from repro.core.ear import EncodingAwareReplication
+from repro.core.random_replication import RandomReplication
+from repro.erasure.codec import CodeParams
+
+
+TOPO = ClusterTopology.large_scale()
+CODE = CodeParams(14, 10)
+
+
+def rr_factory(rng):
+    return RandomReplication(TOPO, rng=rng)
+
+
+def ear_factory(rng):
+    return EncodingAwareReplication(TOPO, CODE, rng=rng)
+
+
+class TestStorageShares:
+    def test_shares_sum_to_one(self):
+        shares = rack_replica_shares(rr_factory(random.Random(1)), 500)
+        assert sum(shares) == pytest.approx(1.0)
+        assert shares == sorted(shares, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rack_replica_shares(rr_factory(random.Random(1)), 0)
+        with pytest.raises(ValueError):
+            storage_balance_study(rr_factory, 10, runs=0)
+
+    def test_study_averages_runs(self):
+        shares = storage_balance_study(rr_factory, 500, runs=4, seed=3)
+        assert len(shares) == TOPO.num_racks
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_paper_figure14_band(self):
+        """Both policies land in a narrow band around 1/R = 5%."""
+        for factory in (rr_factory, ear_factory):
+            shares = storage_balance_study(factory, 3000, runs=3, seed=7)
+            assert shares[0] < 0.062
+            assert shares[-1] > 0.038
+
+    def test_ear_close_to_rr(self):
+        rr = storage_balance_study(rr_factory, 3000, runs=3, seed=11)
+        ear = storage_balance_study(ear_factory, 3000, runs=3, seed=11)
+        for a, b in zip(rr, ear):
+            assert abs(a - b) < 0.01
+
+
+class TestHotnessIndex:
+    def test_single_block_file(self):
+        # One block in two racks: the hotter rack sees half the reads.
+        h = hotness_index(rr_factory(random.Random(1)), 1)
+        assert h == pytest.approx(0.5)
+
+    def test_decreases_with_file_size(self):
+        policy = rr_factory(random.Random(2))
+        h_small = hotness_index(rr_factory(random.Random(2)), 10)
+        h_large = hotness_index(rr_factory(random.Random(2)), 2000)
+        assert h_large < h_small
+        # Perfect balance would be 1/R = 0.05.
+        assert h_large < 0.09
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hotness_index(rr_factory(random.Random(1)), 0)
+        with pytest.raises(ValueError):
+            read_balance_study(rr_factory, [1], runs=0)
+
+    def test_paper_figure15_similarity(self):
+        """EAR's H tracks RR's across file sizes."""
+        sizes = (10, 100, 1000)
+        rr = read_balance_study(rr_factory, sizes, runs=4, seed=5)
+        ear = read_balance_study(ear_factory, sizes, runs=4, seed=5)
+        for size in sizes:
+            assert abs(rr[size] - ear[size]) < 0.03

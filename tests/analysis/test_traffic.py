@@ -1,0 +1,102 @@
+"""Closed-form traffic expectations vs the paper and vs simulation."""
+
+import random
+
+import pytest
+
+from repro.analysis.traffic import (
+    EncodingTraffic,
+    encoding_traffic_reduction,
+    expected_ear_cross_rack_downloads,
+    expected_encoding_traffic,
+    expected_recovery_cross_rack_reads,
+    expected_rr_cross_rack_downloads,
+    rack_holds_replica_probability,
+)
+from repro.erasure.codec import CodeParams
+
+
+class TestClosedForms:
+    def test_paper_probability(self):
+        # Section II-B: "the probability that Rack i contains a replica of
+        # a particular data block is 2/R".
+        assert rack_holds_replica_probability(20, 2) == pytest.approx(0.1)
+
+    def test_paper_expected_downloads(self):
+        # "the expected number of data blocks stored in Rack i is 2k/R ...
+        # expected blocks downloaded from different racks is k - 2k/R".
+        assert expected_rr_cross_rack_downloads(10, 20) == pytest.approx(9.0)
+        # "almost k if R is large".
+        assert expected_rr_cross_rack_downloads(10, 1000) == pytest.approx(
+            9.98
+        )
+
+    def test_ear_zero(self):
+        assert expected_ear_cross_rack_downloads() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rack_holds_replica_probability(0, 1)
+        with pytest.raises(ValueError):
+            rack_holds_replica_probability(5, 6)
+        with pytest.raises(ValueError):
+            expected_rr_cross_rack_downloads(0, 20)
+
+    def test_encoding_traffic(self):
+        code = CodeParams(14, 10)
+        rr = expected_encoding_traffic("rr", code, 20)
+        assert rr.downloads == pytest.approx(9.0)
+        assert rr.uploads == 4.0
+        assert rr.total == pytest.approx(13.0)
+        ear = expected_encoding_traffic("ear", code, 20)
+        assert ear == EncodingTraffic(0.0, 4.0)
+
+    def test_ear_c_reserves_uploads(self):
+        code = CodeParams(14, 10)
+        assert expected_encoding_traffic("ear", code, 20, ear_c=4).uploads == 1.0
+        assert expected_encoding_traffic("ear", code, 20, ear_c=2).uploads == 3.0
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            expected_encoding_traffic("raid5", CodeParams(6, 4), 20)
+
+    def test_recovery_reads(self):
+        code = CodeParams(14, 10)
+        assert expected_recovery_cross_rack_reads(code, 1) == 9.0
+        assert expected_recovery_cross_rack_reads(code, 4) == 6.0
+        assert expected_recovery_cross_rack_reads(CodeParams(6, 4), 6) == 0.0
+        with pytest.raises(ValueError):
+            expected_recovery_cross_rack_reads(code, 0)
+
+    def test_headline_reduction(self):
+        # (14,10), R=20: 13 -> 4 cross-rack blocks, ~69% reduction.
+        reduction = encoding_traffic_reduction(CodeParams(14, 10), 20)
+        assert reduction == pytest.approx(1 - 4 / 13)
+
+
+class TestAgainstSimulation:
+    def test_rr_simulation_matches_expectation(self):
+        """The DES-measured RR cross-rack downloads converge to k(1-2/R)."""
+        from repro.experiments.config import LargeScaleConfig
+        from repro.experiments.largescale import run_largescale
+
+        config = LargeScaleConfig().scaled(3)  # 60 stripes
+        result = run_largescale("rr", config, seed=5)
+        per_stripe = result.cross_rack_downloads / result.stripes_encoded
+        expected = expected_rr_cross_rack_downloads(
+            config.code.k, config.num_racks
+        )
+        assert abs(per_stripe - expected) < 0.8
+
+    def test_ear_simulation_matches_expectation(self):
+        from repro.experiments.config import LargeScaleConfig
+        from repro.experiments.largescale import run_largescale
+
+        config = LargeScaleConfig().scaled(3)
+        result = run_largescale("ear", config, seed=5)
+        assert result.cross_rack_downloads == 0
+        per_stripe_uploads = result.cross_rack_uploads / result.stripes_encoded
+        expected = expected_encoding_traffic(
+            "ear", config.code, config.num_racks
+        ).uploads
+        assert per_stripe_uploads == pytest.approx(expected)

@@ -1,0 +1,141 @@
+"""BlockStore: replica bookkeeping invariants."""
+
+import pytest
+
+from repro.cluster.block import BlockKind, BlockStore
+
+
+@pytest.fixture
+def store(medium_topology):
+    return BlockStore(medium_topology)
+
+
+class TestBlockLifecycle:
+    def test_create_assigns_sequential_ids(self, store):
+        blocks = [store.create_block(64) for __ in range(3)]
+        assert [b.block_id for b in blocks] == [0, 1, 2]
+
+    def test_create_rejects_bad_size(self, store):
+        with pytest.raises(ValueError):
+            store.create_block(0)
+
+    def test_parity_kind(self, store):
+        parity = store.create_block(64, kind=BlockKind.PARITY, stripe_id=3)
+        assert parity.is_parity()
+        assert parity.stripe_id == 3
+
+    def test_assign_stripe(self, store):
+        block = store.create_block(64)
+        updated = store.assign_stripe(block.block_id, 9)
+        assert updated.stripe_id == 9
+        assert store.block(block.block_id).stripe_id == 9
+
+    def test_unknown_block_raises(self, store):
+        with pytest.raises(KeyError):
+            store.block(99)
+
+    def test_contains_and_len(self, store):
+        block = store.create_block(64)
+        assert block.block_id in store
+        assert 42 not in store
+        assert len(store) == 1
+
+    def test_blocks_iterates_all(self, store):
+        ids = {store.create_block(64).block_id for __ in range(4)}
+        assert {b.block_id for b in store.blocks()} == ids
+
+
+class TestReplicaManagement:
+    def test_add_and_query(self, store):
+        block = store.create_block(64)
+        store.add_replicas(block.block_id, [0, 5, 6])
+        assert store.replica_nodes(block.block_id) == (0, 5, 6)
+        assert store.primary_node(block.block_id) == 0
+
+    def test_replica_racks(self, store):
+        block = store.create_block(64)
+        store.add_replicas(block.block_id, [0, 5, 6])  # racks 0, 1, 1
+        assert store.replica_racks(block.block_id) == (0, 1, 1)
+
+    def test_duplicate_node_rejected(self, store):
+        block = store.create_block(64)
+        store.add_replica(block.block_id, 3)
+        with pytest.raises(ValueError):
+            store.add_replica(block.block_id, 3)
+
+    def test_unknown_node_rejected(self, store):
+        block = store.create_block(64)
+        with pytest.raises(KeyError):
+            store.add_replica(block.block_id, 999)
+
+    def test_remove_replica(self, store):
+        block = store.create_block(64)
+        store.add_replicas(block.block_id, [1, 2])
+        store.remove_replica(block.block_id, 1)
+        assert store.replica_nodes(block.block_id) == (2,)
+
+    def test_remove_missing_replica_raises(self, store):
+        block = store.create_block(64)
+        store.add_replica(block.block_id, 1)
+        with pytest.raises(KeyError):
+            store.remove_replica(block.block_id, 2)
+
+    def test_retain_only(self, store):
+        block = store.create_block(64)
+        store.add_replicas(block.block_id, [1, 2, 3])
+        store.retain_only(block.block_id, 2)
+        assert store.replica_nodes(block.block_id) == (2,)
+
+    def test_retain_only_missing_raises(self, store):
+        block = store.create_block(64)
+        store.add_replica(block.block_id, 1)
+        with pytest.raises(KeyError):
+            store.retain_only(block.block_id, 9)
+
+    def test_move_replica(self, store):
+        block = store.create_block(64)
+        store.add_replicas(block.block_id, [1, 2])
+        store.move_replica(block.block_id, 2, 7)
+        assert set(store.replica_nodes(block.block_id)) == {1, 7}
+        assert block.block_id in store.blocks_on_node(7)
+        assert block.block_id not in store.blocks_on_node(2)
+
+    def test_primary_gone_after_retention_elsewhere(self, store):
+        block = store.create_block(64)
+        store.add_replicas(block.block_id, [1, 2])
+        store.retain_only(block.block_id, 2)
+        assert store.primary_node(block.block_id) is None
+
+
+class TestAggregates:
+    def test_blocks_on_node(self, store):
+        a, b = store.create_block(64), store.create_block(64)
+        store.add_replica(a.block_id, 4)
+        store.add_replica(b.block_id, 4)
+        assert store.blocks_on_node(4) == {a.block_id, b.block_id}
+
+    def test_blocks_in_rack(self, store):
+        a = store.create_block(64)
+        store.add_replicas(a.block_id, [5, 12])  # racks 1 and 2
+        assert a.block_id in store.blocks_in_rack(1)
+        assert a.block_id in store.blocks_in_rack(2)
+        assert a.block_id not in store.blocks_in_rack(0)
+
+    def test_counts_sum_to_total_replicas(self, store, rng):
+        total = 0
+        for __ in range(30):
+            block = store.create_block(64)
+            nodes = rng.sample(range(40), 3)
+            store.add_replicas(block.block_id, nodes)
+            total += 3
+        per_node = store.replica_count_per_node()
+        per_rack = store.replica_count_per_rack()
+        assert sum(per_node.values()) == total
+        assert sum(per_rack.values()) == total
+
+    def test_bytes_on_node(self, store):
+        a = store.create_block(100)
+        b = store.create_block(50)
+        store.add_replica(a.block_id, 0)
+        store.add_replica(b.block_id, 0)
+        assert store.bytes_on_node(0) == 150

@@ -1,0 +1,128 @@
+"""Fault-tolerance arithmetic and exhaustive failure enumeration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.failure import (
+    FailureModel,
+    stripe_node_fault_tolerance,
+    stripe_rack_fault_tolerance,
+    stripe_survives,
+    violates_rack_fault_tolerance,
+)
+from repro.cluster.topology import ClusterTopology
+
+
+class TestNodeFaultTolerance:
+    def test_distinct_nodes(self):
+        # (6, 4) on six distinct nodes tolerates n - k = 2 node failures.
+        assert stripe_node_fault_tolerance([0, 1, 2, 3, 4, 5], k=4) == 2
+
+    def test_colocated_blocks_reduce_tolerance(self):
+        # Two blocks share node 0: losing it removes two blocks.
+        assert stripe_node_fault_tolerance([0, 0, 1, 2, 3, 4], k=4) == 1
+
+    def test_heavy_colocation(self):
+        assert stripe_node_fault_tolerance([0, 0, 0, 1, 2, 3], k=4) == 0
+
+    def test_k_equals_n(self):
+        assert stripe_node_fault_tolerance([0, 1, 2], k=3) == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            stripe_node_fault_tolerance([0, 1], k=3)
+        with pytest.raises(ValueError):
+            stripe_node_fault_tolerance([0, 1], k=0)
+
+
+class TestRackFaultTolerance:
+    def test_one_block_per_rack(self, medium_topology):
+        # Blocks in racks 0..5, k=4: tolerate 2 rack failures.
+        nodes = [0, 5, 10, 15, 20, 25]
+        assert stripe_rack_fault_tolerance(medium_topology, nodes, k=4) == 2
+
+    def test_concentration_reduces_tolerance(self, medium_topology):
+        # Three blocks in rack 0 (nodes 0, 1, 2): one rack failure kills 3 > n-k.
+        nodes = [0, 1, 2, 5, 10, 15]
+        assert stripe_rack_fault_tolerance(medium_topology, nodes, k=4) == 0
+
+    def test_c2_gives_t1(self, medium_topology):
+        # Two per rack with n-k=2: tolerates exactly one rack failure.
+        nodes = [0, 1, 5, 6, 10, 11]
+        assert stripe_rack_fault_tolerance(medium_topology, nodes, k=4) == 1
+
+    def test_violation_check(self, medium_topology):
+        spread = [0, 5, 10, 15, 20, 25]
+        assert not violates_rack_fault_tolerance(medium_topology, spread, 4, 2)
+        assert violates_rack_fault_tolerance(medium_topology, spread, 4, 3)
+
+    def test_matches_paper_example(self):
+        """Figure 2(a): RR retention leaves two blocks in Rack 2; losing the
+        rack loses the (5, 4) stripe."""
+        topo = ClusterTopology(nodes_per_rack=6, num_racks=5)
+        # Blocks 2 and 4 retained in rack 1 (nodes 6..11), others spread.
+        nodes = [0, 6, 7, 12, 18]  # data 1..4 + parity P
+        assert stripe_rack_fault_tolerance(topo, nodes, k=4) == 0
+
+
+class TestStripeSurvives:
+    def test_survives_with_k_alive(self, medium_topology):
+        nodes = [0, 5, 10, 15, 20, 25]
+        assert stripe_survives(medium_topology, nodes, k=4, failed_nodes=[0, 5])
+        assert not stripe_survives(
+            medium_topology, nodes, k=4, failed_nodes=[0, 5, 10]
+        )
+
+    def test_rack_failure(self, medium_topology):
+        nodes = [0, 1, 5, 10, 15, 20]
+        # Rack 0 holds two blocks; its failure leaves exactly k = 4 alive.
+        assert stripe_survives(medium_topology, nodes, k=4, failed_racks=[0])
+        assert not stripe_survives(
+            medium_topology, nodes, k=5, failed_racks=[0]
+        )
+
+    def test_combined_failures(self, medium_topology):
+        nodes = [0, 5, 10, 15, 20, 25]
+        assert not stripe_survives(
+            medium_topology, nodes, k=4, failed_nodes=[0], failed_racks=[1, 2]
+        )
+
+
+class TestFailureModel:
+    def test_exhaustive_node_check_agrees_with_formula(self, medium_topology):
+        model = FailureModel(medium_topology)
+        nodes = [0, 5, 10, 15, 20, 25]
+        formula = stripe_node_fault_tolerance(nodes, k=4)
+        assert model.stripe_tolerates_node_failures(nodes, 4, formula)
+        assert not model.stripe_tolerates_node_failures(nodes, 4, formula + 1)
+
+    def test_exhaustive_rack_check_agrees_with_formula(self, medium_topology):
+        model = FailureModel(medium_topology)
+        for nodes in ([0, 5, 10, 15, 20, 25], [0, 1, 5, 6, 10, 11]):
+            formula = stripe_rack_fault_tolerance(medium_topology, nodes, k=4)
+            assert model.stripe_tolerates_rack_failures(nodes, 4, formula)
+            assert not model.stripe_tolerates_rack_failures(
+                nodes, 4, formula + 1
+            )
+
+    def test_scenario_enumeration_counts(self, small_topology):
+        model = FailureModel(small_topology)
+        assert sum(1 for __ in model.all_rack_failures(2)) == 6  # C(4, 2)
+        assert sum(1 for __ in model.all_node_failures(1)) == 12
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_property_formula_matches_enumeration(self, seed):
+        """The greedy tolerance formula equals exhaustive enumeration."""
+        import random
+
+        r = random.Random(seed)
+        topo = ClusterTopology(nodes_per_rack=3, num_racks=5)
+        n, k = 6, 4
+        nodes = r.sample(range(topo.num_nodes), n)
+        model = FailureModel(topo)
+        formula = stripe_rack_fault_tolerance(topo, nodes, k)
+        assert model.stripe_tolerates_rack_failures(nodes, k, formula)
+        if formula < topo.num_racks:
+            assert not model.stripe_tolerates_rack_failures(nodes, k, formula + 1)

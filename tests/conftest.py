@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.erasure.codec import CodeParams
+
+
+@pytest.fixture
+def rng():
+    """A deterministically seeded random source."""
+    return random.Random(0xEA12)
+
+
+@pytest.fixture
+def small_topology():
+    """4 racks x 3 nodes — big enough for (4, 3) stripes with c = 1."""
+    return ClusterTopology(nodes_per_rack=3, num_racks=4)
+
+
+@pytest.fixture
+def medium_topology():
+    """8 racks x 5 nodes — room for (6, 4) stripes and relocation tests."""
+    return ClusterTopology(nodes_per_rack=5, num_racks=8)
+
+
+@pytest.fixture
+def large_topology():
+    """The paper's 20 x 20 simulated cluster."""
+    return ClusterTopology.large_scale()
+
+
+@pytest.fixture
+def testbed_topology():
+    """The paper's 12-slave testbed (one node per rack)."""
+    return ClusterTopology.testbed()
+
+
+@pytest.fixture
+def facebook_code():
+    """Facebook's (14, 10) code used throughout Section V-B."""
+    return CodeParams(14, 10)

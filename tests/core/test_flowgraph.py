@@ -1,0 +1,159 @@
+"""StripeFlowGraph: the Figure 4 feasibility test and matching extraction."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.flowgraph import StripeFlowGraph
+
+
+@pytest.fixture
+def topo():
+    # Figure 4's cluster: eight nodes evenly grouped into four racks.
+    return ClusterTopology(nodes_per_rack=2, num_racks=4)
+
+
+class TestFeasibility:
+    def test_paper_figure4_layout(self, topo):
+        """The worked example of Section III-B: three blocks, (4,3), c=1."""
+        # Rack r holds nodes 2r and 2r+1.  Give each block a replica in the
+        # core rack (rack 0) and two in some other rack.
+        layout = {
+            "b1": (0, 2, 3),   # core + rack 1
+            "b2": (1, 4, 5),   # core + rack 2
+            "b3": (0, 6, 7),   # core + rack 3
+        }
+        graph = StripeFlowGraph(topo, c=1)
+        assert graph.max_matching_size(layout) == 3
+        matching = graph.find_matching(layout)
+        graph.validate_matching(layout, matching)
+
+    def test_collision_infeasible_at_c1(self, topo):
+        # All three blocks' spare replicas in rack 1: only core + rack 1
+        # available, so at most 2 blocks can be retained with c = 1.
+        layout = {
+            "b1": (0, 2, 3),
+            "b2": (1, 2, 3),
+            "b3": (0, 2, 3),
+        }
+        graph = StripeFlowGraph(topo, c=1)
+        assert graph.max_matching_size(layout) == 2
+        assert not graph.is_feasible(layout)
+        assert graph.find_matching(layout) is None
+
+    def test_collision_feasible_at_c2(self, topo):
+        layout = {
+            "b1": (0, 2, 3),
+            "b2": (1, 2, 3),
+            "b3": (0, 2, 3),
+        }
+        graph = StripeFlowGraph(topo, c=2)
+        assert graph.is_feasible(layout)
+
+    def test_node_capacity_binds(self, topo):
+        # Two blocks whose only replicas share one node.
+        layout = {"b1": (0,), "b2": (0,)}
+        graph = StripeFlowGraph(topo, c=4)
+        assert graph.max_matching_size(layout) == 1
+
+    def test_empty_layout(self, topo):
+        graph = StripeFlowGraph(topo, c=1)
+        assert graph.max_matching_size({}) == 0
+        assert graph.find_matching({}) == {}
+
+    def test_c_must_be_positive(self, topo):
+        with pytest.raises(ValueError):
+            StripeFlowGraph(topo, c=0)
+
+
+class TestTargetRacks:
+    def test_figure6_target_racks(self):
+        """Section III-D: (6,3), c=3, R'=2 target racks."""
+        topo = ClusterTopology(nodes_per_rack=4, num_racks=6)
+        # Core rack 0 (nodes 0-3); target racks {0, 1} (nodes 4-7).
+        layout = {
+            "b1": (0, 8, 9),    # spare copies in non-target rack 2
+            "b2": (1, 4, 5),    # spare copies in target rack 1
+            "b3": (2, 12, 13),  # spare copies in non-target rack 3
+        }
+        graph = StripeFlowGraph(topo, c=3, target_racks=[0, 1])
+        matching = graph.find_matching(layout)
+        assert matching is not None
+        for node in matching.values():
+            assert topo.rack_of(node) in (0, 1)
+
+    def test_outside_target_racks_infeasible(self):
+        topo = ClusterTopology(nodes_per_rack=2, num_racks=4)
+        layout = {"b1": (4, 5, 6)}  # replicas only in racks 2 and 3
+        graph = StripeFlowGraph(topo, c=1, target_racks=[0, 1])
+        assert graph.max_matching_size(layout) == 0
+
+    def test_unknown_target_rack_rejected(self, topo):
+        with pytest.raises(KeyError):
+            StripeFlowGraph(topo, c=1, target_racks=[9])
+
+
+class TestCapacityOverrides:
+    def test_core_reservation_blocks_retention(self, topo):
+        # Core rack capacity overridden to 0: blocks must match elsewhere.
+        layout = {"b1": (0, 2, 3), "b2": (1, 4, 5)}
+        graph = StripeFlowGraph(topo, c=1, capacity_overrides={0: 0})
+        matching = graph.find_matching(layout)
+        assert matching is not None
+        for node in matching.values():
+            assert topo.rack_of(node) != 0
+
+    def test_override_can_make_infeasible(self, topo):
+        layout = {"b1": (0, 1)}  # both replicas in rack 0
+        graph = StripeFlowGraph(topo, c=1, capacity_overrides={0: 0})
+        assert graph.find_matching(layout) is None
+
+    def test_negative_override_rejected(self, topo):
+        with pytest.raises(ValueError):
+            StripeFlowGraph(topo, c=1, capacity_overrides={0: -1})
+
+    def test_rack_capacity_lookup(self, topo):
+        graph = StripeFlowGraph(topo, c=2, capacity_overrides={1: 5})
+        assert graph.rack_capacity(0) == 2
+        assert graph.rack_capacity(1) == 5
+
+
+class TestPartialMatching:
+    def test_partial_covers_what_it_can(self, topo):
+        layout = {"b1": (0,), "b2": (0,), "b3": (2,)}
+        graph = StripeFlowGraph(topo, c=4)
+        partial = graph.find_partial_matching(layout)
+        assert len(partial) == 2
+        assert partial["b3"] == 2
+
+    def test_partial_empty_layout(self, topo):
+        assert StripeFlowGraph(topo, c=1).find_partial_matching({}) == {}
+
+
+class TestValidateMatching:
+    def test_detects_wrong_block_set(self, topo):
+        graph = StripeFlowGraph(topo, c=1)
+        with pytest.raises(ValueError):
+            graph.validate_matching({"b1": (0,)}, {})
+
+    def test_detects_phantom_replica(self, topo):
+        graph = StripeFlowGraph(topo, c=1)
+        with pytest.raises(ValueError):
+            graph.validate_matching({"b1": (0,)}, {"b1": 5})
+
+    def test_detects_node_reuse(self, topo):
+        graph = StripeFlowGraph(topo, c=2)
+        layout = {"b1": (0, 2), "b2": (0, 4)}
+        with pytest.raises(ValueError):
+            graph.validate_matching(layout, {"b1": 0, "b2": 0})
+
+    def test_detects_rack_overflow(self, topo):
+        graph = StripeFlowGraph(topo, c=1)
+        layout = {"b1": (0, 4), "b2": (1, 6)}
+        with pytest.raises(ValueError):
+            graph.validate_matching(layout, {"b1": 0, "b2": 1})
+
+    def test_detects_non_target_rack(self, topo):
+        graph = StripeFlowGraph(topo, c=1, target_racks=[1])
+        layout = {"b1": (0, 2)}
+        with pytest.raises(ValueError):
+            graph.validate_matching(layout, {"b1": 0})

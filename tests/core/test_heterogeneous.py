@@ -1,0 +1,92 @@
+"""Placement on heterogeneous clusters (uneven rack sizes).
+
+Production racks rarely have identical node counts; both policies must
+keep their guarantees when rack sizes differ, as long as the scheme's
+per-rack group sizes fit the smallest rack chosen.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.ear import EncodingAwareReplication
+from repro.core.policy import PlacementError, ReplicationScheme
+from repro.core.random_replication import RandomReplication
+from repro.erasure.codec import CodeParams
+
+LOPSIDED = ClusterTopology(nodes_per_rack=[2, 8, 3, 6, 2, 9, 4, 5])
+CODE = CodeParams(6, 4)
+
+
+class TestRandomReplicationHeterogeneous:
+    def test_layouts_remain_valid(self):
+        policy = RandomReplication(LOPSIDED, rng=random.Random(1))
+        for block_id in range(200):
+            decision = policy.place_block(block_id)
+            assert len(set(decision.node_ids)) == 3
+            racks = {LOPSIDED.rack_of(n) for n in decision.node_ids}
+            assert len(racks) == 2
+
+    def test_small_racks_can_be_skipped_by_redraw(self):
+        # The 2-node racks can still host the 2-copy group exactly.
+        policy = RandomReplication(LOPSIDED, rng=random.Random(2))
+        seen_small_rack_pairs = 0
+        for block_id in range(300):
+            decision = policy.place_block(block_id)
+            racks = [LOPSIDED.rack_of(n) for n in decision.node_ids]
+            if len(LOPSIDED.rack(racks[1])) == 2:
+                seen_small_rack_pairs += 1
+        assert seen_small_rack_pairs > 0  # small racks participate
+
+
+class TestEARHeterogeneous:
+    def test_guarantees_hold(self):
+        policy = EncodingAwareReplication(
+            LOPSIDED, CODE, rng=random.Random(3)
+        )
+        for block_id in range(24 * CODE.k):
+            policy.place_block(block_id)
+        sealed = policy.store.sealed_stripes()
+        assert sealed
+        for stripe in sealed:
+            layout = policy.stripe_layout(stripe)
+            plan = policy.retention_plan(stripe)
+            policy.flow_graph_for(stripe).validate_matching(layout, plan)
+            for nodes in layout.values():
+                racks = {LOPSIDED.rack_of(n) for n in nodes}
+                assert stripe.core_rack in racks
+
+    def test_tiny_rack_cannot_host_wide_group(self):
+        # A 1-node rack cannot host the two-copy group; placement must
+        # redraw around it rather than fail.
+        topo = ClusterTopology(nodes_per_rack=[1, 5, 5, 5, 5, 5, 5, 1])
+        policy = EncodingAwareReplication(topo, CODE, rng=random.Random(4))
+        for block_id in range(12 * CODE.k):
+            policy.place_block(block_id)
+        assert policy.store.sealed_stripes()
+
+
+@given(seed=st.integers(0, 2**12))
+@settings(max_examples=10, deadline=None)
+def test_property_heterogeneous_ear_invariants(seed):
+    rng = random.Random(seed)
+    sizes = [rng.randrange(2, 9) for __ in range(rng.randrange(8, 14))]
+    topo = ClusterTopology(nodes_per_rack=sizes)
+    code = CodeParams(6, 4)
+    policy = EncodingAwareReplication(topo, code, rng=rng)
+    placed = 0
+    try:
+        for block_id in range(10 * code.k):
+            policy.place_block(block_id)
+            placed += 1
+    except PlacementError:
+        # Acceptable only when some rack genuinely cannot host a group.
+        pytest.skip("degenerate random topology")
+    for stripe in policy.store.sealed_stripes():
+        plan = policy.retention_plan(stripe)
+        policy.flow_graph_for(stripe).validate_matching(
+            policy.stripe_layout(stripe), plan
+        )

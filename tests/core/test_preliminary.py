@@ -1,0 +1,105 @@
+"""Preliminary EAR: core-rack pinning without availability validation."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.preliminary import PreliminaryEAR
+from repro.core.stripe import PreEncodingStore, StripeState
+
+
+class TestCoreRackPinning:
+    def test_first_replica_in_core_rack(self, large_topology, rng):
+        policy = PreliminaryEAR(large_topology, k=4, rng=rng)
+        for block_id in range(40):
+            decision = policy.place_block(block_id)
+            assert (
+                large_topology.rack_of(decision.node_ids[0])
+                == decision.core_rack
+            )
+
+    def test_writer_defines_core_rack(self, large_topology, rng):
+        policy = PreliminaryEAR(large_topology, k=4, rng=rng)
+        decision = policy.place_block(0, writer_node=45)
+        assert decision.core_rack == large_topology.rack_of(45)
+
+    def test_stripe_shares_core_rack(self, large_topology, rng):
+        policy = PreliminaryEAR(large_topology, k=3, rng=rng)
+        writer = 100
+        decisions = [
+            policy.place_block(b, writer_node=writer) for b in range(3)
+        ]
+        stripe_ids = {d.stripe_id for d in decisions}
+        assert len(stripe_ids) == 1
+        stripe = policy.store.stripe(stripe_ids.pop())
+        assert stripe.state == StripeState.SEALED
+        assert stripe.core_rack == large_topology.rack_of(writer)
+
+    def test_new_stripe_after_seal(self, large_topology, rng):
+        policy = PreliminaryEAR(large_topology, k=2, rng=rng)
+        first = [policy.place_block(b, writer_node=0) for b in range(2)]
+        second = policy.place_block(2, writer_node=0)
+        assert second.stripe_id != first[0].stripe_id
+
+    def test_multiple_core_racks_concurrently(self, large_topology, rng):
+        policy = PreliminaryEAR(large_topology, k=4, rng=rng)
+        policy.place_block(0, writer_node=0)    # rack 0
+        policy.place_block(1, writer_node=25)   # rack 1
+        opens = policy.store.open_stripes()
+        assert len(opens) == 2
+        assert {s.core_rack for s in opens} == {0, 1}
+
+
+class TestLayouts:
+    def test_remaining_replicas_follow_scheme(self, large_topology, rng):
+        policy = PreliminaryEAR(large_topology, k=4, rng=rng)
+        decision = policy.place_block(0)
+        racks = [large_topology.rack_of(n) for n in decision.node_ids]
+        assert racks[1] == racks[2] != racks[0]
+
+    def test_layout_recorded(self, large_topology, rng):
+        policy = PreliminaryEAR(large_topology, k=4, rng=rng)
+        decision = policy.place_block(0)
+        assert policy.layout_of(0) == list(decision.node_ids)
+
+    def test_stripe_layout(self, large_topology, rng):
+        policy = PreliminaryEAR(large_topology, k=2, rng=rng)
+        policy.place_block(0, writer_node=0)
+        policy.place_block(1, writer_node=0)
+        stripe = policy.store.sealed_stripes()[0]
+        layout = policy.stripe_layout(stripe)
+        assert set(layout) == {0, 1}
+
+    def test_store_k_mismatch_rejected(self, large_topology, rng):
+        with pytest.raises(ValueError):
+            PreliminaryEAR(
+                large_topology, k=4, rng=rng, store=PreEncodingStore(5)
+            )
+
+
+class TestViolationRate:
+    def test_violation_rate_matches_equation1(self):
+        """Monte-Carlo over the real policy approaches Equation (1)."""
+        from repro.analysis.violation import violation_probability
+        from repro.cluster.topology import ClusterTopology
+        from repro.core.flowgraph import StripeFlowGraph
+
+        num_racks, k, trials = 10, 6, 400
+        topo = ClusterTopology(nodes_per_rack=30, num_racks=num_racks)
+        rng = random.Random(5)
+        policy = PreliminaryEAR(topo, k=k, rng=rng)
+        graph = StripeFlowGraph(topo, c=1)
+        writer = 0
+        violations = 0
+        block_id = 0
+        for __ in range(trials):
+            for __ in range(k):
+                policy.place_block(block_id, writer_node=writer)
+                block_id += 1
+            stripe = policy.store.sealed_stripes()[-1]
+            if not graph.is_feasible(policy.stripe_layout(stripe)):
+                violations += 1
+        observed = violations / trials
+        expected = violation_probability(num_racks, k)
+        assert abs(observed - expected) < 0.08

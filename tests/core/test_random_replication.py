@@ -1,0 +1,87 @@
+"""Random replication: layout invariants and stripe grouping."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.policy import TWO_RACKS, ReplicationScheme
+from repro.core.random_replication import RandomReplication
+from repro.core.stripe import PreEncodingStore
+
+
+class TestPlacement:
+    def test_basic_invariants(self, large_topology, rng):
+        policy = RandomReplication(large_topology, rng=rng)
+        for block_id in range(200):
+            decision = policy.place_block(block_id)
+            nodes = decision.node_ids
+            assert len(nodes) == 3
+            assert len(set(nodes)) == 3
+            racks = {large_topology.rack_of(n) for n in nodes}
+            assert len(racks) == 2
+            assert decision.core_rack is None
+            assert decision.attempts == 1
+
+    def test_writer_hint_pins_first_rack(self, large_topology, rng):
+        policy = RandomReplication(large_topology, rng=rng)
+        for block_id in range(30):
+            decision = policy.place_block(block_id, writer_node=25)
+            first_rack = large_topology.rack_of(decision.node_ids[0])
+            assert first_rack == large_topology.rack_of(25)
+
+    def test_rack_choice_is_roughly_uniform(self, large_topology):
+        policy = RandomReplication(large_topology, rng=random.Random(3))
+        counts = Counter()
+        trials = 4000
+        for block_id in range(trials):
+            decision = policy.place_block(block_id)
+            counts[large_topology.rack_of(decision.node_ids[0])] += 1
+        expected = trials / large_topology.num_racks
+        for rack in large_topology.rack_ids():
+            assert abs(counts[rack] - expected) < expected * 0.35
+
+    def test_determinism_under_seed(self, large_topology):
+        a = RandomReplication(large_topology, rng=random.Random(11))
+        b = RandomReplication(large_topology, rng=random.Random(11))
+        for block_id in range(50):
+            assert a.place_block(block_id).node_ids == b.place_block(block_id).node_ids
+
+
+class TestStripeGrouping:
+    def test_groups_every_k_blocks(self, large_topology, rng):
+        store = PreEncodingStore(4)
+        policy = RandomReplication(large_topology, rng=rng, store=store)
+        decisions = [policy.place_block(b) for b in range(10)]
+        assert decisions[0].stripe_id == decisions[3].stripe_id
+        assert decisions[4].stripe_id != decisions[0].stripe_id
+        assert len(store.sealed_stripes()) == 2
+        assert len(store.open_stripes()) == 1
+        sealed = store.sealed_stripes()[0]
+        assert sealed.block_ids == [0, 1, 2, 3]
+        assert sealed.core_rack is None
+
+    def test_no_store_means_no_stripes(self, large_topology, rng):
+        policy = RandomReplication(large_topology, rng=rng)
+        decision = policy.place_block(0)
+        assert decision.stripe_id is None
+
+    def test_blocks_stay_in_write_order(self, large_topology, rng):
+        store = PreEncodingStore(3)
+        policy = RandomReplication(large_topology, rng=rng, store=store)
+        for block_id in range(9):
+            policy.place_block(block_id)
+        stripes = store.sealed_stripes()
+        assert [s.block_ids for s in stripes] == [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+
+
+class TestSchemes:
+    @pytest.mark.parametrize("replicas,racks", [(2, 2), (3, 3), (4, 4), (3, 2)])
+    def test_alternative_schemes(self, large_topology, rng, replicas, racks):
+        policy = RandomReplication(
+            large_topology, scheme=ReplicationScheme(replicas, racks), rng=rng
+        )
+        decision = policy.place_block(0)
+        assert len(decision.node_ids) == replicas
+        rack_set = {large_topology.rack_of(n) for n in decision.node_ids}
+        assert len(rack_set) == racks

@@ -1,0 +1,119 @@
+"""Stripe lifecycle and the pre-encoding store."""
+
+import pytest
+
+from repro.core.stripe import PreEncodingStore, Stripe, StripeState
+
+
+class TestStripeLifecycle:
+    def test_open_then_seal(self):
+        stripe = Stripe(stripe_id=0, k=3)
+        for b in range(3):
+            stripe.add_block(b)
+        assert stripe.is_full()
+        stripe.seal()
+        assert stripe.state == StripeState.SEALED
+
+    def test_seal_requires_exactly_k(self):
+        stripe = Stripe(stripe_id=0, k=3)
+        stripe.add_block(0)
+        with pytest.raises(ValueError):
+            stripe.seal()
+
+    def test_add_beyond_k_rejected(self):
+        stripe = Stripe(stripe_id=0, k=2)
+        stripe.add_block(0)
+        stripe.add_block(1)
+        with pytest.raises(ValueError):
+            stripe.add_block(2)
+
+    def test_duplicate_block_rejected(self):
+        stripe = Stripe(stripe_id=0, k=3)
+        stripe.add_block(7)
+        with pytest.raises(ValueError):
+            stripe.add_block(7)
+
+    def test_add_to_sealed_rejected(self):
+        stripe = Stripe(stripe_id=0, k=1)
+        stripe.add_block(0)
+        stripe.seal()
+        with pytest.raises(ValueError):
+            stripe.add_block(1)
+
+    def test_double_seal_rejected(self):
+        stripe = Stripe(stripe_id=0, k=1)
+        stripe.add_block(0)
+        stripe.seal()
+        with pytest.raises(ValueError):
+            stripe.seal()
+
+    def test_mark_encoded(self):
+        stripe = Stripe(stripe_id=0, k=2)
+        stripe.add_block(0)
+        stripe.add_block(1)
+        stripe.seal()
+        stripe.mark_encoded([100, 101])
+        assert stripe.state == StripeState.ENCODED
+        assert stripe.all_block_ids() == [0, 1, 100, 101]
+
+    def test_mark_encoded_requires_sealed(self):
+        stripe = Stripe(stripe_id=0, k=2)
+        with pytest.raises(ValueError):
+            stripe.mark_encoded([100])
+
+
+class TestPreEncodingStore:
+    def test_auto_seal_when_full(self):
+        store = PreEncodingStore(2)
+        stripe = store.new_stripe(core_rack=3)
+        store.add_block(stripe.stripe_id, 0)
+        store.add_block(stripe.stripe_id, 1)
+        assert stripe.state == StripeState.SEALED
+
+    def test_no_auto_seal_option(self):
+        store = PreEncodingStore(1)
+        stripe = store.new_stripe()
+        store.add_block(stripe.stripe_id, 0, seal_when_full=False)
+        assert stripe.state == StripeState.OPEN
+
+    def test_state_filters(self):
+        store = PreEncodingStore(1)
+        a = store.new_stripe()
+        store.add_block(a.stripe_id, 0)
+        b = store.new_stripe()
+        assert store.sealed_stripes() == [a]
+        assert store.open_stripes() == [b]
+        assert store.encoded_stripes() == []
+
+    def test_block_to_stripe_lookup(self):
+        store = PreEncodingStore(2)
+        stripe = store.new_stripe()
+        store.add_block(stripe.stripe_id, 42)
+        assert store.stripe_of_block(42) is stripe
+        assert store.stripe_of_block(99) is None
+
+    def test_unknown_stripe(self):
+        store = PreEncodingStore(2)
+        with pytest.raises(KeyError):
+            store.stripe(5)
+
+    def test_target_racks_stored_as_tuple(self):
+        store = PreEncodingStore(2)
+        stripe = store.new_stripe(core_rack=0, target_racks=[0, 3])
+        assert stripe.target_racks == (0, 3)
+
+    def test_iteration_and_len(self):
+        store = PreEncodingStore(2)
+        store.new_stripe()
+        store.new_stripe()
+        assert len(store) == 2
+        assert len(list(store)) == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            PreEncodingStore(0)
+
+    def test_ids_are_unique_and_increasing(self):
+        store = PreEncodingStore(2)
+        ids = [store.new_stripe().stripe_id for __ in range(5)]
+        assert ids == sorted(set(ids))

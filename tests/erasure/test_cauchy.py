@@ -1,0 +1,102 @@
+"""Cauchy Reed-Solomon: matrix structure and MDS behaviour."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.erasure import cauchy
+from repro.erasure import matrix as gfm
+from repro.erasure.galois import GF256
+
+
+def random_shards(rng, k, length):
+    return np.array(
+        [[rng.randrange(256) for __ in range(length)] for __ in range(k)],
+        dtype=np.uint8,
+    )
+
+
+class TestCauchyMatrix:
+    def test_entries(self):
+        m = cauchy.cauchy_matrix([4, 5], [0, 1])
+        for i, x in enumerate((4, 5)):
+            for j, y in enumerate((0, 1)):
+                assert m[i, j] == GF256.inv(x ^ y)
+
+    def test_overlapping_points_rejected(self):
+        with pytest.raises(ValueError):
+            cauchy.cauchy_matrix([1, 2], [2, 3])
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            cauchy.cauchy_matrix([1, 1], [2, 3])
+        with pytest.raises(ValueError):
+            cauchy.cauchy_matrix([1, 4], [3, 3])
+
+    def test_every_square_submatrix_invertible(self, rng):
+        m = cauchy.cauchy_matrix(range(8, 14), range(6))
+        for __ in range(20):
+            size = rng.randrange(1, 5)
+            rows = rng.sample(range(6), size)
+            cols = rng.sample(range(6), size)
+            gfm.invert(m[np.ix_(sorted(rows), sorted(cols))])
+
+
+class TestGenerator:
+    def test_systematic(self):
+        g = cauchy.build_generator_matrix(6, 4)
+        assert np.array_equal(g[:4, :], gfm.identity(4))
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            cauchy.build_generator_matrix(4, 4)
+        with pytest.raises(ValueError):
+            cauchy.build_generator_matrix(270, 4)
+
+    def test_every_k_subset_invertible(self):
+        g = cauchy.build_generator_matrix(6, 3)
+        for rows in itertools.combinations(range(6), 3):
+            gfm.invert(g[list(rows), :])
+
+
+class TestEncodeDecode:
+    def test_roundtrip_all_subsets(self, rng):
+        n, k = 6, 3
+        data = random_shards(rng, k, 18)
+        parity = cauchy.encode(data, n, k)
+        all_shards = np.concatenate([data, parity], axis=0)
+        for subset in itertools.combinations(range(n), k):
+            out = cauchy.decode(
+                all_shards[list(subset), :], list(subset), n, k
+            )
+            assert np.array_equal(out, data)
+
+    def test_facebook_params(self, rng):
+        n, k = 14, 10
+        data = random_shards(rng, k, 8)
+        parity = cauchy.encode(data, n, k)
+        all_shards = np.concatenate([data, parity], axis=0)
+        subset = sorted(rng.sample(range(n), k))
+        out = cauchy.decode(all_shards[subset, :], subset, n, k)
+        assert np.array_equal(out, data)
+
+    def test_differs_from_vandermonde_rs(self, rng):
+        # Same data, different code construction -> different parity bytes.
+        from repro.erasure import reed_solomon as rs
+
+        data = random_shards(rng, 4, 16)
+        assert not np.array_equal(
+            cauchy.encode(data, 6, 4), rs.encode(data, 6, 4)
+        )
+
+    def test_validation_errors(self, rng):
+        data = random_shards(rng, 3, 4)
+        with pytest.raises(ValueError):
+            cauchy.encode(data, 6, 4)
+        with pytest.raises(ValueError):
+            cauchy.decode(data, [0, 1], 6, 3)
+        with pytest.raises(ValueError):
+            cauchy.decode(data, [0, 0, 1], 6, 3)
+        with pytest.raises(ValueError):
+            cauchy.decode(data, [0, 1, 7], 6, 3)

@@ -1,0 +1,179 @@
+"""ErasureCodec byte-level API: padding, verify, reconstruct, factory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.codec import (
+    CauchyRSCodec,
+    CodeParams,
+    ReedSolomonCodec,
+    make_codec,
+)
+
+
+class TestCodeParams:
+    def test_valid(self):
+        p = CodeParams(14, 10)
+        assert p.num_parity == 4
+        assert p.storage_overhead == pytest.approx(1.4)
+        assert p.node_failures_tolerated == 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CodeParams(4, 4)
+        with pytest.raises(ValueError):
+            CodeParams(4, 0)
+        with pytest.raises(ValueError):
+            CodeParams(4, 5)
+        with pytest.raises(ValueError):
+            CodeParams(260, 10)
+
+    def test_rack_failures_with_c(self):
+        p = CodeParams(14, 10)
+        assert p.rack_failures_tolerated(1) == 4
+        assert p.rack_failures_tolerated(2) == 2
+        assert p.rack_failures_tolerated(3) == 1
+        assert p.rack_failures_tolerated(4) == 1
+        assert p.rack_failures_tolerated(5) == 0
+
+    def test_rack_failures_invalid_c(self):
+        with pytest.raises(ValueError):
+            CodeParams(14, 10).rack_failures_tolerated(0)
+
+    def test_min_racks(self):
+        p = CodeParams(14, 10)
+        assert p.min_racks(1) == 14
+        assert p.min_racks(4) == 4  # ceil(14 / 4)
+        assert p.min_racks(14) == 1
+
+    def test_str(self):
+        assert str(CodeParams(10, 8)) == "(10,8)"
+
+    def test_azure_overhead(self):
+        # The paper's motivation: Azure's overhead of 1.33.
+        assert CodeParams(16, 12).storage_overhead == pytest.approx(4 / 3)
+
+
+@pytest.fixture(params=[ReedSolomonCodec, CauchyRSCodec])
+def codec(request):
+    return request.param(CodeParams(6, 4))
+
+
+class TestEncodeDecode:
+    def test_roundtrip_equal_sizes(self, codec):
+        data = [bytes([i]) * 100 for i in range(4)]
+        parity = codec.encode(data)
+        assert len(parity) == 2
+        available = {0: data[0], 3: data[3], 4: parity[0], 5: parity[1]}
+        assert codec.decode(available) == data
+
+    def test_roundtrip_with_padding(self, codec):
+        data = [b"short", b"a much longer block here", b"mid-size!", b"x"]
+        parity = codec.encode(data)
+        available = {1: data[1].ljust(24, b"\0"), 2: data[2].ljust(24, b"\0"),
+                     4: parity[0], 5: parity[1]}
+        lengths = [len(d) for d in data]
+        out = codec.decode(available, original_lengths=lengths)
+        assert out == data
+
+    def test_decode_prefers_lowest_indices(self, codec):
+        data = [bytes([i]) * 16 for i in range(4)]
+        parity = codec.encode(data)
+        everything = {i: b for i, b in enumerate(data)}
+        everything.update({4 + i: p for i, p in enumerate(parity)})
+        assert codec.decode(everything) == [d for d in data]
+
+    def test_too_few_blocks(self, codec):
+        with pytest.raises(ValueError):
+            codec.decode({0: b"a", 1: b"b", 2: b"c"})
+
+    def test_wrong_block_count_encode(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode([b"a", b"b"])
+
+    def test_empty_block_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode([b"", b"a", b"b", b"c"])
+
+    def test_wrong_lengths_list(self, codec):
+        data = [b"aaaa"] * 4
+        parity = codec.encode(data)
+        available = {i: d for i, d in enumerate(data)}
+        with pytest.raises(ValueError):
+            codec.decode(available, original_lengths=[4, 4])
+
+
+class TestReconstruct:
+    def test_reconstruct_each_position(self, codec):
+        data = [bytes(range(i, i + 32)) for i in range(4)]
+        parity = codec.encode(data)
+        blocks = {i: d for i, d in enumerate(data)}
+        blocks.update({4 + i: p for i, p in enumerate(parity)})
+        for lost in range(6):
+            survivors = {i: b for i, b in blocks.items() if i != lost}
+            rebuilt = codec.reconstruct(lost, survivors)
+            assert rebuilt == blocks[lost]
+
+    def test_reconstruct_bad_index(self, codec):
+        with pytest.raises(ValueError):
+            codec.reconstruct(9, {})
+
+
+class TestVerify:
+    def test_verify_accepts_consistent_stripe(self, codec):
+        data = [bytes([7 * i + 1]) * 20 for i in range(4)]
+        parity = codec.encode(data)
+        blocks = {i: d for i, d in enumerate(data)}
+        blocks.update({4 + i: p for i, p in enumerate(parity)})
+        assert codec.verify(blocks)
+
+    def test_verify_detects_corruption(self, codec):
+        data = [bytes([i]) * 20 for i in range(4)]
+        parity = codec.encode(data)
+        blocks = {i: d for i, d in enumerate(data)}
+        blocks.update({4 + i: p for i, p in enumerate(parity)})
+        blocks[5] = bytes(20)  # corrupt one parity block
+        assert not codec.verify(blocks)
+
+    def test_verify_requires_full_stripe(self, codec):
+        with pytest.raises(ValueError):
+            codec.verify({0: b"x"})
+
+
+class TestFactory:
+    def test_by_name(self):
+        assert isinstance(make_codec(6, 4, "rs"), ReedSolomonCodec)
+        assert isinstance(make_codec(6, 4, "reed-solomon"), ReedSolomonCodec)
+        assert isinstance(make_codec(6, 4, "cauchy"), CauchyRSCodec)
+        assert isinstance(make_codec(6, 4, "cauchy-rs"), CauchyRSCodec)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            make_codec(6, 4, "raptor")
+
+    def test_default_scheme_is_rs(self):
+        assert make_codec(10, 8).scheme == "reed-solomon"
+
+
+@given(
+    seed=st.integers(0, 2**20),
+    k=st.integers(2, 5),
+    m=st.integers(1, 3),
+    length=st.integers(1, 64),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_any_k_recovers(seed, k, m, length):
+    """MDS at the byte level: any k of n blocks reconstruct the data."""
+    import random
+
+    r = random.Random(seed)
+    codec = make_codec(k + m, k, "rs" if seed % 2 else "cauchy")
+    data = [bytes(r.randrange(256) for __ in range(length)) for __ in range(k)]
+    parity = codec.encode(data)
+    blocks = {i: d.ljust(length, b"\0") for i, d in enumerate(data)}
+    blocks.update({k + i: p for i, p in enumerate(parity)})
+    subset = r.sample(range(k + m), k)
+    out = codec.decode({i: blocks[i] for i in subset},
+                       original_lengths=[len(d) for d in data])
+    assert out == data

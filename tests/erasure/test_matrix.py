@@ -1,0 +1,166 @@
+"""Matrix algebra over GF(2^8): multiply, invert, rank, Vandermonde."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import matrix as gfm
+from repro.erasure.galois import GF256
+
+
+def random_matrix(rng, rows, cols):
+    return np.array(
+        [[rng.randrange(256) for __ in range(cols)] for __ in range(rows)],
+        dtype=np.uint8,
+    )
+
+
+class TestMatmul:
+    def test_identity_is_neutral(self, rng):
+        m = random_matrix(rng, 4, 4)
+        assert np.array_equal(gfm.matmul(gfm.identity(4), m), m)
+        assert np.array_equal(gfm.matmul(m, gfm.identity(4)), m)
+
+    def test_zero_matrix(self):
+        z = np.zeros((2, 3), dtype=np.uint8)
+        m = np.ones((3, 2), dtype=np.uint8)
+        assert not gfm.matmul(z, m).any()
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            gfm.matmul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 3), dtype=np.uint8))
+
+    def test_manual_2x2(self):
+        a = np.array([[1, 2], [3, 4]], dtype=np.uint8)
+        b = np.array([[5, 6], [7, 8]], dtype=np.uint8)
+        out = gfm.matmul(a, b)
+        expected00 = GF256.add(GF256.mul(1, 5), GF256.mul(2, 7))
+        expected11 = GF256.add(GF256.mul(3, 6), GF256.mul(4, 8))
+        assert out[0, 0] == expected00
+        assert out[1, 1] == expected11
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20)
+    def test_associativity(self, seed):
+        import random
+
+        r = random.Random(seed)
+        a = random_matrix(r, 3, 4)
+        b = random_matrix(r, 4, 2)
+        c = random_matrix(r, 2, 5)
+        left = gfm.matmul(gfm.matmul(a, b), c)
+        right = gfm.matmul(a, gfm.matmul(b, c))
+        assert np.array_equal(left, right)
+
+
+class TestMatvec:
+    def test_identity(self):
+        assert gfm.matvec(gfm.identity(3), [9, 8, 7]).tolist() == [9, 8, 7]
+
+    def test_matches_matmul(self, rng):
+        m = random_matrix(rng, 3, 3)
+        x = [1, 2, 3]
+        via_matmul = gfm.matmul(m, np.array(x, dtype=np.uint8).reshape(-1, 1))
+        assert gfm.matvec(m, x).tolist() == via_matmul.reshape(-1).tolist()
+
+
+class TestApplyToShards:
+    def test_identity_passthrough(self, rng):
+        shards = random_matrix(rng, 3, 64)
+        out = gfm.apply_to_shards(gfm.identity(3), shards)
+        assert np.array_equal(out, shards)
+
+    def test_xor_row(self):
+        shards = np.array([[1, 2], [3, 4]], dtype=np.uint8)
+        coeffs = np.array([[1, 1]], dtype=np.uint8)
+        assert gfm.apply_to_shards(coeffs, shards).tolist() == [[2, 6]]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            gfm.apply_to_shards(
+                np.zeros((2, 3), dtype=np.uint8), np.zeros((4, 8), dtype=np.uint8)
+            )
+
+
+class TestInvert:
+    def test_identity_inverse(self):
+        assert np.array_equal(gfm.invert(gfm.identity(5)), gfm.identity(5))
+
+    def test_inverse_roundtrip(self, rng):
+        for size in (1, 2, 3, 5, 8):
+            while True:
+                m = random_matrix(rng, size, size)
+                try:
+                    inv = gfm.invert(m)
+                    break
+                except gfm.SingularMatrixError:
+                    continue
+            assert np.array_equal(gfm.matmul(m, inv), gfm.identity(size))
+            assert np.array_equal(gfm.matmul(inv, m), gfm.identity(size))
+
+    def test_singular_raises(self):
+        singular = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(gfm.SingularMatrixError):
+            gfm.invert(singular)
+
+    def test_zero_matrix_singular(self):
+        with pytest.raises(gfm.SingularMatrixError):
+            gfm.invert(np.zeros((3, 3), dtype=np.uint8))
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            gfm.invert(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_needs_row_swap(self):
+        # Zero pivot in the first position forces a swap.
+        m = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+        assert np.array_equal(gfm.invert(m), m)
+
+
+class TestRank:
+    def test_identity_full_rank(self):
+        assert gfm.rank(gfm.identity(6)) == 6
+
+    def test_zero_matrix(self):
+        assert gfm.rank(np.zeros((3, 4), dtype=np.uint8)) == 0
+
+    def test_duplicate_rows(self):
+        m = np.array([[1, 2, 3], [1, 2, 3], [4, 5, 6]], dtype=np.uint8)
+        assert gfm.rank(m) == 2
+
+    def test_gf_dependence_detected(self):
+        # Row 2 = 2 * row 1 in GF arithmetic.
+        row = [1, 7, 33]
+        doubled = [GF256.mul(2, v) for v in row]
+        m = np.array([row, doubled], dtype=np.uint8)
+        assert gfm.rank(m) == 1
+
+    def test_wide_matrix(self, rng):
+        m = random_matrix(rng, 2, 10)
+        assert gfm.rank(m) <= 2
+
+
+class TestVandermonde:
+    def test_shape_and_first_rows(self):
+        v = gfm.vandermonde(4, 3)
+        assert v.shape == (4, 3)
+        assert v[0].tolist() == [1, 0, 0]  # 0^0 = 1, 0^1 = 0, 0^2 = 0
+        assert v[1].tolist() == [1, 1, 1]
+
+    def test_entries_are_powers(self):
+        v = gfm.vandermonde(6, 4)
+        for i in range(6):
+            for j in range(4):
+                assert v[i, j] == GF256.pow(i, j)
+
+    def test_any_k_rows_invertible(self, rng):
+        # The MDS property RS depends on.
+        v = gfm.vandermonde(10, 4)
+        for __ in range(20):
+            rows = rng.sample(range(10), 4)
+            gfm.invert(v[rows, :])  # must not raise
+
+    def test_too_many_rows_rejected(self):
+        with pytest.raises(ValueError):
+            gfm.vandermonde(257, 3)

@@ -1,0 +1,78 @@
+"""Terminal chart rendering."""
+
+import pytest
+
+from repro.experiments.charts import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        out = bar_chart(["a", "b"], [50.0, 100.0], width=20)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 20
+
+    def test_values_printed(self):
+        out = bar_chart(["RR", "EAR"], [785, 1155], unit=" MB/s")
+        assert "785 MB/s" in out
+        assert "1155 MB/s" in out
+
+    def test_zero_value_has_no_bar(self):
+        out = bar_chart(["z", "p"], [0.0, 4.0], width=10)
+        assert out.splitlines()[0].count("#") == 0
+
+    def test_all_zero_does_not_divide_by_zero(self):
+        bar_chart(["a"], [0.0])
+
+    def test_labels_aligned(self):
+        out = bar_chart(["a", "long-label"], [1, 2])
+        starts = [line.index("|") for line in out.splitlines()]
+        assert len(set(starts)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1], width=0)
+
+
+class TestLineChart:
+    def test_markers_and_legend(self):
+        out = line_chart(
+            {"rr": [(0, 0), (10, 5)], "ear": [(0, 0), (10, 10)]},
+            width=20, height=8,
+        )
+        assert "o = rr" in out
+        assert "x = ear" in out
+        assert "o" in out
+        assert "x" in out
+
+    def test_axis_annotations(self):
+        out = line_chart({"s": [(1, 2), (9, 8)]}, x_label="sec", y_label="MB")
+        assert "1 .. 9 sec" in out
+        assert "8 MB" in out
+        assert out.splitlines()[-3].startswith("2 +")
+
+    def test_flat_series_ok(self):
+        line_chart({"flat": [(0, 5), (10, 5)]})
+
+    def test_single_point_ok(self):
+        line_chart({"dot": [(3, 3)]})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"empty": []})
+        with pytest.raises(ValueError):
+            line_chart({"a": [(0, 0)]}, width=1)
+
+    def test_grid_dimensions(self):
+        out = line_chart({"a": [(0, 0), (1, 1)]}, width=30, height=10)
+        grid_lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len(grid_lines) == 10
+        assert all(len(l) == 31 for l in grid_lines)

@@ -1,0 +1,92 @@
+"""Experiment B.2: large-scale runs and the Figure 13 sweeps (scaled)."""
+
+import pytest
+
+from repro.erasure.codec import CodeParams
+from repro.experiments.config import LargeScaleConfig
+from repro.experiments.largescale import (
+    NormalisedPoint,
+    compare_policies,
+    run_largescale,
+    sweep_bandwidth,
+    sweep_k,
+    sweep_rack_tolerance,
+)
+
+SMALL = LargeScaleConfig().scaled(4)  # 80 stripes
+
+
+class TestRunLargeScale:
+    def test_all_stripes_encoded(self):
+        result = run_largescale("ear", SMALL, seed=0)
+        assert result.stripes_encoded == SMALL.total_stripes
+        assert result.encode_throughput_mb_s > 0
+        assert result.mean_write_rt is not None
+
+    def test_ear_guarantee_holds_under_load(self):
+        result = run_largescale("ear", SMALL, seed=1)
+        assert result.cross_rack_downloads == 0
+
+    def test_rr_pays_cross_rack_downloads(self):
+        result = run_largescale("rr", SMALL, seed=1)
+        # ~ k (1 - 2/R) = 9 per stripe.
+        assert result.cross_rack_downloads > 6 * SMALL.total_stripes
+
+    def test_ear_beats_rr(self):
+        encode_ratio, write_ratio = compare_policies(SMALL, seed=2)
+        assert encode_ratio > 1.2
+        assert write_ratio > 1.0
+
+    def test_seed_determinism(self):
+        a = run_largescale("ear", SMALL, seed=3)
+        b = run_largescale("ear", SMALL, seed=3)
+        assert a.encoding_time == b.encoding_time
+        assert a.encode_throughput_mb_s == b.encode_throughput_mb_s
+
+
+class TestSweeps:
+    def test_sweep_k_shape(self):
+        points = sweep_k(ks=(6, 10), base=SMALL, seeds=(0,))
+        assert [p.parameter for p in points] == [6, 10]
+        for point in points:
+            assert point.encode_gain > 0
+
+    def test_sweep_bandwidth_gain_grows_when_scarce(self):
+        points = sweep_bandwidth(gbps=(0.3, 1.0), base=SMALL, seeds=(0,))
+        gains = {p.parameter: p.encode_gain for p in points}
+        # Figure 13(c): scarcer links, bigger EAR advantage.
+        assert gains[0.3] > gains[1.0] * 0.9
+
+    def test_sweep_rack_tolerance_configures_c(self):
+        points = sweep_rack_tolerance(tolerances=(4,), base=SMALL, seeds=(0,))
+        assert len(points) == 1
+        assert points[0].encode_gain > 0
+
+    def test_normalised_point_statistics(self):
+        point = NormalisedPoint(
+            parameter=1.0,
+            encode_ratios=(1.5, 1.7),
+            write_ratios=(1.2, 1.4),
+        )
+        assert point.encode_gain == pytest.approx(0.6)
+        assert point.write_gain == pytest.approx(0.3)
+
+
+class TestRelocationInSimulation:
+    def test_rr_relocation_costs_traffic(self):
+        with_rel = run_largescale(
+            "rr", SMALL, seed=4, include_relocation=True
+        )
+        # Some stripes violate and get repaired with real transfers.
+        assert with_rel.relocation_moves >= 0
+        assert with_rel.relocation_cross_moves <= with_rel.relocation_moves
+
+    def test_ear_never_relocates(self):
+        result = run_largescale(
+            "ear", SMALL, seed=4, include_relocation=True
+        )
+        assert result.relocation_moves == 0
+
+    def test_plain_run_reports_zero_moves(self):
+        result = run_largescale("rr", SMALL, seed=4)
+        assert result.relocation_moves == 0

@@ -1,0 +1,44 @@
+"""Experiments C.1-C.2 drivers (scaled)."""
+
+import pytest
+
+from repro.experiments.loadbalance import (
+    LoadBalanceConfig,
+    read_balance,
+    storage_balance,
+)
+
+
+class TestStorageBalance:
+    def test_both_policies_balanced(self):
+        shares = storage_balance(num_blocks=1500, runs=3)
+        assert set(shares) == {"rr", "ear"}
+        for policy, curve in shares.items():
+            assert len(curve) == 20
+            assert sum(curve) == pytest.approx(1.0)
+            assert curve[0] < 0.065, policy
+            assert curve[-1] > 0.035, policy
+
+    def test_ear_matches_rr_closely(self):
+        shares = storage_balance(num_blocks=1500, runs=3)
+        for a, b in zip(shares["rr"], shares["ear"]):
+            assert abs(a - b) < 0.012
+
+
+class TestReadBalance:
+    def test_hotness_tracks_between_policies(self):
+        result = read_balance(file_sizes=(10, 200), runs=3)
+        for size in (10, 200):
+            assert abs(result["rr"][size] - result["ear"][size]) < 0.05
+
+    def test_hotness_decreases_with_size(self):
+        result = read_balance(file_sizes=(10, 500), runs=3)
+        for policy in ("rr", "ear"):
+            assert result[policy][500] < result[policy][10]
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = LoadBalanceConfig()
+        assert config.num_racks == 20
+        assert config.scheme().rack_group_sizes() == (1, 2)

@@ -1,0 +1,82 @@
+"""Result serialisation: round-trips, schema checks, real result objects."""
+
+import json
+
+import pytest
+
+from repro.erasure.codec import CodeParams
+from repro.experiments.largescale import NormalisedPoint
+from repro.experiments.results_io import (
+    SCHEMA_VERSION,
+    code_params_from,
+    dumps,
+    load,
+    loads,
+    save,
+)
+from repro.experiments.testbed import EncodingRunResult
+
+
+class TestRoundTrips:
+    def test_primitives(self):
+        for value in (1, 2.5, "x", True, None, [1, 2], {"a": 1}):
+            assert loads(dumps(value)) == value
+
+    def test_tuple_becomes_list(self):
+        assert loads(dumps((1, 2))) == [1, 2]
+
+    def test_dataclass_with_marker(self):
+        point = NormalisedPoint(
+            parameter=10.0, encode_ratios=(1.5,), write_ratios=(1.2,)
+        )
+        out = loads(dumps(point))
+        assert out["__type__"] == "NormalisedPoint"
+        assert out["parameter"] == 10.0
+        assert out["encode_ratios"] == [1.5]
+
+    def test_nested_experiment_result(self):
+        result = EncodingRunResult(
+            policy="ear",
+            code=CodeParams(10, 8),
+            num_stripes=96,
+            encoding_time=45.0,
+            throughput_mb_s=1155.0,
+            cross_rack_downloads=0,
+            cross_rack_uploads=192,
+            timeline=((1.0, 1), (2.0, 2)),
+        )
+        out = loads(dumps(result))
+        assert out["policy"] == "ear"
+        assert out["code"]["n"] == 10
+        assert out["timeline"] == [[1.0, 1], [2.0, 2]]
+        assert code_params_from(out["code"]) == CodeParams(10, 8)
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(TypeError):
+            dumps(object())
+
+
+class TestSchema:
+    def test_version_embedded(self):
+        document = json.loads(dumps(42))
+        assert document["schema"] == SCHEMA_VERSION
+
+    def test_wrong_schema_rejected(self):
+        bad = json.dumps({"schema": 999, "result": 1})
+        with pytest.raises(ValueError):
+            loads(bad)
+
+    def test_non_document_rejected(self):
+        with pytest.raises(ValueError):
+            loads("[1, 2, 3]")
+
+    def test_code_params_marker_checked(self):
+        with pytest.raises(ValueError):
+            code_params_from({"n": 10, "k": 8})
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        path = save({"gain": 0.7}, tmp_path / "result.json")
+        assert path.exists()
+        assert load(path) == {"gain": 0.7}

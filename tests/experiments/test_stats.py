@@ -1,0 +1,121 @@
+"""Summary statistics: quantiles, boxplot summaries, confidence intervals."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.stats import (
+    FiveNumberSummary,
+    confidence_interval_95,
+    five_number_summary,
+    mean,
+    quantile,
+    stdev,
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stdev(self):
+        assert stdev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+            2.138, abs=0.001
+        )
+        assert stdev([5.0]) == 0.0
+        with pytest.raises(ValueError):
+            stdev([])
+
+    def test_quantile_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 4.0
+        assert quantile(values, 0.5) == 2.5
+        assert quantile(values, 0.25) == 1.75
+
+    def test_quantile_single(self):
+        assert quantile([7.0], 0.9) == 7.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+
+class TestFiveNumberSummary:
+    def test_plain_data(self):
+        summary = five_number_summary([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.minimum == 1.0
+        assert summary.median == 3.0
+        assert summary.maximum == 5.0
+        assert summary.q1 == 2.0
+        assert summary.q3 == 4.0
+        assert summary.outliers == ()
+        assert summary.iqr == 2.0
+
+    def test_outlier_detected(self):
+        summary = five_number_summary([1.0, 2.0, 3.0, 4.0, 5.0, 100.0])
+        assert 100.0 in summary.outliers
+        assert summary.maximum == 5.0  # whisker excludes the outlier
+
+    def test_constant_data(self):
+        summary = five_number_summary([3.0] * 5)
+        assert summary.minimum == summary.maximum == 3.0
+
+    def test_str_mentions_median(self):
+        assert "med=" in str(five_number_summary([1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            five_number_summary([])
+
+    @given(seed=st.integers(0, 2**16), n=st.integers(2, 60))
+    @settings(max_examples=30, deadline=None)
+    def test_property_order_invariants(self, seed, n):
+        rng = random.Random(seed)
+        values = [rng.gauss(0, 10) for __ in range(n)]
+        summary = five_number_summary(values)
+        assert (
+            summary.minimum <= summary.q1 <= summary.median
+            <= summary.q3 <= summary.maximum
+        )
+        assert len(summary.outliers) < n
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        values = [9.8, 10.1, 10.0, 9.9, 10.2]
+        low, high = confidence_interval_95(values)
+        assert low < mean(values) < high
+
+    def test_single_value_degenerate(self):
+        assert confidence_interval_95([5.0]) == (5.0, 5.0)
+
+    def test_more_samples_tighter(self):
+        rng = random.Random(1)
+        few = [rng.gauss(0, 1) for __ in range(4)]
+        many = few * 8
+        low_f, high_f = confidence_interval_95(few)
+        low_m, high_m = confidence_interval_95(many)
+        assert (high_m - low_m) < (high_f - low_f)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval_95([])
+
+    def test_coverage_property(self):
+        """~95% of CIs cover the true mean (loose bound to stay stable)."""
+        rng = random.Random(42)
+        covered = 0
+        trials = 200
+        for __ in range(trials):
+            sample = [rng.gauss(5.0, 2.0) for __ in range(10)]
+            low, high = confidence_interval_95(sample)
+            if low <= 5.0 <= high:
+                covered += 1
+        assert covered / trials > 0.85

@@ -1,0 +1,96 @@
+"""Experiments A.1-A.3, scaled down for test runtime."""
+
+import pytest
+
+from repro.erasure.codec import CodeParams
+from repro.experiments.config import TestbedConfig
+from repro.experiments.testbed import (
+    completion_curve,
+    run_mapreduce_workload,
+    run_raw_encoding,
+    run_write_during_encoding,
+    sweep_nk,
+    sweep_udp,
+)
+
+SMALL = TestbedConfig().scaled(16)
+
+
+class TestRawEncoding:
+    def test_ear_beats_rr(self):
+        rr = run_raw_encoding("rr", CodeParams(10, 8), SMALL, seed=0)
+        ear = run_raw_encoding("ear", CodeParams(10, 8), SMALL, seed=0)
+        assert ear.throughput_mb_s > rr.throughput_mb_s
+        assert ear.cross_rack_downloads == 0
+        assert rr.cross_rack_downloads > 0
+        assert rr.num_stripes == ear.num_stripes == 16
+
+    def test_timeline_is_cumulative(self):
+        result = run_raw_encoding("ear", CodeParams(6, 4), SMALL, seed=1)
+        counts = [c for __, c in result.timeline]
+        assert counts == list(range(1, 17))
+        times = [t for t, __ in result.timeline]
+        assert times == sorted(times)
+
+    def test_udp_slows_encoding(self):
+        base = run_raw_encoding("ear", CodeParams(10, 8), SMALL, seed=2)
+        loaded = run_raw_encoding(
+            "ear", CodeParams(10, 8), SMALL, seed=2, udp_rate=80e6
+        )
+        assert loaded.throughput_mb_s < base.throughput_mb_s
+
+    def test_sweep_nk_gains_positive(self):
+        results = sweep_nk(ks=(4, 8), seeds=(0,), config=SMALL)
+        assert set(results) == {4, 8}
+        for row in results.values():
+            assert row["gain"] > 0
+
+    def test_sweep_udp_gain_grows_with_congestion(self):
+        results = sweep_udp(
+            rates_mbps=(0, 600), seeds=(0, 1), config=SMALL
+        )
+        assert results[600]["gain"] > results[0]["gain"]
+
+
+class TestWriteDuringEncoding:
+    def test_ear_improves_write_rt_and_encode_time(self):
+        rr = run_write_during_encoding(
+            "rr", config=SMALL, seed=0, warmup_duration=40.0
+        )
+        ear = run_write_during_encoding(
+            "ear", config=SMALL, seed=0, warmup_duration=40.0
+        )
+        assert ear.encoding_time < rr.encoding_time
+        assert ear.write_rt_during < rr.write_rt_during
+
+    def test_encoding_inflates_write_rt(self):
+        result = run_write_during_encoding(
+            "rr", config=SMALL, seed=1, warmup_duration=40.0
+        )
+        assert result.write_rt_during > result.write_rt_before
+
+    def test_replayed_arrivals(self):
+        times = [float(t) for t in range(1, 30, 2)]
+        result = run_write_during_encoding(
+            "ear", config=SMALL, seed=2, warmup_duration=40.0,
+            write_start_times=times,
+        )
+        starts = sorted(t for t, __ in result.write_series)
+        assert starts[: len(times)] == pytest.approx(times)
+
+
+class TestMapReduceWorkload:
+    def test_rr_and_ear_similar(self):
+        rr = run_mapreduce_workload("rr", num_jobs=8, config=SMALL, seed=0)
+        ear = run_mapreduce_workload("ear", num_jobs=8, config=SMALL, seed=0)
+        assert len(rr) == len(ear) == 8
+        rr_makespan = max(r.finish_time for r in rr)
+        ear_makespan = max(r.finish_time for r in ear)
+        # Figure 10: "very similar performance trends".
+        assert abs(rr_makespan - ear_makespan) / rr_makespan < 0.25
+
+    def test_completion_curve(self):
+        records = run_mapreduce_workload("rr", num_jobs=5, config=SMALL, seed=1)
+        curve = completion_curve(records)
+        assert [c for __, c in curve] == [1, 2, 3, 4, 5]
+        assert [t for t, __ in curve] == sorted(t for t, __ in curve)

@@ -1,0 +1,168 @@
+"""CFS client: write pipeline timing and read replica preference."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.policy import ReplicationScheme
+from repro.core.random_replication import RandomReplication
+from repro.hdfs.client import CFSClient
+from repro.hdfs.namenode import NameNode
+from repro.sim.engine import Simulator
+from repro.sim.metrics import ResponseTimeStats
+from repro.sim.netsim import DiskModel, Network
+
+
+def build(topology, scheme=ReplicationScheme(3, 2), disk=None, block_size=100):
+    sim = Simulator()
+    net = Network(sim, topology, disk=disk)
+    policy = RandomReplication(topology, scheme=scheme, rng=random.Random(1))
+    namenode = NameNode(topology, policy, block_size=block_size)
+    stats = ResponseTimeStats()
+    client = CFSClient(sim, net, namenode, stats=stats)
+    return sim, net, namenode, client, stats
+
+
+@pytest.fixture
+def topo():
+    return ClusterTopology(
+        nodes_per_rack=3, num_racks=4,
+        intra_rack_bandwidth=100.0, cross_rack_bandwidth=100.0,
+    )
+
+
+class TestWritePipeline:
+    def test_write_from_external_takes_r_hops(self, topo):
+        sim, net, nn, client, stats = build(topo)
+        master = net.add_external("master")
+        results = []
+
+        def proc():
+            result = yield from client.write_block(writer_node=master)
+            results.append(result)
+
+        sim.process(proc())
+        sim.run()
+        # master -> n1 (1 s) -> n2 (1 s) -> n3 (1 s): 3 sequential hops.
+        assert results[0].response_time == pytest.approx(3.0)
+        assert stats.count == 1
+
+    def test_write_from_datanode_saves_first_hop(self, topo):
+        sim, net, nn, client, stats = build(topo)
+        results = []
+
+        def proc():
+            result = yield from client.write_block(writer_node=0)
+            results.append(result)
+
+        sim.process(proc())
+        sim.run()
+        first = results[0].node_ids[0]
+        hops = 2 + (1 if first != 0 else 0)
+        assert results[0].response_time == pytest.approx(float(hops))
+
+    def test_write_records_block_locations(self, topo):
+        sim, net, nn, client, __ = build(topo)
+
+        def proc():
+            yield from client.write_block()
+
+        sim.process(proc())
+        sim.run()
+        block = next(nn.block_store.blocks())
+        assert len(nn.block_locations(block.block_id)) == 3
+
+    def test_async_disk_write_does_not_block_response(self, topo):
+        slow_disk = DiskModel(read_bandwidth=1000.0, write_bandwidth=1.0)
+        sim, net, nn, client, __ = build(topo, disk=slow_disk)
+        master = net.add_external("master")
+        results = []
+
+        def proc():
+            result = yield from client.write_block(writer_node=master)
+            results.append(result)
+
+        sim.process(proc())
+        sim.run()
+        # The 100 s disk flushes happen in the background.
+        assert results[0].response_time == pytest.approx(3.0)
+        assert sim.now > 3.0
+
+    def test_custom_size(self, topo):
+        sim, net, nn, client, __ = build(topo)
+        results = []
+
+        def proc():
+            result = yield from client.write_block(size=50, writer_node=None)
+            results.append(result)
+
+        sim.process(proc())
+        sim.run()
+        assert results[0].block.size == 50
+
+
+class TestReads:
+    def test_local_read_without_disk_is_instant(self, topo):
+        sim, net, nn, client, __ = build(topo)
+        block, decision = nn.allocate_block()
+        reader = decision.node_ids[0]
+        sources = []
+
+        def proc():
+            src = yield from client.read_block(block.block_id, reader)
+            sources.append((src, sim.now))
+
+        sim.process(proc())
+        sim.run()
+        assert sources == [(reader, 0.0)]
+
+    def test_same_rack_preferred(self, topo):
+        sim, net, nn, client, __ = build(topo)
+        block = nn.block_store.create_block(100)
+        nn.block_store.add_replicas(block.block_id, [0, 6])
+        # Reader node 1 shares rack 0 with replica node 0.
+        sources = []
+
+        def proc():
+            src = yield from client.read_block(block.block_id, 1)
+            sources.append(src)
+
+        sim.process(proc())
+        sim.run()
+        assert sources == [0]
+
+    def test_remote_read_times_transfer(self, topo):
+        sim, net, nn, client, __ = build(topo)
+        block = nn.block_store.create_block(100)
+        nn.block_store.add_replicas(block.block_id, [9])
+        done = []
+
+        def proc():
+            yield from client.read_block(block.block_id, 0)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [1.0]
+
+    def test_read_missing_block_raises(self, topo):
+        sim, net, nn, client, __ = build(topo)
+        block = nn.block_store.create_block(100)
+        with pytest.raises(KeyError):
+            list(client.read_block(block.block_id, 0))
+
+    def test_local_read_with_disk_costs_time(self, topo):
+        disk = DiskModel(read_bandwidth=50.0, write_bandwidth=50.0)
+        sim, net, nn, client, __ = build(topo, disk=disk)
+        block = nn.block_store.create_block(100)
+        nn.block_store.add_replica(block.block_id, 0)
+        done = []
+
+        def proc():
+            yield from client.read_block(block.block_id, 0)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [2.0]

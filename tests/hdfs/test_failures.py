@@ -1,0 +1,132 @@
+"""Failure injection: node/rack failures repaired inside the simulation."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.policy import ReplicationScheme
+from repro.erasure.codec import CodeParams
+from repro.experiments.runner import build_cluster, populate_until_sealed
+from repro.hdfs.failures import FailureInjector
+
+CODE = CodeParams(6, 4)
+SCHEME = ReplicationScheme(3, 2)
+TOPO = ClusterTopology(
+    nodes_per_rack=4, num_racks=8,
+    intra_rack_bandwidth=1e6, cross_rack_bandwidth=1e6,
+)
+
+
+def build(policy="ear", seed=1, stripes=4, encode=True):
+    setup = build_cluster(policy, TOPO, CODE, SCHEME, seed, block_size=1000)
+    populate_until_sealed(setup, stripes)
+    sealed = setup.namenode.sealed_stripes()[:stripes]
+    if encode:
+        def encode_all():
+            for stripe in sealed:
+                yield from setup.encoder.encode_stripe(stripe)
+
+        setup.sim.process(encode_all())
+        setup.sim.run()
+    injector = FailureInjector(
+        setup.sim, setup.network, setup.namenode, setup.raidnode,
+        rng=random.Random(seed + 50),
+    )
+    return setup, sealed, injector
+
+
+class TestNodeFailure:
+    def test_encoded_blocks_recovered(self):
+        setup, stripes, injector = build()
+        store = setup.namenode.block_store
+        # Fail a node that holds the single copy of an encoded block (it
+        # may also hold replicas of still-open stripes).
+        victim = store.replica_nodes(stripes[0].block_ids[0])[0]
+        lost_count = len(store.blocks_on_node(victim))
+        setup.sim.process(injector.fail_node_at(10.0, victim))
+        setup.sim.run()
+        report = injector.reports[-1]
+        assert report.blocks_lost == lost_count
+        assert report.blocks_recovered >= 1  # the encoded block
+        assert (
+            report.blocks_recovered + report.blocks_rereplicated
+            == lost_count
+        )
+        assert report.unrecoverable == ()
+        assert report.repair_time > 0
+        # Every stripe is whole again.
+        for stripe in stripes:
+            for block_id in stripe.all_block_ids():
+                assert len(store.replica_nodes(block_id)) == 1
+
+    def test_replicated_blocks_rereplicated(self):
+        setup, stripes, injector = build(encode=False)
+        store = setup.namenode.block_store
+        victim = next(n for n in TOPO.node_ids() if store.blocks_on_node(n))
+        before = {
+            b: len(store.replica_nodes(b))
+            for b in store.blocks_on_node(victim)
+        }
+        setup.sim.process(injector.fail_node_at(5.0, victim))
+        setup.sim.run()
+        report = injector.reports[-1]
+        assert report.blocks_rereplicated == len(before)
+        for block_id, count in before.items():
+            assert len(store.replica_nodes(block_id)) == count
+
+    def test_failure_waits_for_scheduled_time(self):
+        setup, stripes, injector = build()
+        store = setup.namenode.block_store
+        victim = next(n for n in TOPO.node_ids() if store.blocks_on_node(n))
+        start = setup.sim.now
+        setup.sim.process(injector.fail_node_at(start + 42.0, victim))
+        setup.sim.run()
+        assert injector.reports[-1].repair_time >= 0
+        assert setup.sim.now >= start + 42.0
+
+
+class TestRackFailure:
+    def test_single_rack_failure_fully_repaired(self):
+        setup, stripes, injector = build(seed=3)
+        store = setup.namenode.block_store
+        # Pick a rack holding at least one block.
+        rack = next(
+            r for r in TOPO.rack_ids() if store.blocks_in_rack(r)
+        )
+        setup.sim.process(injector.fail_rack_at(1.0, rack))
+        setup.sim.run()
+        report = injector.reports[-1]
+        # EAR at c=1 keeps <= 1 block of each stripe per rack, so a rack
+        # failure is always survivable and repairable.
+        assert report.unrecoverable == ()
+        for stripe in stripes:
+            for block_id in stripe.all_block_ids():
+                assert len(store.replica_nodes(block_id)) == 1
+
+    def test_repair_preserves_rack_diversity(self):
+        from repro.core.relocation import PlacementMonitor
+
+        setup, stripes, injector = build(seed=4)
+        store = setup.namenode.block_store
+        rack = next(r for r in TOPO.rack_ids() if store.blocks_in_rack(r))
+        setup.sim.process(injector.fail_rack_at(1.0, rack))
+        setup.sim.run()
+        monitor = PlacementMonitor(TOPO, CODE)
+        assert monitor.scan(store, stripes) == []
+
+    def test_excess_failures_reported_unrecoverable(self):
+        setup, stripes, injector = build(seed=5)
+        store = setup.namenode.block_store
+        stripe = stripes[0]
+        # Manually lose n - k blocks first, then fail a node holding one
+        # of the remaining ones: that stripe cannot lose more.
+        sacrificed = stripe.all_block_ids()[: CODE.num_parity]
+        for block_id in sacrificed:
+            store.remove_replica(block_id, store.replica_nodes(block_id)[0])
+        survivor_block = stripe.all_block_ids()[CODE.num_parity]
+        victim = store.replica_nodes(survivor_block)[0]
+        setup.sim.process(injector.fail_node_at(1.0, victim))
+        setup.sim.run()
+        report = injector.reports[-1]
+        assert survivor_block in report.unrecoverable

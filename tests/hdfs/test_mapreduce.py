@@ -1,0 +1,170 @@
+"""JobTracker scheduling: slots, locality preference, core-rack pinning."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.hdfs.mapreduce import JobTracker, MapReduceJob, MapTask
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def topo():
+    return ClusterTopology(nodes_per_rack=2, num_racks=3)
+
+
+def make_task(sim, task_id, duration, ran, **kw):
+    def work(node):
+        yield sim.timeout(duration)
+        ran.append((task_id, node, sim.now))
+        return node
+
+    return MapTask(task_id=task_id, work=work, **kw)
+
+
+class TestScheduling:
+    def test_all_tasks_complete(self, topo):
+        sim = Simulator()
+        jt = JobTracker(sim, topo, slots_per_node=1, rng=random.Random(1))
+        ran = []
+        job = MapReduceJob(
+            job_id=jt.new_job_id(),
+            tasks=[make_task(sim, i, 1.0, ran) for i in range(10)],
+        )
+        results = []
+
+        def run():
+            out = yield from jt.run_job(job)
+            results.extend(out)
+
+        sim.process(run())
+        sim.run()
+        assert len(ran) == 10
+        assert len(results) == 10
+
+    def test_slots_bound_parallelism(self, topo):
+        # 6 nodes x 1 slot, 12 unit tasks: exactly two waves.
+        sim = Simulator()
+        jt = JobTracker(sim, topo, slots_per_node=1, rng=random.Random(1))
+        ran = []
+        job = MapReduceJob(
+            job_id=0, tasks=[make_task(sim, i, 1.0, ran) for i in range(12)]
+        )
+        sim.process(jt.run_job(job))
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+        first_wave = [t for __, __n, t in ran if t == pytest.approx(1.0)]
+        assert len(first_wave) == 6
+
+    def test_more_slots_more_parallelism(self, topo):
+        sim = Simulator()
+        jt = JobTracker(sim, topo, slots_per_node=2, rng=random.Random(1))
+        ran = []
+        job = MapReduceJob(
+            job_id=0, tasks=[make_task(sim, i, 1.0, ran) for i in range(12)]
+        )
+        sim.process(jt.run_job(job))
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+    def test_preferred_node_honoured_when_free(self, topo):
+        sim = Simulator()
+        jt = JobTracker(sim, topo, slots_per_node=1, rng=random.Random(1))
+        ran = []
+        job = MapReduceJob(
+            job_id=0,
+            tasks=[make_task(sim, 0, 1.0, ran, preferred_nodes=(4,))],
+        )
+        sim.process(jt.run_job(job))
+        sim.run()
+        assert ran[0][1] == 4
+
+    def test_unrestricted_task_falls_back(self, topo):
+        sim = Simulator()
+        jt = JobTracker(sim, topo, slots_per_node=1, rng=random.Random(1))
+        ran = []
+        blocker = make_task(sim, 0, 5.0, ran, preferred_nodes=(4,))
+        fallback = make_task(sim, 1, 1.0, ran, preferred_nodes=(4,))
+        sim.process(jt.run_job(MapReduceJob(job_id=0, tasks=[blocker, fallback])))
+        sim.run()
+        by_id = {tid: (node, t) for tid, node, t in ran}
+        assert by_id[0][0] == 4
+        assert by_id[1][0] != 4       # fell back to another node
+        assert by_id[1][1] == 1.0     # and did not wait for node 4
+
+    def test_restricted_task_waits_for_preferred(self, topo):
+        """The paper's encoding-job flag: maps never leave the core rack."""
+        sim = Simulator()
+        jt = JobTracker(sim, topo, slots_per_node=1, rng=random.Random(1))
+        ran = []
+        blocker = make_task(sim, 0, 5.0, ran, preferred_nodes=(4,))
+        pinned = make_task(
+            sim, 1, 1.0, ran, preferred_nodes=(4,), restrict_to_preferred=True
+        )
+        sim.process(jt.run_job(MapReduceJob(job_id=0, tasks=[blocker, pinned])))
+        sim.run()
+        by_id = {tid: (node, t) for tid, node, t in ran}
+        assert by_id[1][0] == 4
+        assert by_id[1][1] == pytest.approx(6.0)  # waited for the slot
+
+    def test_encoding_job_flag_restricts_all_tasks(self, topo):
+        sim = Simulator()
+        job = MapReduceJob(
+            job_id=0,
+            tasks=[
+                MapTask(task_id=0, work=lambda n: iter(()), preferred_nodes=(1,))
+            ],
+            is_encoding_job=True,
+        )
+        assert job.tasks[0].restrict_to_preferred
+
+    def test_restricted_task_requires_preference(self):
+        with pytest.raises(ValueError):
+            MapTask(task_id=0, work=lambda n: iter(()), restrict_to_preferred=True)
+
+    def test_submit_returns_event(self, topo):
+        sim = Simulator()
+        jt = JobTracker(sim, topo, slots_per_node=1, rng=random.Random(1))
+        ran = []
+        ev = jt.submit(
+            MapReduceJob(job_id=0, tasks=[make_task(sim, 0, 1.0, ran)])
+        )
+        sim.run()
+        assert ev.processed
+        assert len(ran) == 1
+
+    def test_two_jobs_share_cluster(self, topo):
+        sim = Simulator()
+        jt = JobTracker(sim, topo, slots_per_node=1, rng=random.Random(1))
+        ran = []
+        a = MapReduceJob(job_id=0, tasks=[make_task(sim, i, 1.0, ran) for i in range(6)])
+        b = MapReduceJob(job_id=1, tasks=[make_task(sim, 10 + i, 1.0, ran) for i in range(6)])
+        jt.submit(a)
+        jt.submit(b)
+        sim.run()
+        assert len(ran) == 12
+        assert sim.now == pytest.approx(2.0)
+
+    def test_crashing_task_propagates(self, topo):
+        sim = Simulator()
+        jt = JobTracker(sim, topo, slots_per_node=1, rng=random.Random(1))
+
+        def bad(node):
+            yield sim.timeout(1.0)
+            raise RuntimeError("task died")
+
+        job = MapReduceJob(job_id=0, tasks=[MapTask(task_id=0, work=bad)])
+        caught = []
+
+        def run():
+            try:
+                yield from jt.run_job(job)
+            except RuntimeError:
+                caught.append(True)
+
+        sim.process(run())
+        sim.run()
+        assert caught == [True]
+        # The slot must have been returned despite the crash.
+        assert all(t.busy == 0 for t in jt.trackers.values())

@@ -1,0 +1,72 @@
+"""Property tests for the JobTracker: random task mixes never break slots,
+locality, or completion guarantees."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.hdfs.mapreduce import JobTracker, MapReduceJob, MapTask
+from repro.sim.engine import Simulator
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    num_tasks=st.integers(1, 30),
+    slots=st.integers(1, 3),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_random_jobs_complete_within_slot_limits(seed, num_tasks, slots):
+    rng = random.Random(seed)
+    topo = ClusterTopology(
+        nodes_per_rack=rng.randrange(1, 4), num_racks=rng.randrange(2, 5)
+    )
+    sim = Simulator()
+    jt = JobTracker(sim, topo, slots_per_node=slots, rng=rng)
+    running = [0]
+    peak = [0]
+    ran_on = {}
+
+    def body(task_id, duration):
+        def work(node):
+            running[0] += 1
+            peak[0] = max(peak[0], running[0])
+            yield sim.timeout(duration)
+            running[0] -= 1
+            ran_on[task_id] = node
+            return node
+
+        return work
+
+    tasks = []
+    for task_id in range(num_tasks):
+        preferred = ()
+        restrict = False
+        if rng.random() < 0.4:
+            preferred = tuple(
+                rng.sample(range(topo.num_nodes), rng.randrange(1, 3))
+            )
+            restrict = rng.random() < 0.5
+        tasks.append(
+            MapTask(
+                task_id=task_id,
+                work=body(task_id, rng.uniform(0.1, 3.0)),
+                preferred_nodes=preferred,
+                restrict_to_preferred=restrict,
+            )
+        )
+    job = MapReduceJob(job_id=0, tasks=tasks)
+    sim.process(jt.run_job(job))
+    sim.run()
+
+    # Every task ran exactly once.
+    assert len(ran_on) == num_tasks
+    # Global concurrency never exceeded the cluster's slot supply.
+    assert peak[0] <= topo.num_nodes * slots
+    # Restricted tasks stayed on their preferred nodes.
+    for task in tasks:
+        if task.restrict_to_preferred:
+            assert ran_on[task.task_id] in task.preferred_nodes
+    # All slots returned.
+    assert all(t.busy == 0 for t in jt.trackers.values())

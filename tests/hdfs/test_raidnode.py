@@ -1,0 +1,197 @@
+"""RaidNode: job carving, core-rack pinning end-to-end, recovery."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.ear import EncodingAwareReplication
+from repro.core.random_replication import RandomReplication
+from repro.core.stripe import PreEncodingStore, StripeState
+from repro.erasure.codec import CodeParams
+from repro.hdfs.encoder import StripeEncoder
+from repro.hdfs.mapreduce import JobTracker
+from repro.hdfs.namenode import NameNode
+from repro.hdfs.raidnode import RaidNode
+from repro.sim.engine import Simulator
+from repro.sim.netsim import Network
+
+CODE = CodeParams(6, 4)
+
+
+def build(policy_name, seed=1, num_racks=8, nodes_per_rack=3, stripes=6):
+    topo = ClusterTopology(
+        nodes_per_rack=nodes_per_rack, num_racks=num_racks,
+        intra_rack_bandwidth=100.0, cross_rack_bandwidth=100.0,
+    )
+    rng = random.Random(seed)
+    if policy_name == "ear":
+        policy = EncodingAwareReplication(topo, CODE, rng=rng)
+    else:
+        policy = RandomReplication(topo, rng=rng, store=PreEncodingStore(CODE.k))
+    sim = Simulator()
+    net = Network(sim, topo)
+    nn = NameNode(topo, policy, block_size=100)
+    encoder = StripeEncoder(sim, net, nn, nn.make_planner(CODE, rng=rng))
+    jt = JobTracker(sim, topo, slots_per_node=2, rng=rng)
+    rn = RaidNode(sim, net, nn, encoder, rng=rng)
+    while len(nn.sealed_stripes()) < stripes:
+        nn.allocate_block(writer_node=rng.randrange(topo.num_nodes))
+    return sim, net, nn, encoder, jt, rn
+
+
+class TestJobCarving:
+    def test_ear_tasks_grouped_by_core_rack(self):
+        sim, net, nn, encoder, jt, rn = build("ear")
+        stripes = nn.sealed_stripes()
+        job = rn.build_encoding_job(jt, stripes, num_map_tasks=4)
+        assert job.is_encoding_job
+        spec = rn.job_specs[-1]
+        # Each task's stripes share one core rack; preferred nodes are that
+        # rack's nodes.
+        by_id = {s.stripe_id: s for s in stripes}
+        for task, stripe_ids, rack in zip(
+            job.tasks, spec.stripes_per_task, spec.preferred_racks
+        ):
+            assert rack is not None
+            for sid in stripe_ids:
+                assert by_id[sid].core_rack == rack
+            assert task.restrict_to_preferred
+            assert set(task.preferred_nodes) == set(
+                nn.topology.nodes_in_rack(rack)
+            )
+
+    def test_every_stripe_assigned_exactly_once(self):
+        sim, net, nn, encoder, jt, rn = build("ear")
+        stripes = nn.sealed_stripes()
+        rn.build_encoding_job(jt, stripes, num_map_tasks=4)
+        spec = rn.job_specs[-1]
+        assigned = [sid for chunk in spec.stripes_per_task for sid in chunk]
+        assert sorted(assigned) == sorted(s.stripe_id for s in stripes)
+
+    def test_rr_tasks_unrestricted(self):
+        sim, net, nn, encoder, jt, rn = build("rr")
+        job = rn.build_encoding_job(jt, nn.sealed_stripes(), num_map_tasks=4)
+        assert not job.is_encoding_job
+        for task in job.tasks:
+            assert not task.restrict_to_preferred
+            assert task.preferred_nodes == ()
+
+    def test_map_task_budget_validation(self):
+        sim, net, nn, encoder, jt, rn = build("rr")
+        with pytest.raises(ValueError):
+            rn.build_encoding_job(jt, nn.sealed_stripes(), num_map_tasks=0)
+
+
+class TestEndToEndEncoding:
+    @pytest.mark.parametrize("policy_name", ["rr", "ear"])
+    def test_run_encoding_encodes_everything(self, policy_name):
+        sim, net, nn, encoder, jt, rn = build(policy_name)
+        stripes = nn.sealed_stripes()
+        sim.process(rn.run_encoding(jt, stripes, num_map_tasks=6))
+        sim.run()
+        assert len(encoder.records) == len(stripes)
+        assert all(s.state == StripeState.ENCODED for s in stripes)
+
+    def test_ear_maps_run_in_core_racks(self):
+        sim, net, nn, encoder, jt, rn = build("ear")
+        stripes = nn.sealed_stripes()
+        sim.process(rn.run_encoding(jt, stripes, num_map_tasks=6))
+        sim.run()
+        by_id = {s.stripe_id: s for s in stripes}
+        for record in encoder.records:
+            stripe = by_id[record.stripe_id]
+            assert (
+                nn.topology.rack_of(record.encoder_node) == stripe.core_rack
+            )
+            assert record.cross_rack_downloads == 0
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("policy_name", ["rr", "ear"])
+    def test_recover_block(self, policy_name):
+        sim, net, nn, encoder, jt, rn = build(policy_name)
+        stripes = nn.sealed_stripes()
+        sim.process(rn.run_encoding(jt, stripes, num_map_tasks=6))
+        sim.run()
+        stripe = stripes[0]
+        lost = stripe.block_ids[0]
+        old_node = nn.block_locations(lost)[0]
+        nn.block_store.remove_replica(lost, old_node)
+        new_node = next(
+            n for n in nn.topology.node_ids()
+            if not nn.block_store.blocks_on_node(n)
+        )
+        sim.process(rn.recover_block(stripe, lost, new_node))
+        sim.run()
+        assert nn.block_locations(lost) == (new_node,)
+        record = rn.recoveries[-1]
+        assert record.duration > 0
+        # Recovery downloads k blocks; at most k can cross racks.
+        assert 0 <= record.cross_rack_reads <= CODE.k
+
+    def test_recovery_needs_k_survivors(self):
+        sim, net, nn, encoder, jt, rn = build("ear")
+        stripes = nn.sealed_stripes()
+        sim.process(rn.run_encoding(jt, stripes, num_map_tasks=6))
+        sim.run()
+        stripe = stripes[0]
+        # Remove three blocks (> n - k = 2): recovery must fail.
+        for block_id in stripe.all_block_ids()[:3]:
+            node = nn.block_locations(block_id)[0]
+            nn.block_store.remove_replica(block_id, node)
+        with pytest.raises(RuntimeError):
+            list(rn.recover_block(stripe, stripe.block_ids[0], 0))
+
+    def test_recovery_prefers_local_rack_sources(self):
+        sim, net, nn, encoder, jt, rn = build("ear")
+        stripes = nn.sealed_stripes()
+        sim.process(rn.run_encoding(jt, stripes, num_map_tasks=6))
+        sim.run()
+        stripe = stripes[0]
+        lost = stripe.block_ids[0]
+        nn.block_store.remove_replica(lost, nn.block_locations(lost)[0])
+        # Recover onto a node sharing a rack with a surviving block.
+        survivor_node = nn.block_locations(stripe.block_ids[1])[0]
+        rack = nn.topology.rack_of(survivor_node)
+        target = next(
+            n for n in nn.topology.nodes_in_rack(rack)
+            if lost not in nn.block_store.blocks_on_node(n)
+        )
+        sim.process(rn.recover_block(stripe, lost, target))
+        sim.run()
+        record = rn.recoveries[-1]
+        # At least the same-rack survivor must have been read locally.
+        assert record.cross_rack_reads <= CODE.k - 1
+
+
+class TestDegradedRead:
+    def test_degraded_read_does_not_reinsert(self):
+        sim, net, nn, encoder, jt, rn = build("ear")
+        stripes = nn.sealed_stripes()
+        sim.process(rn.run_encoding(jt, stripes, num_map_tasks=6))
+        sim.run()
+        stripe = stripes[0]
+        lost = stripe.block_ids[0]
+        nn.block_store.remove_replica(lost, nn.block_locations(lost)[0])
+        reader = 0
+        sim.process(rn.degraded_read(stripe, lost, reader))
+        sim.run()
+        record = rn.degraded_reads[-1]
+        assert record.block_id == lost
+        assert record.duration > 0
+        # The block is still missing afterwards: reads don't repair.
+        assert nn.block_locations(lost) == ()
+
+    def test_degraded_read_counts_cross_rack(self):
+        sim, net, nn, encoder, jt, rn = build("ear")
+        stripes = nn.sealed_stripes()
+        sim.process(rn.run_encoding(jt, stripes, num_map_tasks=6))
+        sim.run()
+        stripe = stripes[0]
+        lost = stripe.block_ids[0]
+        nn.block_store.remove_replica(lost, nn.block_locations(lost)[0])
+        sim.process(rn.degraded_read(stripe, lost, 0))
+        sim.run()
+        record = rn.degraded_reads[-1]
+        assert 0 <= record.cross_rack_reads <= CODE.k

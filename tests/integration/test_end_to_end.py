@@ -1,0 +1,188 @@
+"""End-to-end integration: write -> encode -> fail -> recover, both policies.
+
+These tests drive the full simulated stack the way the examples do, and
+assert the paper's two core guarantees hold at system level:
+
+* EAR encodes with zero cross-rack downloads and needs no relocation;
+* after encoding, data survives any ``n - k`` node failures and the
+  promised number of rack failures.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.failure import FailureModel, stripe_rack_fault_tolerance
+from repro.cluster.topology import ClusterTopology
+from repro.core.relocation import BlockMover, PlacementMonitor
+from repro.core.stripe import StripeState
+from repro.erasure.codec import CodeParams
+from repro.experiments.runner import build_cluster, populate_until_sealed
+from repro.core.policy import ReplicationScheme
+
+CODE = CodeParams(6, 4)
+SCHEME = ReplicationScheme(3, 2)
+TOPO = ClusterTopology(
+    nodes_per_rack=4, num_racks=8,
+    intra_rack_bandwidth=1e6, cross_rack_bandwidth=1e6,
+)
+
+
+def encode_all(setup, stripes):
+    def run():
+        for stripe in stripes:
+            yield from setup.encoder.encode_stripe(stripe)
+
+    setup.sim.process(run())
+    setup.sim.run()
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("policy_name", ["rr", "ear"])
+    def test_write_encode_lifecycle(self, policy_name):
+        setup = build_cluster(
+            policy_name, TOPO, CODE, SCHEME, seed=1, block_size=1000
+        )
+        populate_until_sealed(setup, 6)
+        stripes = setup.namenode.sealed_stripes()[:6]
+        encode_all(setup, stripes)
+        store = setup.namenode.block_store
+        for stripe in stripes:
+            assert stripe.state == StripeState.ENCODED
+            for block_id in stripe.all_block_ids():
+                assert len(store.replica_nodes(block_id)) == 1
+
+    def test_ear_needs_no_relocation(self):
+        setup = build_cluster("ear", TOPO, CODE, SCHEME, seed=2, block_size=1000)
+        populate_until_sealed(setup, 8)
+        stripes = setup.namenode.sealed_stripes()[:8]
+        encode_all(setup, stripes)
+        monitor = PlacementMonitor(TOPO, CODE)
+        assert monitor.scan(setup.namenode.block_store, stripes) == []
+
+    def test_rr_relocation_repairs_everything(self):
+        setup = build_cluster("rr", TOPO, CODE, SCHEME, seed=3, block_size=1000)
+        populate_until_sealed(setup, 20)
+        stripes = setup.namenode.sealed_stripes()[:20]
+        encode_all(setup, stripes)
+        store = setup.namenode.block_store
+        monitor = PlacementMonitor(TOPO, CODE)
+        mover = BlockMover(TOPO, CODE, rng=random.Random(3))
+        for stripe in monitor.scan(store, stripes):
+            mover.repair(store, stripe)
+        assert monitor.scan(store, stripes) == []
+
+    def test_encoded_data_survives_promised_failures(self):
+        setup = build_cluster("ear", TOPO, CODE, SCHEME, seed=4, block_size=1000)
+        populate_until_sealed(setup, 4)
+        stripes = setup.namenode.sealed_stripes()[:4]
+        encode_all(setup, stripes)
+        store = setup.namenode.block_store
+        model = FailureModel(TOPO)
+        for stripe in stripes:
+            nodes = [
+                store.replica_nodes(b)[0] for b in stripe.all_block_ids()
+            ]
+            assert model.stripe_tolerates_node_failures(
+                nodes, CODE.k, CODE.num_parity
+            )
+            assert model.stripe_tolerates_rack_failures(
+                nodes, CODE.k, CODE.num_parity
+            )
+
+    def test_recovery_after_node_loss(self):
+        setup = build_cluster("ear", TOPO, CODE, SCHEME, seed=5, block_size=1000)
+        populate_until_sealed(setup, 3)
+        stripes = setup.namenode.sealed_stripes()[:3]
+        encode_all(setup, stripes)
+        store = setup.namenode.block_store
+
+        # Fail one node: every block it held must be recoverable elsewhere.
+        victim = next(
+            n for n in TOPO.node_ids() if store.blocks_on_node(n)
+        )
+        lost_blocks = list(store.blocks_on_node(victim))
+        for block_id in lost_blocks:
+            store.remove_replica(block_id, victim)
+
+        def recover_all():
+            for block_id in lost_blocks:
+                stripe = setup.namenode.pre_encoding_store.stripe_of_block(
+                    block_id
+                )
+                if stripe is None:  # parity: find by stripe id
+                    stripe_id = store.block(block_id).stripe_id
+                    stripe = setup.namenode.pre_encoding_store.stripe(stripe_id)
+                target = next(
+                    n
+                    for n in TOPO.node_ids()
+                    if n != victim
+                    and block_id not in store.blocks_on_node(n)
+                )
+                yield from setup.raidnode.recover_block(
+                    stripe, block_id, target
+                )
+
+        setup.sim.process(recover_all())
+        setup.sim.run()
+        for block_id in lost_blocks:
+            assert len(store.replica_nodes(block_id)) == 1
+
+    def test_concurrent_write_and_encode_consistency(self):
+        """Writes racing the encoder never corrupt metadata."""
+        setup = build_cluster("ear", TOPO, CODE, SCHEME, seed=6, block_size=1000)
+        populate_until_sealed(setup, 6)
+        stripes = setup.namenode.sealed_stripes()[:6]
+
+        def writes():
+            for __ in range(30):
+                yield from setup.client.write_block(
+                    writer_node=setup.rng.randrange(TOPO.num_nodes)
+                )
+
+        def encodes():
+            for stripe in stripes:
+                yield from setup.encoder.encode_stripe(stripe)
+
+        setup.sim.process(writes())
+        setup.sim.process(encodes())
+        setup.sim.run()
+        assert len(setup.encoder.records) == 6
+        store = setup.namenode.block_store
+        # All replica bookkeeping stays consistent.
+        per_node = store.replica_count_per_node()
+        assert sum(per_node.values()) == sum(
+            len(store.replica_nodes(b.block_id)) for b in store.blocks()
+        )
+
+
+class TestTrafficLevelGuarantee:
+    def test_ear_cross_rack_traffic_is_parity_only(self):
+        """Trace every transfer during EAR encoding: the only bytes that
+        cross the core are parity uploads (n - k blocks per stripe)."""
+        from repro.sim.trace import Tracer
+
+        setup = build_cluster("ear", TOPO, CODE, SCHEME, seed=9, block_size=1000)
+        populate_until_sealed(setup, 5)
+        stripes = setup.namenode.sealed_stripes()[:5]
+        tracer = Tracer.attach(setup.network)
+        encode_all(setup, stripes)
+        cross = [r for r in tracer.records if r.cross_rack]
+        assert len(cross) == len(stripes) * CODE.num_parity
+        # And every cross-rack transfer originates in some stripe's core
+        # rack (the encoder pushing parity out).
+        core_racks = {s.core_rack for s in stripes}
+        for record in cross:
+            assert TOPO.rack_of(record.src) in core_racks
+
+    def test_rr_cross_rack_traffic_includes_downloads(self):
+        from repro.sim.trace import Tracer
+
+        setup = build_cluster("rr", TOPO, CODE, SCHEME, seed=9, block_size=1000)
+        populate_until_sealed(setup, 5)
+        stripes = setup.namenode.sealed_stripes()[:5]
+        tracer = Tracer.attach(setup.network)
+        encode_all(setup, stripes)
+        cross = [r for r in tracer.records if r.cross_rack]
+        # More cross-rack transfers than parity uploads alone: downloads.
+        assert len(cross) > len(stripes) * CODE.num_parity

@@ -1,0 +1,356 @@
+"""DES kernel: ordering, processes, conditions, failures, interrupts."""
+
+import pytest
+
+from repro.sim.engine import (
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestClockAndOrdering:
+    def test_timeouts_fire_in_order(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name, delay):
+            yield sim.timeout(delay)
+            log.append((name, sim.now))
+
+        sim.process(proc("late", 5.0))
+        sim.process(proc("early", 1.0))
+        sim.process(proc("mid", 3.0))
+        sim.run()
+        assert log == [("early", 1.0), ("mid", 3.0), ("late", 5.0)]
+
+    def test_fifo_at_equal_times(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name):
+            yield sim.timeout(1.0)
+            log.append(name)
+
+        for name in "abc":
+            sim.process(proc(name))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_run_until_pauses(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            for __ in range(4):
+                yield sim.timeout(1.0)
+                log.append(sim.now)
+
+        sim.process(proc())
+        sim.run(until=2.0)
+        assert log == [1.0, 2.0]
+        assert sim.now == 2.0
+        sim.run()
+        assert log == [1.0, 2.0, 3.0, 4.0]
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=9.0)
+        assert sim.now == 9.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+    def test_step_and_peek(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(2.0)
+
+        sim.process(proc())
+        assert sim.peek() == 0.0  # process bootstrap event
+        assert sim.step()
+        assert sim.peek() == 2.0
+
+
+class TestProcessSemantics:
+    def test_return_value_propagates(self):
+        sim = Simulator()
+
+        def inner():
+            yield sim.timeout(1.0)
+            return 42
+
+        results = []
+
+        def outer():
+            value = yield from inner()
+            results.append(value)
+
+        sim.process(outer())
+        sim.run()
+        assert results == [42]
+
+    def test_process_is_awaitable_event(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(2.0)
+            return "done"
+
+        log = []
+
+        def parent():
+            value = yield sim.process(child())
+            log.append((value, sim.now))
+
+        sim.process(parent())
+        sim.run()
+        assert log == [("done", 2.0)]
+
+    def test_yield_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_timeout_value(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            value = yield sim.timeout(1.0, value="payload")
+            got.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_yield_already_triggered_event(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            ev = sim.event()
+            ev.succeed("early")
+            value = yield ev
+            log.append((value, sim.now))
+
+        sim.process(proc())
+        sim.run()
+        assert log == [("early", 0.0)]
+
+    def test_non_generator_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)
+
+    def test_is_alive(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+
+class TestEvents:
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.event().fail("not an exception")
+
+    def test_callback_after_processed_still_runs(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("v")
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == ["v"]
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self):
+        sim = Simulator()
+        log = []
+
+        def child(delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        def parent():
+            values = yield sim.all_of(
+                [sim.process(child(3.0, "a")), sim.process(child(1.0, "b"))]
+            )
+            log.append((values, sim.now))
+
+        sim.process(parent())
+        sim.run()
+        assert log == [(["a", "b"], 3.0)]
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        log = []
+
+        def parent():
+            values = yield sim.all_of([])
+            log.append(values)
+
+        sim.process(parent())
+        sim.run()
+        assert log == [[]]
+
+    def test_any_of_returns_first(self):
+        sim = Simulator()
+        log = []
+
+        def child(delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        def parent():
+            value = yield sim.any_of(
+                [sim.process(child(3.0, "slow")), sim.process(child(1.0, "fast"))]
+            )
+            log.append((value, sim.now))
+
+        sim.process(parent())
+        sim.run()
+        assert log == [("fast", 1.0)]
+
+    def test_any_of_empty_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.any_of([])
+
+
+class TestFailures:
+    def test_unhandled_crash_surfaces_at_run(self):
+        sim = Simulator()
+
+        def boom():
+            yield sim.timeout(1.0)
+            raise RuntimeError("kaput")
+
+        sim.process(boom())
+        with pytest.raises(RuntimeError, match="kaput"):
+            sim.run()
+
+    def test_waiter_sees_crash(self):
+        sim = Simulator()
+        caught = []
+
+        def boom():
+            yield sim.timeout(1.0)
+            raise ValueError("inner")
+
+        def waiter():
+            try:
+                yield sim.process(boom())
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.process(waiter())
+        sim.run()
+        assert caught == ["inner"]
+
+    def test_defused_failure_is_silent(self):
+        sim = Simulator()
+
+        def boom():
+            yield sim.timeout(1.0)
+            raise RuntimeError("ignored")
+
+        p = sim.process(boom())
+        p.defused = True
+        sim.run()  # must not raise
+
+    def test_condition_fails_with_child(self):
+        sim = Simulator()
+        caught = []
+
+        def boom():
+            yield sim.timeout(1.0)
+            raise KeyError("child")
+
+        def waiter():
+            try:
+                yield sim.all_of([sim.process(boom())])
+            except KeyError:
+                caught.append(True)
+
+        sim.process(waiter())
+        sim.run()
+        assert caught == [True]
+
+
+class TestInterrupts:
+    def test_interrupt_wakes_process(self):
+        sim = Simulator()
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as stop:
+                log.append((stop.cause, sim.now))
+
+        def interrupter(victim):
+            yield sim.timeout(2.0)
+            victim.interrupt(cause="wake up")
+
+        victim = sim.process(sleeper())
+        sim.process(interrupter(victim))
+        sim.run()
+        assert log == [("wake up", 2.0)]
+
+    def test_interrupt_dead_process_is_noop(self):
+        sim = Simulator()
+
+        def quick():
+            yield sim.timeout(1.0)
+
+        p = sim.process(quick())
+        sim.run()
+        p.interrupt()  # must not raise
+        sim.run()
+
+    def test_stale_wakeup_after_interrupt_ignored(self):
+        sim = Simulator()
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt:
+                pass
+            yield sim.timeout(5.0)  # now waiting on a new event
+            log.append(sim.now)
+
+        def interrupter(victim):
+            yield sim.timeout(1.0)
+            victim.interrupt()
+
+        victim = sim.process(sleeper())
+        sim.process(interrupter(victim))
+        sim.run()
+        # Resumed at t=1, slept 5 more: finishes at 6 (not at 10).
+        assert log == [6.0]

@@ -1,0 +1,121 @@
+"""Metrics collectors: response times, throughput, series, counters."""
+
+import pytest
+
+from repro.sim.metrics import Counter, ResponseTimeStats, ThroughputMeter, TimeSeries
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        c = Counter()
+        c.add("x")
+        c.add("x", 2)
+        assert c.get("x") == 3
+        assert c.get("missing") == 0
+
+    def test_as_dict_snapshot(self):
+        c = Counter()
+        c.add("a", 5)
+        snap = c.as_dict()
+        c.add("a")
+        assert snap == {"a": 5}
+
+
+class TestResponseTimeStats:
+    def test_mean(self):
+        stats = ResponseTimeStats()
+        for t, lat in [(0, 1.0), (1, 2.0), (2, 3.0)]:
+            stats.record(t, lat)
+        assert stats.mean() == 2.0
+        assert stats.count == 3
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            ResponseTimeStats().mean()
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            ResponseTimeStats().record(0, -1)
+
+    def test_percentile(self):
+        stats = ResponseTimeStats()
+        for i in range(1, 101):
+            stats.record(i, float(i))
+        assert stats.percentile(50) == 50.0
+        assert stats.percentile(99) == 99.0
+        assert stats.percentile(100) == 100.0
+
+    def test_percentile_validation(self):
+        stats = ResponseTimeStats()
+        stats.record(0, 1.0)
+        with pytest.raises(ValueError):
+            stats.percentile(101)
+        with pytest.raises(ValueError):
+            ResponseTimeStats().percentile(50)
+
+    def test_window_mean(self):
+        stats = ResponseTimeStats()
+        stats.record(1.0, 10.0)
+        stats.record(5.0, 20.0)
+        stats.record(9.0, 30.0)
+        assert stats.mean_in_window(0.0, 6.0) == 15.0
+        assert stats.mean_in_window(8.0, 100.0) == 30.0
+        assert stats.mean_in_window(100.0, 200.0) is None
+
+    def test_series_order(self):
+        stats = ResponseTimeStats()
+        stats.record(2.0, 1.0)
+        stats.record(1.0, 9.0)
+        assert stats.series() == [(2.0, 1.0), (1.0, 9.0)]
+
+
+class TestThroughputMeter:
+    def test_throughput(self):
+        meter = ThroughputMeter()
+        meter.start(10.0)
+        meter.record(12.0, 100.0)
+        meter.record(20.0, 100.0)
+        assert meter.total_bytes == 200.0
+        assert meter.elapsed() == 10.0
+        assert meter.throughput() == 20.0
+        assert meter.throughput_mb_s() == pytest.approx(20e-6)
+
+    def test_unstarted_raises(self):
+        with pytest.raises(ValueError):
+            ThroughputMeter().elapsed()
+
+    def test_zero_elapsed_raises(self):
+        meter = ThroughputMeter()
+        meter.start(5.0)
+        meter.record(5.0, 10.0)
+        with pytest.raises(ValueError):
+            meter.throughput()
+
+    def test_negative_size_rejected(self):
+        meter = ThroughputMeter()
+        meter.start(0.0)
+        with pytest.raises(ValueError):
+            meter.record(1.0, -1.0)
+
+
+class TestTimeSeries:
+    def test_cumulative_count(self):
+        series = TimeSeries()
+        series.record(3.0, 1)
+        series.record(1.0, 2)
+        series.record(2.0, 3)
+        assert series.cumulative_count() == [(1.0, 1), (2.0, 2), (3.0, 3)]
+
+    def test_value_at(self):
+        series = TimeSeries()
+        series.record(1.0, 10)
+        series.record(5.0, 50)
+        assert series.value_at(0.5) == 0.0
+        assert series.value_at(1.0) == 10
+        assert series.value_at(9.0) == 50
+
+    def test_len(self):
+        series = TimeSeries()
+        assert len(series) == 0
+        series.record(0.0, 1)
+        assert len(series) == 1

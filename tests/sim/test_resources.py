@@ -1,0 +1,207 @@
+"""Resource and MultiResource: FCFS grants, capacity, atomic link sets."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.resources import MultiResource, Resource
+
+
+class TestResource:
+    def test_grant_within_capacity_is_immediate(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        log = []
+
+        def user(name):
+            req = res.request()
+            yield req
+            log.append((name, sim.now))
+            yield sim.timeout(1.0)
+            res.release(req)
+
+        sim.process(user("a"))
+        sim.process(user("b"))
+        sim.run()
+        assert log == [("a", 0.0), ("b", 0.0)]
+
+    def test_fcfs_queueing(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def user(name, hold):
+            req = res.request()
+            yield req
+            log.append((name, sim.now))
+            yield sim.timeout(hold)
+            res.release(req)
+
+        sim.process(user("first", 2.0))
+        sim.process(user("second", 1.0))
+        sim.process(user("third", 1.0))
+        sim.run()
+        assert log == [("first", 0.0), ("second", 2.0), ("third", 3.0)]
+
+    def test_multi_unit_request(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=3)
+        log = []
+
+        def big():
+            req = res.request(3)
+            yield req
+            log.append(("big", sim.now))
+            yield sim.timeout(1.0)
+            res.release(req)
+
+        def small():
+            req = res.request(1)
+            yield req
+            log.append(("small", sim.now))
+            res.release(req)
+
+        sim.process(big())
+        sim.process(small())
+        sim.run()
+        assert log == [("big", 0.0), ("small", 1.0)]
+
+    def test_request_validation(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        with pytest.raises(ValueError):
+            res.request(0)
+        with pytest.raises(ValueError):
+            res.request(3)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), capacity=0)
+
+    def test_release_ungranted_raises(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        first = res.request()
+        second = res.request()  # queued
+        with pytest.raises(SimulationError):
+            res.release(second)
+
+    def test_counters(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.request()
+        res.request()
+        assert res.in_use == 1
+        assert res.queue_length == 1
+
+
+class TestMultiResource:
+    def test_atomic_grant(self):
+        sim = Simulator()
+        links = MultiResource(sim)
+        log = []
+
+        def flow(name, keys, hold):
+            grant = links.acquire(keys)
+            yield grant
+            log.append((name, sim.now))
+            yield sim.timeout(hold)
+            links.release(grant)
+
+        sim.process(flow("ab", {"a", "b"}, 2.0))
+        sim.process(flow("bc", {"b", "c"}, 1.0))  # blocked on b
+        sim.process(flow("de", {"d", "e"}, 1.0))  # disjoint: proceeds
+        sim.run()
+        assert log == [("ab", 0.0), ("de", 0.0), ("bc", 2.0)]
+
+    def test_first_fit_skips_blocked_head(self):
+        sim = Simulator()
+        links = MultiResource(sim)
+        log = []
+
+        def flow(name, keys, hold):
+            grant = links.acquire(keys)
+            yield grant
+            log.append((name, sim.now))
+            yield sim.timeout(hold)
+            links.release(grant)
+
+        sim.process(flow("wide", {"a", "b"}, 3.0))
+        sim.process(flow("blocked", {"a", "c"}, 1.0))
+        sim.process(flow("narrow", {"d"}, 1.0))  # jumps the blocked head
+        sim.run()
+        assert ("narrow", 0.0) in log
+        assert ("blocked", 3.0) in log
+
+    def test_release_then_regrant(self):
+        sim = Simulator()
+        links = MultiResource(sim)
+        done = []
+
+        def flow(name, keys, hold):
+            grant = links.acquire(keys)
+            yield grant
+            yield sim.timeout(hold)
+            links.release(grant)
+            done.append((name, sim.now))
+
+        for i in range(4):
+            sim.process(flow(f"f{i}", {"x"}, 1.0))
+        sim.run()
+        assert done == [("f0", 1.0), ("f1", 2.0), ("f2", 3.0), ("f3", 4.0)]
+
+    def test_empty_keys_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            MultiResource(sim).acquire([])
+
+    def test_release_ungranted_raises(self):
+        sim = Simulator()
+        links = MultiResource(sim)
+        a = links.acquire({"k"})
+        b = links.acquire({"k"})
+        with pytest.raises(SimulationError):
+            links.release(b)
+
+    def test_double_release_raises(self):
+        sim = Simulator()
+        links = MultiResource(sim)
+        grant = links.acquire({"k"})
+        sim.run()
+        links.release(grant)
+        with pytest.raises(SimulationError):
+            links.release(grant)
+
+    def test_held_keys_and_queue_length(self):
+        sim = Simulator()
+        links = MultiResource(sim)
+        links.acquire({"a", "b"})
+        links.acquire({"a"})
+        assert links.held_keys == frozenset({"a", "b"})
+        assert links.queue_length == 1
+
+    def test_no_starvation_after_release(self):
+        """A wide claim eventually runs once its keys free up."""
+        sim = Simulator()
+        links = MultiResource(sim)
+        log = []
+
+        def narrow(name, key, start, hold):
+            yield sim.timeout(start)
+            grant = links.acquire({key})
+            yield grant
+            yield sim.timeout(hold)
+            links.release(grant)
+            log.append((name, sim.now))
+
+        def wide():
+            yield sim.timeout(0.5)  # arrive after the narrow flows hold keys
+            grant = links.acquire({"a", "b"})
+            yield grant
+            log.append(("wide", sim.now))
+            links.release(grant)
+
+        sim.process(narrow("na", "a", 0.0, 2.0))
+        sim.process(narrow("nb", "b", 0.0, 3.0))
+        sim.process(wide())
+        sim.run()
+        assert ("wide", 3.0) in log

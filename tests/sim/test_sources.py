@@ -1,0 +1,61 @@
+"""Stochastic sources: Poisson gaps, exponential sizes, determinism."""
+
+import random
+
+import pytest
+
+from repro.sim.sources import exponential_sizes, fixed_sizes, poisson_arrivals
+
+
+class TestPoissonArrivals:
+    def test_limit(self, rng):
+        gaps = list(poisson_arrivals(rng, rate=2.0, limit=10))
+        assert len(gaps) == 10
+        assert all(g >= 0 for g in gaps)
+
+    def test_mean_gap(self):
+        rng = random.Random(7)
+        gaps = [next(iter(poisson_arrivals(rng, 4.0, 1))) for __ in range(4000)]
+        mean = sum(gaps) / len(gaps)
+        assert abs(mean - 0.25) < 0.02
+
+    def test_deterministic_under_seed(self):
+        a = list(poisson_arrivals(random.Random(5), 1.0, 20))
+        b = list(poisson_arrivals(random.Random(5), 1.0, 20))
+        assert a == b
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            next(iter(poisson_arrivals(rng, 0.0)))
+
+    def test_unbounded_stream(self, rng):
+        stream = poisson_arrivals(rng, 1.0)
+        assert len([next(stream) for __ in range(100)]) == 100
+
+
+class TestExponentialSizes:
+    def test_mean(self):
+        rng = random.Random(9)
+        stream = exponential_sizes(rng, mean=64.0)
+        values = [next(stream) for __ in range(5000)]
+        assert abs(sum(values) / len(values) - 64.0) < 3.0
+
+    def test_floor(self, rng):
+        stream = exponential_sizes(rng, mean=2.0, minimum=1.5)
+        assert all(next(stream) >= 1.5 for __ in range(200))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            next(exponential_sizes(rng, mean=0))
+        with pytest.raises(ValueError):
+            next(exponential_sizes(rng, mean=1.0, minimum=0))
+
+
+class TestFixedSizes:
+    def test_constant(self):
+        stream = fixed_sizes(64.0)
+        assert [next(stream) for __ in range(5)] == [64.0] * 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            next(fixed_sizes(0))

@@ -1,0 +1,103 @@
+"""Network tracer: recording, queries, attach/detach semantics."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.sim.engine import Simulator
+from repro.sim.netsim import Network
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def net():
+    topo = ClusterTopology(
+        nodes_per_rack=2, num_racks=3,
+        intra_rack_bandwidth=100.0, cross_rack_bandwidth=100.0,
+    )
+    sim = Simulator()
+    return Network(sim, topo)
+
+
+def run_flows(net, flows):
+    for src, dst, size in flows:
+        net.sim.process(net.transfer(src, dst, size))
+    net.sim.run()
+
+
+class TestRecording:
+    def test_records_transfers(self, net):
+        tracer = Tracer.attach(net)
+        run_flows(net, [(0, 1, 100.0), (0, 4, 200.0)])
+        assert len(tracer) == 2
+        local, cross = sorted(tracer.records, key=lambda r: r.size)
+        assert not local.cross_rack
+        assert cross.cross_rack
+        assert cross.size == 200.0
+
+    def test_duration_includes_queueing(self, net):
+        tracer = Tracer.attach(net)
+        # Two flows into node 1: the second queues behind the first.
+        run_flows(net, [(0, 1, 100.0), (2, 1, 100.0)])
+        durations = sorted(r.duration for r in tracer.records)
+        assert durations[0] == pytest.approx(1.0)
+        assert durations[1] == pytest.approx(2.0)
+        slowest = max(tracer.records, key=lambda r: r.duration)
+        assert slowest.effective_bandwidth == pytest.approx(50.0)
+
+    def test_detach_restores(self, net):
+        tracer = Tracer.attach(net)
+        tracer.detach()
+        run_flows(net, [(0, 1, 100.0)])
+        assert len(tracer) == 0
+        tracer.detach()  # idempotent
+
+    def test_underlying_stats_still_work(self, net):
+        Tracer.attach(net)
+        run_flows(net, [(0, 4, 100.0)])
+        assert net.stats.cross_rack_transfers == 1
+
+
+class TestQueries:
+    def test_between(self, net):
+        tracer = Tracer.attach(net)
+        run_flows(net, [(0, 1, 100.0)])  # 0..1s
+        assert len(tracer.between(0.0, 0.5)) == 1
+        assert len(tracer.between(1.5, 2.0)) == 0
+
+    def test_involving_node(self, net):
+        tracer = Tracer.attach(net)
+        run_flows(net, [(0, 1, 100.0), (2, 3, 100.0)])
+        assert len(tracer.involving_node(0)) == 1
+        assert len(tracer.involving_node(5)) == 0
+
+    def test_transfers_crossing_rack(self, net):
+        tracer = Tracer.attach(net)
+        run_flows(net, [(0, 2, 100.0), (0, 1, 100.0), (2, 4, 100.0)])
+        # Rack 1 holds nodes 2 and 3.
+        crossing = tracer.transfers_crossing_rack(1)
+        assert len(crossing) == 2
+
+    def test_bytes_by_rack_pair(self, net):
+        tracer = Tracer.attach(net)
+        run_flows(net, [(0, 2, 100.0), (1, 3, 50.0), (4, 0, 25.0)])
+        volumes = tracer.bytes_by_rack_pair()
+        assert volumes[(0, 1)] == 150.0
+        assert volumes[(2, 0)] == 25.0
+
+    def test_mean_effective_bandwidth(self, net):
+        tracer = Tracer.attach(net)
+        run_flows(net, [(0, 1, 100.0)])
+        assert tracer.mean_effective_bandwidth() == pytest.approx(100.0)
+
+    def test_mean_bandwidth_empty_raises(self, net):
+        tracer = Tracer.attach(net)
+        with pytest.raises(ValueError):
+            tracer.mean_effective_bandwidth()
+
+    def test_format(self, net):
+        tracer = Tracer.attach(net)
+        run_flows(net, [(0, 4, 64e6)])
+        out = tracer.format()
+        assert "x-rack" in out
+        assert "64.0 MB" in out
+        assert tracer.format(limit=0) == ""

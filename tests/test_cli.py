@@ -1,0 +1,70 @@
+"""CLI smoke tests: every command parses and the cheap ones run."""
+
+import pytest
+
+from repro.cli import build_parser, list_experiments, main
+
+
+class TestParser:
+    def test_every_experiment_has_a_subcommand(self):
+        parser = build_parser()
+        for name in list_experiments():
+            args = parser.parse_args([name] if name not in () else [name])
+            assert args.command == name
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "fig13a", "fig15"):
+            assert name in out
+
+
+class TestCheapCommands:
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--min-racks", "16", "--max-racks", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "k=12" in out
+        assert "16" in out
+
+    def test_theorem1(self, capsys):
+        assert main(["theorem1", "--stripes", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "bound" in out
+        assert "1.900" in out  # the paper's anchor at i=10, R=20
+
+    def test_fig8a_tiny(self, capsys):
+        assert main(["fig8a", "--stripes", "8", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "(12,10)" in out
+        assert "gain" in out
+
+    def test_fig14_tiny(self, capsys):
+        assert main(["fig14", "--blocks", "500", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rank 1" in out
+
+    def test_fig15_tiny(self, capsys):
+        assert main(["fig15", "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "F=10000" in out
+
+    def test_fig13a_tiny(self, capsys):
+        assert main(
+            ["fig13a", "--stripes-per-process", "2", "--seeds", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "encode gain" in out
+
+    def test_fig10_tiny(self, capsys):
+        assert main(["fig10", "--jobs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+
+    def test_fig12_tiny(self, capsys):
+        assert main(["fig12", "--stripes", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "write-response-idle" in out

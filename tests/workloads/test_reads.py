@@ -1,0 +1,100 @@
+"""ReadStream: Poisson reads, locality accounting."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.random_replication import RandomReplication
+from repro.hdfs.client import CFSClient
+from repro.hdfs.namenode import NameNode
+from repro.sim.engine import Simulator
+from repro.sim.netsim import Network
+from repro.workloads.reads import ReadStream
+
+
+def build(seed=1, blocks=30):
+    topo = ClusterTopology(
+        nodes_per_rack=3, num_racks=4,
+        intra_rack_bandwidth=1e4, cross_rack_bandwidth=1e4,
+    )
+    sim = Simulator()
+    net = Network(sim, topo)
+    policy = RandomReplication(topo, rng=random.Random(seed))
+    nn = NameNode(topo, policy, block_size=100)
+    client = CFSClient(sim, net, nn)
+    for __ in range(blocks):
+        nn.allocate_block()
+    stream = ReadStream(sim, client, rate=20.0, rng=random.Random(seed + 1))
+    return sim, nn, stream
+
+
+class TestReadStream:
+    def test_limit(self):
+        sim, nn, stream = build()
+        sim.process(stream.run(limit=25))
+        sim.run()
+        assert len(stream.results) == 25
+
+    def test_latency_positive_for_remote(self):
+        sim, nn, stream = build()
+        sim.process(stream.run(limit=40))
+        sim.run()
+        remote = [r for r in stream.results if not r.was_local()]
+        assert remote
+        assert all(r.latency > 0 for r in remote)
+        assert stream.mean_latency() > 0
+
+    def test_local_reads_are_instant_without_disk(self):
+        sim, nn, stream = build()
+        sim.process(stream.run(limit=60))
+        sim.run()
+        for r in stream.results:
+            if r.was_local():
+                assert r.latency == 0.0
+
+    def test_local_fraction_sane(self):
+        sim, nn, stream = build()
+        sim.process(stream.run(limit=80))
+        sim.run()
+        # 3 replicas over 12 nodes: ~25% of reads find a local copy.
+        assert 0.0 <= stream.local_fraction() <= 0.7
+
+    def test_block_pool_restriction(self):
+        sim, nn, stream = build()
+        only = [0, 1]
+        stream.block_pool = only
+        sim.process(stream.run(limit=15))
+        sim.run()
+        assert all(r.block_id in only for r in stream.results)
+
+    def test_empty_cluster_issues_nothing(self):
+        topo = ClusterTopology(nodes_per_rack=2, num_racks=2)
+        sim = Simulator()
+        net = Network(sim, topo)
+        policy = RandomReplication(topo, rng=random.Random(1))
+        nn = NameNode(topo, policy)
+        client = CFSClient(sim, net, nn)
+        stream = ReadStream(sim, client, rate=5.0, rng=random.Random(2))
+        sim.process(stream.run(limit=10))
+        sim.run()
+        assert stream.results == []
+
+    def test_stop(self):
+        sim, nn, stream = build()
+
+        def stopper():
+            yield sim.timeout(0.2)
+            stream.stop()
+
+        sim.process(stream.run())
+        sim.process(stopper())
+        sim.run()
+        assert all(r.start_time <= 0.5 for r in stream.results)
+
+    def test_validation(self):
+        sim, nn, stream = build()
+        with pytest.raises(ValueError):
+            ReadStream(sim, stream.client, rate=0, rng=random.Random(1))
+        with pytest.raises(ValueError):
+            stream.mean_latency() if not stream.results else None

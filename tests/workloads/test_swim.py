@@ -1,0 +1,139 @@
+"""SWIM workload: shape generation and job execution."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.random_replication import RandomReplication
+from repro.hdfs.client import CFSClient
+from repro.hdfs.mapreduce import JobTracker
+from repro.hdfs.namenode import NameNode
+from repro.sim.engine import Simulator
+from repro.sim.netsim import Network
+from repro.workloads.swim import SwimWorkload, run_swim_job
+
+
+def build(seed=1):
+    topo = ClusterTopology(
+        nodes_per_rack=3, num_racks=4,
+        intra_rack_bandwidth=10_000.0, cross_rack_bandwidth=10_000.0,
+    )
+    sim = Simulator()
+    net = Network(sim, topo)
+    policy = RandomReplication(topo, rng=random.Random(seed))
+    nn = NameNode(topo, policy, block_size=1000)
+    client = CFSClient(sim, net, nn)
+    jt = JobTracker(sim, topo, slots_per_node=4, rng=random.Random(seed))
+    workload = SwimWorkload(random.Random(seed + 5), block_size=1000)
+    return sim, net, nn, client, jt, workload
+
+
+class TestShapes:
+    def test_shape_counts_and_monotone_arrivals(self):
+        workload = SwimWorkload(random.Random(2))
+        shapes = workload.generate_shapes(50)
+        assert len(shapes) == 50
+        times = [s.submit_time for s in shapes]
+        assert times == sorted(times)
+        assert all(s.input_blocks >= 1 for s in shapes)
+        assert all(s.num_reducers >= 1 for s in shapes)
+
+    def test_heavy_tail(self):
+        workload = SwimWorkload(random.Random(3))
+        shapes = workload.generate_shapes(400)
+        blocks = [s.input_blocks for s in shapes]
+        # Most jobs are small; a tail of large jobs exists.
+        small = sum(1 for b in blocks if b <= 3)
+        assert small / len(blocks) > 0.6
+        assert max(blocks) >= 10
+
+    def test_map_only_fraction(self):
+        workload = SwimWorkload(random.Random(4), map_only_fraction=1.0)
+        shapes = workload.generate_shapes(30)
+        assert all(s.shuffle_bytes == 0 for s in shapes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SwimWorkload(random.Random(1), mean_interarrival=0)
+        with pytest.raises(ValueError):
+            SwimWorkload(random.Random(1), map_only_fraction=2.0)
+
+
+class TestExecution:
+    def test_single_job_runs(self):
+        sim, net, nn, client, jt, workload = build()
+        shapes = workload.generate_shapes(1)
+        records = []
+
+        def scenario():
+            jobs = yield from workload.materialise(shapes, client)
+            record = yield from run_swim_job(sim, jobs[0], jt, client, net)
+            records.append(record)
+
+        sim.process(scenario())
+        sim.run()
+        assert len(records) == 1
+        assert records[0].runtime > 0
+
+    def test_materialise_writes_inputs(self):
+        sim, net, nn, client, jt, workload = build()
+        shapes = workload.generate_shapes(3)
+        jobs_box = []
+
+        def scenario():
+            jobs = yield from workload.materialise(shapes, client)
+            jobs_box.extend(jobs)
+
+        sim.process(scenario())
+        sim.run()
+        total_blocks = sum(shape.input_blocks for shape in shapes)
+        assert sum(len(j.input_blocks) for j in jobs_box) == total_blocks
+        for job in jobs_box:
+            for block_id in job.input_blocks:
+                assert len(nn.block_locations(block_id)) == 3
+
+    def test_workload_run_completes_all(self):
+        sim, net, nn, client, jt, workload = build()
+        shapes = workload.generate_shapes(5)
+        records_box = []
+
+        def scenario():
+            jobs = yield from workload.materialise(shapes, client)
+            records = yield from workload.run(sim, jobs, jt, client, net)
+            records_box.extend(records)
+
+        sim.process(scenario())
+        sim.run()
+        assert len(records_box) == 5
+        for record, shape in zip(records_box, shapes):
+            assert record.submit_time >= shape.submit_time
+
+    def test_output_written_back_via_policy(self):
+        sim, net, nn, client, jt, workload = build()
+        shapes = [s for s in workload.generate_shapes(6) if s.output_bytes > 0]
+        assert shapes, "need at least one job with output"
+        before = len(nn.block_store)
+
+        def scenario():
+            jobs = yield from workload.materialise(shapes, client)
+            yield from workload.run(sim, jobs, jt, client, net)
+
+        sim.process(scenario())
+        sim.run()
+        inputs = sum(s.input_blocks for s in shapes)
+        assert len(nn.block_store) > before + inputs  # outputs exist too
+
+    def test_invalid_compute_rate(self):
+        sim, net, nn, client, jt, workload = build()
+        shapes = workload.generate_shapes(1)
+
+        def scenario():
+            jobs = yield from workload.materialise(shapes, client)
+            yield from run_swim_job(
+                sim, jobs[0], jt, client, net, compute_rate=0
+            )
+
+        sim.process(scenario())
+        with pytest.raises(ValueError):
+            sim.run()

@@ -1,0 +1,95 @@
+"""WriteStream: Poisson arrivals, replay, stopping."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.random_replication import RandomReplication
+from repro.hdfs.client import CFSClient
+from repro.hdfs.namenode import NameNode
+from repro.sim.engine import Simulator
+from repro.sim.metrics import ResponseTimeStats
+from repro.sim.netsim import Network
+from repro.workloads.writes import WriteStream
+
+
+def build(rate=1.0, seed=1):
+    topo = ClusterTopology(
+        nodes_per_rack=3, num_racks=4,
+        intra_rack_bandwidth=1000.0, cross_rack_bandwidth=1000.0,
+    )
+    sim = Simulator()
+    net = Network(sim, topo)
+    policy = RandomReplication(topo, rng=random.Random(seed))
+    nn = NameNode(topo, policy, block_size=100)
+    stats = ResponseTimeStats()
+    client = CFSClient(sim, net, nn, stats=stats)
+    stream = WriteStream(sim, client, rate=rate, rng=random.Random(seed + 1))
+    return sim, nn, stream, stats
+
+
+class TestPoissonStream:
+    def test_limit(self):
+        sim, nn, stream, stats = build()
+        sim.process(stream.run(limit=15))
+        sim.run()
+        assert len(stream.results) == 15
+        assert stats.count == 15
+
+    def test_duration_bound(self):
+        sim, nn, stream, stats = build(rate=5.0)
+        sim.process(stream.run(duration=10.0))
+        sim.run()
+        assert all(r.start_time <= 11.0 for r in stream.results)
+        # ~50 expected arrivals in 10 s at rate 5.
+        assert 20 <= len(stream.results) <= 90
+
+    def test_stop(self):
+        sim, nn, stream, stats = build(rate=10.0)
+
+        def stopper():
+            yield sim.timeout(2.0)
+            stream.stop()
+
+        sim.process(stream.run())
+        sim.process(stopper())
+        sim.run()
+        assert all(r.start_time <= 2.5 for r in stream.results)
+
+    def test_arrivals_do_not_serialise(self):
+        """Slow writes must not delay later arrivals (each is a process)."""
+        sim, nn, stream, stats = build(rate=100.0)
+        sim.process(stream.run(limit=20))
+        sim.run()
+        starts = [r.start_time for r in stream.results]
+        # 20 arrivals at rate 100 span ~0.2 s.
+        assert max(starts) < 2.0
+
+    def test_writer_pool_respected(self):
+        sim, nn, stream, stats = build()
+        stream.writer_nodes = [5]
+        sim.process(stream.run(limit=5))
+        sim.run()
+        # First replica rack equals the writer's rack under RR with a hint.
+        for result in stream.results:
+            assert nn.topology.rack_of(result.node_ids[0]) == nn.topology.rack_of(5)
+
+    def test_validation(self):
+        sim, nn, stream, stats = build()
+        with pytest.raises(ValueError):
+            WriteStream(sim, stream.client, rate=0, rng=random.Random(1))
+        with pytest.raises(ValueError):
+            WriteStream(
+                sim, stream.client, rate=1, rng=random.Random(1),
+                writer_nodes=[],
+            )
+
+
+class TestReplay:
+    def test_replay_exact_times(self):
+        sim, nn, stream, stats = build()
+        sim.process(stream.replay([5.0, 1.0, 3.0]))
+        sim.run()
+        starts = sorted(r.start_time for r in stream.results)
+        assert starts == [1.0, 3.0, 5.0]
