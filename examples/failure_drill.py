@@ -7,10 +7,14 @@ the replicated blocks and rebuilds every encoded block from its stripe,
 with all repair traffic flowing through the simulated network.  A tracer
 shows what the repair cost the core.
 
-Run:  python examples/failure_drill.py
+Run:  python examples/failure_drill.py [seed]
+
+Every random choice derives from the single seed (default 7), so a run is
+reproducible end to end: same seed, same repair traffic, same report.
 """
 
 import random
+import sys
 
 from repro.cluster.topology import ClusterTopology
 from repro.core.policy import ReplicationScheme
@@ -21,22 +25,28 @@ from repro.sim.trace import Tracer
 from repro.workloads.writes import WriteStream
 
 
-def main():
+def main(seed: int = 7):
+    master = random.Random(seed)
+    injector_seed = master.randrange(2**32)
+    writes_seed = master.randrange(2**32)
+    mover_seed = master.randrange(2**32)
+
     code = CodeParams(14, 10)
     topology = ClusterTopology.large_scale()
     setup = build_cluster(
-        "ear", topology, code, ReplicationScheme(3, 2), seed=7
+        "ear", topology, code, ReplicationScheme(3, 2), seed=seed
     )
     populate_until_sealed(setup, 30)
     stripes = setup.namenode.sealed_stripes()[:30]
-    print(f"cluster: {topology}; encoding {len(stripes)} stripes of {code}\n")
+    print(f"cluster: {topology}; encoding {len(stripes)} stripes of {code} "
+          f"(seed {seed})\n")
 
     injector = FailureInjector(
         setup.sim, setup.network, setup.namenode, setup.raidnode,
-        rng=random.Random(99),
+        rng=random.Random(injector_seed),
     )
     writes = WriteStream(
-        setup.sim, setup.client, rate=0.5, rng=random.Random(11)
+        setup.sim, setup.client, rate=0.5, rng=random.Random(writes_seed)
     )
     tracer = Tracer.attach(setup.network)
 
@@ -70,7 +80,7 @@ def main():
     from repro.core.relocation import BlockMover, PlacementMonitor
 
     monitor = PlacementMonitor(topology, code)
-    mover = BlockMover(topology, code, rng=random.Random(5))
+    mover = BlockMover(topology, code, rng=random.Random(mover_seed))
     violating = monitor.scan(setup.namenode.block_store, stripes)
     print(f"stripes needing relocation after the repair: {len(violating)}")
 
@@ -89,4 +99,4 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

@@ -219,6 +219,26 @@ def cmd_fig13f(args) -> None:
     _largescale_sweep(sweep_replicas, args, "replicas", lambda v: int(v))
 
 
+def cmd_chaos(args) -> None:
+    """Chaos drill: transient faults + corruption during background encoding."""
+    from repro.faults.drill import run_chaos_drill
+
+    report = run_chaos_drill(
+        seed=args.seed,
+        num_stripes=args.stripes,
+        num_flaps=args.flaps,
+        num_rack_outages=args.rack_outages,
+        num_corruptions=args.corruptions,
+        horizon=args.horizon,
+    )
+    rows = [[key, str(value)] for key, value in report.summary().items()]
+    print(format_table(["metric", "value"], rows))
+    if not report.clean:
+        print("\nDRILL FAILED: data was lost or encoding did not finish")
+        raise SystemExit(1)
+    print("\ndrill clean: no data loss, all stripes encoded")
+
+
 def cmd_fig14(args) -> None:
     """Figure 14: storage load balance."""
     from repro.experiments.loadbalance import storage_balance
@@ -297,6 +317,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seeds", type=int, default=2)
         p.set_defaults(func=func)
 
+    p = sub.add_parser("chaos", help=cmd_chaos.__doc__)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--stripes", type=int, default=12)
+    p.add_argument("--flaps", type=int, default=4)
+    p.add_argument("--rack-outages", type=int, default=1)
+    p.add_argument("--corruptions", type=int, default=3)
+    p.add_argument("--horizon", type=float, default=40.0)
+    p.set_defaults(func=cmd_chaos)
+
     p = sub.add_parser("fig14", help=cmd_fig14.__doc__)
     p.add_argument("--blocks", type=int, default=10_000)
     p.add_argument("--runs", type=int, default=10)
@@ -314,7 +343,7 @@ def list_experiments() -> List[str]:
     return [
         "fig3", "theorem1", "fig8a", "fig8b", "fig9", "fig10", "fig12",
         "fig13a", "fig13b", "fig13c", "fig13d", "fig13e", "fig13f",
-        "fig14", "fig15",
+        "fig14", "fig15", "chaos",
     ]
 
 

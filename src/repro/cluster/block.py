@@ -87,6 +87,7 @@ class BlockStore:
             node_id: set() for node_id in topology.node_ids()
         }
         self._id_counter = itertools.count()
+        self._corrupted: Set[Tuple[BlockId, NodeId]] = set()
 
     # ------------------------------------------------------------------
     # Block lifecycle
@@ -166,6 +167,7 @@ class BlockStore:
             if replica.node_id == node_id:
                 del replicas[index]
                 self._node_blocks[node_id].discard(block_id)
+                self._corrupted.discard((block_id, node_id))
                 return
         raise KeyError(f"node {node_id} stores no replica of block {block_id}")
 
@@ -185,6 +187,49 @@ class BlockStore:
         """Relocate one copy from ``src`` to ``dst`` (BlockMover behaviour)."""
         self.remove_replica(block_id, src)
         self.add_replica(block_id, dst)
+
+    # ------------------------------------------------------------------
+    # Corruption (bit-rot) markers
+    # ------------------------------------------------------------------
+    def mark_corrupted(self, block_id: BlockId, node_id: NodeId) -> None:
+        """Flag one replica as bit-rotted (its checksum no longer matches).
+
+        The replica still occupies space and shows up in
+        :meth:`replica_nodes`, but readers and repair pipelines must treat
+        it as unusable — :meth:`healthy_replica_nodes` excludes it.
+
+        Raises:
+            KeyError: If the node holds no copy of the block.
+        """
+        if node_id not in self.replica_nodes(block_id):
+            raise KeyError(
+                f"node {node_id} stores no replica of block {block_id}"
+            )
+        self._corrupted.add((block_id, node_id))
+
+    def clear_corrupted(self, block_id: BlockId, node_id: NodeId) -> None:
+        """Unflag a replica (e.g. after it was rewritten from a good copy)."""
+        self._corrupted.discard((block_id, node_id))
+
+    def is_corrupted(self, block_id: BlockId, node_id: NodeId) -> bool:
+        """True when the replica's stored bytes are known-bad."""
+        return (block_id, node_id) in self._corrupted
+
+    def corrupted_replicas(self) -> List[Tuple[BlockId, NodeId]]:
+        """All flagged (block, node) pairs, deterministically ordered."""
+        return sorted(self._corrupted)
+
+    def corrupted_on_node(self, node_id: NodeId) -> List[BlockId]:
+        """Flagged blocks on one node, sorted (the scrubber's scan unit)."""
+        return sorted(b for b, n in self._corrupted if n == node_id)
+
+    def healthy_replica_nodes(self, block_id: BlockId) -> Tuple[NodeId, ...]:
+        """Nodes holding an uncorrupted copy of ``block_id``."""
+        return tuple(
+            n
+            for n in self.replica_nodes(block_id)
+            if (block_id, n) not in self._corrupted
+        )
 
     # ------------------------------------------------------------------
     # Queries

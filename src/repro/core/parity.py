@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.block import BlockId, BlockStore
 from repro.cluster.topology import ClusterTopology, NodeId, RackId
@@ -34,6 +34,11 @@ from repro.core.flowgraph import StripeFlowGraph
 from repro.core.policy import PlacementError
 from repro.core.stripe import Stripe
 from repro.erasure.codec import CodeParams
+from repro.sim.netsim import SourceUnavailable
+
+#: Filter deciding whether one replica may serve as a download source
+#: (used by retrying pipelines to skip down or corrupted copies).
+SourceFilter = Callable[[BlockId, NodeId], bool]
 
 
 @dataclass(frozen=True)
@@ -66,11 +71,18 @@ def _download_sources(
     block_store: BlockStore,
     stripe: Stripe,
     encoder_node: NodeId,
+    source_ok: Optional[SourceFilter] = None,
 ) -> Dict[BlockId, NodeId]:
     """Choose where the encoder fetches each data block from.
 
     Prefers a copy on the encoder itself, then one in the encoder's rack,
-    then any copy (a cross-rack download).
+    then any copy (a cross-rack download).  ``source_ok`` vetoes individual
+    replicas (down endpoints, corrupted copies).
+
+    Raises:
+        PlacementError: When a block has no replicas at all (data loss).
+        SourceUnavailable: When replicas exist but every one is vetoed —
+            a transient condition retry loops are expected to outwait.
     """
     encoder_rack = topology.rack_of(encoder_node)
     sources: Dict[BlockId, NodeId] = {}
@@ -78,6 +90,11 @@ def _download_sources(
         nodes = block_store.replica_nodes(block_id)
         if not nodes:
             raise PlacementError(f"block {block_id} has no replicas to encode from")
+        if source_ok is not None:
+            usable = [n for n in nodes if source_ok(block_id, n)]
+            if not usable:
+                raise SourceUnavailable(nodes[0], encoder_node, nodes[0])
+            nodes = tuple(usable)
         local = [n for n in nodes if n == encoder_node]
         same_rack = [n for n in nodes if topology.rack_of(n) == encoder_rack]
         sources[block_id] = (local or same_rack or list(nodes))[0]
@@ -89,9 +106,12 @@ def download_plan(
     block_store: BlockStore,
     stripe: Stripe,
     encoder_node: NodeId,
+    source_ok: Optional[SourceFilter] = None,
 ) -> Dict[BlockId, NodeId]:
     """Public wrapper: block -> node the encoder downloads it from."""
-    return _download_sources(topology, block_store, stripe, encoder_node)
+    return _download_sources(
+        topology, block_store, stripe, encoder_node, source_ok=source_ok
+    )
 
 
 def count_cross_rack_downloads(
@@ -365,8 +385,18 @@ class EncodingPlanner:
     plan stripes uniformly.
     """
 
-    def plan(self, stripe: Stripe, encoder_node: Optional[NodeId] = None) -> EncodingPlan:
-        """Plan one sealed stripe; ``encoder_node`` pins the map's node."""
+    def plan(
+        self,
+        stripe: Stripe,
+        encoder_node: Optional[NodeId] = None,
+        allow_foreign_encoder: Optional[bool] = None,
+    ) -> EncodingPlan:
+        """Plan one sealed stripe; ``encoder_node`` pins the map's node.
+
+        ``allow_foreign_encoder`` overrides the planner's default for this
+        one stripe — graceful degradation uses it to accept a cross-rack
+        encoder when an EAR stripe's core rack is entirely down.
+        """
         raise NotImplementedError
 
     def pick_encoder_node(self, stripe: Stripe) -> NodeId:
@@ -399,7 +429,14 @@ class EARPlanner(EncodingPlanner):
         self.reserve_core_for_parity = reserve_core_for_parity
         self.allow_foreign_encoder = allow_foreign_encoder
 
-    def plan(self, stripe: Stripe, encoder_node: Optional[NodeId] = None) -> EncodingPlan:
+    def plan(
+        self,
+        stripe: Stripe,
+        encoder_node: Optional[NodeId] = None,
+        allow_foreign_encoder: Optional[bool] = None,
+    ) -> EncodingPlan:
+        if allow_foreign_encoder is None:
+            allow_foreign_encoder = self.allow_foreign_encoder
         return plan_ear_encoding(
             self.topology,
             self.block_store,
@@ -409,7 +446,7 @@ class EARPlanner(EncodingPlanner):
             rng=self.rng,
             reserve_core_for_parity=self.reserve_core_for_parity,
             encoder_node=encoder_node,
-            allow_foreign_encoder=self.allow_foreign_encoder,
+            allow_foreign_encoder=allow_foreign_encoder,
         )
 
     def pick_encoder_node(self, stripe: Stripe) -> NodeId:
@@ -438,7 +475,13 @@ class RRPlanner(EncodingPlanner):
         self.code = code
         self.rng = rng if rng is not None else random.Random()
 
-    def plan(self, stripe: Stripe, encoder_node: Optional[NodeId] = None) -> EncodingPlan:
+    def plan(
+        self,
+        stripe: Stripe,
+        encoder_node: Optional[NodeId] = None,
+        allow_foreign_encoder: Optional[bool] = None,
+    ) -> EncodingPlan:
+        # RR encoders are random nodes already; "foreign" is meaningless.
         return plan_rr_encoding(
             self.topology,
             self.block_store,

@@ -13,6 +13,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.cluster.topology import ClusterTopology
 from repro.core.ear import EncodingAwareReplication
+from repro.faults.retry import RetryPolicy
 from repro.core.policy import PlacementPolicy, ReplicationScheme
 from repro.core.random_replication import RandomReplication
 from repro.core.stripe import PreEncodingStore
@@ -24,7 +25,12 @@ from repro.hdfs.mapreduce import JobTracker
 from repro.hdfs.namenode import NameNode
 from repro.hdfs.raidnode import RaidNode
 from repro.sim.engine import Simulator
-from repro.sim.metrics import ResponseTimeStats, ThroughputMeter, TimeSeries
+from repro.sim.metrics import (
+    ResilienceMetrics,
+    ResponseTimeStats,
+    ThroughputMeter,
+    TimeSeries,
+)
 from repro.sim.netsim import DiskModel, Network
 
 
@@ -46,6 +52,7 @@ class ClusterSetup:
     write_stats: ResponseTimeStats
     encode_meter: ThroughputMeter
     encode_timeline: TimeSeries
+    resilience: Optional[ResilienceMetrics] = None
 
 
 def make_policy(
@@ -85,8 +92,18 @@ def build_cluster(
     slots_per_node: int = 4,
     ear_c: int = 1,
     ear_target_racks: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    resilience: Optional[ResilienceMetrics] = None,
+    max_task_attempts: Optional[int] = None,
 ) -> ClusterSetup:
-    """Assemble a ready-to-run simulated cluster for one policy and seed."""
+    """Assemble a ready-to-run simulated cluster for one policy and seed.
+
+    With a ``retry`` policy the stack becomes fault-tolerant end to end:
+    the encoder and RaidNode retry aborted transfers under it, and the
+    JobTracker schedules health-aware (skipping down endpoints, retrying
+    crashed maps — 3 attempts unless ``max_task_attempts`` overrides).
+    Without it the stack behaves exactly as before — fail-fast.
+    """
     rng = random.Random(seed)
     sim = Simulator()
     network = Network(sim, topology, disk=disk)
@@ -107,9 +124,25 @@ def build_cluster(
         planner,
         throughput=encode_meter,
         timeline=encode_timeline,
+        retry=retry,
+        resilience=resilience,
+        rng=rng if retry is not None else None,
     )
-    job_tracker = JobTracker(sim, topology, slots_per_node=slots_per_node, rng=rng)
-    raidnode = RaidNode(sim, network, namenode, encoder, rng=rng)
+    if retry is not None:
+        attempts = 3 if max_task_attempts is None else max_task_attempts
+        job_tracker = JobTracker(
+            sim, topology, slots_per_node=slots_per_node, rng=rng,
+            health=network.is_up, max_task_attempts=attempts,
+        )
+        job_tracker.watch_network(network)
+    else:
+        job_tracker = JobTracker(
+            sim, topology, slots_per_node=slots_per_node, rng=rng
+        )
+    raidnode = RaidNode(
+        sim, network, namenode, encoder, rng=rng,
+        retry=retry, resilience=resilience,
+    )
     return ClusterSetup(
         sim=sim,
         topology=topology,
@@ -125,6 +158,7 @@ def build_cluster(
         write_stats=write_stats,
         encode_meter=encode_meter,
         encode_timeline=encode_timeline,
+        resilience=resilience,
     )
 
 

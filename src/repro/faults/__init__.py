@@ -1,0 +1,68 @@
+"""The chaos layer: fault injection, retries, and the repair pipeline.
+
+Four cooperating pieces turn the simulator's fail-fast stack into one
+that degrades gracefully:
+
+* :mod:`repro.faults.retry` — bounded retries with exponential backoff,
+  seeded jitter, and straggler kill, for any simulation process;
+* :mod:`repro.faults.chaos` — scripted transient faults (node flaps,
+  rack outages, NIC degradation, bit-rot) as simulation processes;
+* :mod:`repro.faults.repair` — the prioritized repair queue draining
+  damage most-at-risk-stripe first;
+* :mod:`repro.faults.scrubber` — periodic checksum verification feeding
+  detected corruption into the queue.
+
+:mod:`repro.faults.drill` wires them all into one deterministic chaos
+drill (also reachable as ``repro chaos`` from the CLI).
+"""
+
+from repro.faults.chaos import (
+    CORRUPT_BLOCK,
+    DEGRADE_NODE,
+    NODE_FLAP,
+    RACK_OUTAGE,
+    ChaosEvent,
+    ChaosInjector,
+    ChaosSchedule,
+)
+from repro.faults.repair import RepairQueue
+from repro.faults.retry import (
+    AttemptTimeout,
+    RetryExhausted,
+    RetryPolicy,
+    with_retries,
+)
+from repro.faults.scrubber import Scrubber
+
+_DRILL_EXPORTS = ("ChaosDrillReport", "cluster_fingerprint", "run_chaos_drill")
+
+
+def __getattr__(name):
+    # The drill pulls in the whole hdfs/experiments stack, which itself
+    # imports repro.faults.retry — importing it eagerly here would be
+    # circular, so it loads on first access instead.
+    if name in _DRILL_EXPORTS:
+        from repro.faults import drill
+
+        return getattr(drill, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "AttemptTimeout",
+    "ChaosDrillReport",
+    "ChaosEvent",
+    "ChaosInjector",
+    "ChaosSchedule",
+    "CORRUPT_BLOCK",
+    "DEGRADE_NODE",
+    "NODE_FLAP",
+    "RACK_OUTAGE",
+    "RepairQueue",
+    "RetryExhausted",
+    "RetryPolicy",
+    "Scrubber",
+    "cluster_fingerprint",
+    "run_chaos_drill",
+    "with_retries",
+]

@@ -1,0 +1,256 @@
+"""The chaos drill: every fault path exercised in one deterministic run.
+
+Builds a small EAR cluster, starts a background batch encode through the
+MapReduce pipeline, and unleashes the full chaos menu on it — transient
+node flaps, one whole-rack outage, NIC degradations, silent block
+corruption, and one *permanent* node failure repaired through the
+prioritized queue.  The drill passes when nothing is lost: every stripe
+finishes encoding, every repair lands, and the resilience metrics show
+bounded retries.
+
+Everything is derived from one seed, so two runs with the same seed
+produce bit-identical states — asserted via :func:`cluster_fingerprint`,
+a sha256 over the final placement map, repair outcomes, and metrics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.policy import ReplicationScheme
+from repro.core.relocation import BlockMover
+from repro.erasure.codec import CodeParams
+from repro.experiments.runner import build_cluster, populate_until_sealed
+from repro.faults.chaos import ChaosInjector, ChaosSchedule
+from repro.faults.repair import RepairQueue, UNRECOVERABLE
+from repro.faults.retry import RetryPolicy
+from repro.faults.scrubber import Scrubber
+from repro.hdfs.failures import FailureInjector
+from repro.sim.metrics import ResilienceMetrics
+
+
+@dataclass
+class ChaosDrillReport:
+    """Everything a drill run measured (deterministic for a given seed)."""
+
+    seed: int
+    sim_time: float
+    stripes_total: int
+    stripes_encoded: int
+    blocks_total: int
+    repair_outcomes: Dict[str, int]
+    unrecoverable: Tuple[int, ...]
+    data_loss_events: int
+    placement_violations: int
+    relocation_requests: int
+    encode_errors: Tuple[str, ...]
+    metrics: Dict[str, float] = field(default_factory=dict)
+    fingerprint: str = ""
+
+    @property
+    def clean(self) -> bool:
+        """True when the drill lost nothing and every stripe encoded."""
+        return (
+            not self.unrecoverable
+            and self.data_loss_events == 0
+            and not self.encode_errors
+            and self.stripes_encoded == self.stripes_total
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Flat printable snapshot (CLI table source)."""
+        out: Dict[str, object] = {
+            "seed": self.seed,
+            "sim_time": round(self.sim_time, 3),
+            "stripes_encoded": f"{self.stripes_encoded}/{self.stripes_total}",
+            "blocks_total": self.blocks_total,
+            "unrecoverable": len(self.unrecoverable),
+            "data_loss_events": self.data_loss_events,
+            "placement_violations": self.placement_violations,
+            "relocation_requests": self.relocation_requests,
+            "clean": self.clean,
+            "fingerprint": self.fingerprint[:16],
+        }
+        for key, value in sorted(self.repair_outcomes.items()):
+            out[f"repairs_{key}"] = value
+        for key, value in sorted(self.metrics.items()):
+            out[key] = round(value, 4) if isinstance(value, float) else value
+        return out
+
+
+def cluster_fingerprint(setup, repair_queue, resilience, encoder) -> str:
+    """sha256 over final placements, repair outcomes, and fault metrics.
+
+    Identical seeds must yield identical fingerprints; any nondeterminism
+    anywhere in the chaos/repair pipeline shows up here first.
+    """
+    store = setup.namenode.block_store
+    payload = {
+        "now": repr(setup.sim.now),
+        "placements": {
+            str(block.block_id): sorted(store.replica_nodes(block.block_id))
+            for block in store.blocks()
+        },
+        "corrupted": [list(pair) for pair in store.corrupted_replicas()],
+        "outcomes": dict(sorted(repair_queue.outcomes.items())),
+        "encoded": sorted(r.stripe_id for r in encoder.records),
+        "metrics": {k: repr(v) for k, v in sorted(resilience.summary().items())},
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_chaos_drill(
+    seed: int = 0,
+    num_racks: int = 8,
+    nodes_per_rack: int = 4,
+    num_stripes: int = 12,
+    code: Optional[CodeParams] = None,
+    block_size: int = 256_000,
+    bandwidth: float = 1e6,
+    horizon: float = 40.0,
+    num_flaps: int = 4,
+    num_rack_outages: int = 1,
+    num_degradations: int = 2,
+    num_corruptions: int = 3,
+    permanent_failure: bool = True,
+    scrub_interval: float = 10.0,
+    num_map_tasks: int = 6,
+) -> ChaosDrillReport:
+    """Run one full chaos drill and return its report.
+
+    All randomness derives from ``seed``; the report's ``fingerprint`` is
+    bit-identical across runs with identical arguments.
+    """
+    code = CodeParams(6, 4) if code is None else code
+    master = random.Random(seed)
+    chaos_seed = master.randrange(2**32)
+    repair_seed = master.randrange(2**32)
+    injector_seed = master.randrange(2**32)
+    mover_seed = master.randrange(2**32)
+
+    topology = ClusterTopology(
+        nodes_per_rack=nodes_per_rack,
+        num_racks=num_racks,
+        intra_rack_bandwidth=bandwidth,
+        cross_rack_bandwidth=bandwidth,
+    )
+    resilience = ResilienceMetrics()
+    retry = RetryPolicy(
+        max_attempts=8, base_delay=1.0, multiplier=2.0,
+        max_delay=30.0, jitter=0.5,
+    )
+    setup = build_cluster(
+        "ear", topology, code, ReplicationScheme(3, 2), seed,
+        block_size=block_size, retry=retry, resilience=resilience,
+    )
+    populate_until_sealed(setup, num_stripes)
+    store = setup.namenode.block_store
+    stripes = setup.namenode.sealed_stripes()[:num_stripes]
+    blocks_total = sum(1 for __ in store.blocks())
+
+    mover = BlockMover(topology, code, rng=random.Random(mover_seed))
+    repair_queue = RepairQueue(
+        setup.sim, setup.network, setup.namenode, setup.raidnode,
+        rng=random.Random(repair_seed), retry=retry,
+        resilience=resilience, mover=mover,
+    )
+    scrubber = Scrubber(
+        setup.sim, setup.network, setup.namenode, repair_queue,
+        interval=scrub_interval, resilience=resilience,
+    )
+    scrubber.start()
+
+    # Corruption targets: one data block from each of the first few
+    # stripes, so corruption + the permanent failure can never push one
+    # stripe past its n - k loss budget.
+    chaos_rng = random.Random(chaos_seed)
+    corrupt_blocks = [
+        chaos_rng.choice(sorted(stripe.block_ids))
+        for stripe in stripes[:num_corruptions]
+    ]
+    schedule = ChaosSchedule.random_schedule(
+        topology, chaos_rng, horizon,
+        num_flaps=num_flaps,
+        num_rack_outages=num_rack_outages,
+        num_degradations=num_degradations,
+        corrupt_blocks=corrupt_blocks,
+    )
+    chaos = ChaosInjector(
+        setup.sim, setup.network, schedule,
+        namenode=setup.namenode, rng=chaos_rng, resilience=resilience,
+    )
+    chaos.start()
+
+    injector = FailureInjector(
+        setup.sim, setup.network, setup.namenode, setup.raidnode,
+        rng=random.Random(injector_seed), retry=retry,
+        repair_queue=repair_queue, fail_endpoints=True,
+    )
+    if permanent_failure:
+        # Kill a node no transient fault touches, so the chaos layer's
+        # restorations can never resurrect a permanently dead endpoint.
+        flapped = {
+            e.target for e in schedule if e.kind == "node_flap"
+        }
+        for event in schedule:
+            if event.kind == "rack_outage":
+                flapped.update(topology.nodes_in_rack(event.target))
+        victims = [n for n in sorted(topology.node_ids()) if n not in flapped]
+        if victims:
+            victim = random.Random(injector_seed + 1).choice(victims)
+            setup.sim.process(injector.fail_node_at(horizon * 0.5, victim))
+
+    encode_errors: List[str] = []
+
+    def drive_encoding():
+        try:
+            yield from setup.raidnode.run_encoding(
+                setup.job_tracker, stripes, num_map_tasks=num_map_tasks
+            )
+        except Exception as exc:  # noqa: BLE001 — reported, not fatal
+            encode_errors.append(repr(exc))
+
+    setup.sim.process(drive_encoding())
+
+    # Run past the chaos horizon, then keep scrubbing until no damage is
+    # left anywhere (corruption injected late, or on a node that was down
+    # during earlier scans, surfaces in these final passes).
+    setup.sim.run(until=horizon + 300.0)
+    for __ in range(8):
+        caught = scrubber.scan_once()
+        if not caught and repair_queue.pending_count == 0:
+            break
+        setup.sim.run(until=setup.sim.now + 300.0)
+
+    report = ChaosDrillReport(
+        seed=seed,
+        sim_time=setup.sim.now,
+        stripes_total=len(stripes),
+        stripes_encoded=sum(
+            1 for r in setup.encoder.records
+            if r.stripe_id in {s.stripe_id for s in stripes}
+        ),
+        blocks_total=blocks_total,
+        repair_outcomes=dict(repair_queue.outcomes),
+        unrecoverable=tuple(repair_queue.unrecoverable)
+        + tuple(
+            block_id
+            for rep in injector.reports
+            for block_id in rep.unrecoverable
+        ),
+        data_loss_events=len(resilience.data_loss),
+        placement_violations=len(injector.violations),
+        relocation_requests=len(repair_queue.relocation_requests),
+        encode_errors=tuple(encode_errors),
+        metrics=resilience.summary(),
+    )
+    report.fingerprint = cluster_fingerprint(
+        setup, repair_queue, resilience, setup.encoder
+    )
+    return report

@@ -1,0 +1,346 @@
+"""Prioritized, retrying repair pipeline.
+
+Replaces the FailureInjector's inline discovery-order repair loop: damage
+is *enqueued*, and a background worker always repairs the most-at-risk
+stripe first — the one with the fewest surviving blocks above its decode
+threshold (``k`` for encoded stripes, one replica for replicated blocks).
+Under compound failures this ordering is what separates "a window of
+reduced durability" from actual data loss, which is why production RAID
+nodes run exactly such a queue.
+
+Each repair re-reads cluster state at execution time and, with a retry
+policy attached, survives transient endpoint deaths by backing off and
+re-planning both its source set and its target node.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from repro.cluster.block import BlockId, BlockStore
+from repro.cluster.topology import NodeId, RackId
+from repro.core.stripe import Stripe, StripeState
+from repro.faults.retry import RetryExhausted, RetryPolicy, with_retries
+from repro.sim.engine import Event, Simulator
+from repro.sim.metrics import ResilienceMetrics
+from repro.sim.netsim import Network, SourceUnavailable, TransferAborted
+
+#: Repair outcomes delivered through each enqueue's completion event.
+DECODED = "decoded"
+REREPLICATED = "rereplicated"
+NOOP = "noop"
+UNRECOVERABLE = "unrecoverable"
+
+
+class RepairQueue:
+    """Background repair worker draining damage most-at-risk first.
+
+    Args:
+        sim: Simulation kernel.
+        network: Link model carrying the repair traffic.
+        namenode: Metadata server (block store + stripe registry).
+        raidnode: Erasure-coded reconstruction engine.
+        rng: Random source for target-node choices (deterministic default).
+        retry: When given, each repair survives transient faults: aborted
+            transfers trigger a backoff and a fresh attempt with a newly
+            chosen target against current liveness.
+        resilience: Optional fault metrics (repair durations feed MTTR,
+            unavailability windows open at enqueue and close at repair).
+        mover: Optional :class:`~repro.core.relocation.BlockMover`; when
+            present, relocation requests (recorded constraint violations)
+            are served once the damage queue drains.
+
+    The worker process starts on construction and runs forever; it sleeps
+    on an internal wakeup event while idle, so an empty queue costs
+    nothing.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        namenode,
+        raidnode,
+        rng: Optional[random.Random] = None,
+        retry: Optional[RetryPolicy] = None,
+        resilience: Optional[ResilienceMetrics] = None,
+        mover=None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.namenode = namenode
+        self.raidnode = raidnode
+        self.rng = rng if rng is not None else random.Random(0)
+        self.retry = retry
+        self.resilience = resilience
+        self.mover = mover
+        self._pending: Dict[BlockId, Event] = {}
+        self._order: Dict[BlockId, int] = {}
+        self._seq = itertools.count()
+        self._wakeup: Optional[Event] = None
+        self.outcomes: Dict[str, int] = {
+            DECODED: 0, REREPLICATED: 0, NOOP: 0, UNRECOVERABLE: 0,
+        }
+        self.unrecoverable: List[BlockId] = []
+        self.relocation_requests: List[Stripe] = []
+        self._reloc_pending: List[Stripe] = []
+        self.relocations_done = 0
+        self._worker = sim.process(self._run())
+
+    # ------------------------------------------------------------------
+    # Producer API
+    # ------------------------------------------------------------------
+    def enqueue(self, block_id: BlockId) -> Event:
+        """Queue a damaged block; returns its repair completion event.
+
+        The event succeeds with one of the outcome strings (``"decoded"``,
+        ``"rereplicated"``, ``"noop"``, ``"unrecoverable"``) — it never
+        fails, so callers can wait on many repairs with ``all_of``.
+        Re-enqueueing a block already pending returns the existing event.
+        """
+        if block_id in self._pending:
+            return self._pending[block_id]
+        done = self.sim.event()
+        self._pending[block_id] = done
+        self._order[block_id] = next(self._seq)
+        if self.resilience is not None:
+            self.resilience.block_unavailable(block_id, self.sim.now)
+        self._notify()
+        return done
+
+    def request_relocation(self, stripe: Stripe) -> None:
+        """Ask for a stripe's placement to be repaired (after the damage).
+
+        Called when a repair had to violate the blocks-per-rack cap; the
+        request is always recorded, and served via the configured mover —
+        once no block repairs are pending — when one is attached.
+        """
+        self.relocation_requests.append(stripe)
+        self._reloc_pending.append(stripe)
+        self._notify()
+
+    @property
+    def pending_count(self) -> int:
+        """Damaged blocks still waiting for (or under) repair."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _notify(self) -> None:
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _run(self) -> Generator:
+        while True:
+            if self._pending:
+                block_id = self._pop_most_at_risk()
+                start = self.sim.now
+                outcome = yield from self._repair_one(block_id)
+                self.outcomes[outcome] += 1
+                if outcome == UNRECOVERABLE:
+                    self.unrecoverable.append(block_id)
+                    if self.resilience is not None:
+                        self.resilience.record_data_loss(
+                            block_id, self.sim.now, "repair failed"
+                        )
+                if self.resilience is not None:
+                    self.resilience.record_repair(self.sim.now - start)
+                    self.resilience.block_available(block_id, self.sim.now)
+                done = self._pending.pop(block_id)
+                del self._order[block_id]
+                done.succeed(outcome)
+            elif self._reloc_pending and self.mover is not None:
+                stripe = self._reloc_pending.pop(0)
+                yield from self._relocate(stripe)
+            else:
+                self._wakeup = self.sim.event()
+                yield self._wakeup
+                self._wakeup = None
+
+    def _pop_most_at_risk(self) -> BlockId:
+        """The pending block whose stripe has the smallest failure margin.
+
+        Margin = surviving copies above the decode threshold (``k``
+        members for an encoded stripe, one replica otherwise); ties break
+        by arrival order.  Recomputed at each pop so repairs and further
+        failures re-rank the queue continuously.
+        """
+        return min(
+            self._pending,
+            key=lambda b: (self._margin(b), self._order[b]),
+        )
+
+    def _margin(self, block_id: BlockId) -> int:
+        store = self.namenode.block_store
+        stripe = self._stripe_of(block_id)
+        if stripe is not None and stripe.state == StripeState.ENCODED:
+            survivors = sum(
+                1 for member in stripe.all_block_ids()
+                if store.replica_nodes(member)
+            )
+            return survivors - stripe.k
+        return len(store.replica_nodes(block_id)) - 1
+
+    # ------------------------------------------------------------------
+    # One repair
+    # ------------------------------------------------------------------
+    def _repair_one(self, block_id: BlockId) -> Generator:
+        store = self.namenode.block_store
+        survivors = store.replica_nodes(block_id)
+        stripe = self._stripe_of(block_id)
+        if survivors:
+            if stripe is not None and stripe.state == StripeState.ENCODED:
+                # The retained single copy is the steady state: no repair.
+                return NOOP
+            try:
+                yield from self._with_queue_retries(
+                    lambda: self._rereplicate_once(block_id)
+                )
+                return REREPLICATED
+            except RuntimeError:
+                return UNRECOVERABLE
+        if stripe is None or stripe.state != StripeState.ENCODED:
+            return UNRECOVERABLE
+        try:
+            yield from self._with_queue_retries(
+                lambda: self._decode_once(stripe, block_id)
+            )
+            return DECODED
+        except RuntimeError:
+            return UNRECOVERABLE
+
+    def _with_queue_retries(self, attempt_factory) -> Generator:
+        """Run one repair attempt factory under the queue's retry policy.
+
+        Retries also cover :class:`RetryExhausted` raised by the
+        RaidNode's *inner* download retries: when those die because the
+        chosen target node failed mid-repair, a fresh outer attempt picks
+        a new live target.
+        """
+        if self.retry is None:
+            result = yield from attempt_factory()
+            return result
+        result = yield from with_retries(
+            self.sim,
+            lambda __: attempt_factory(),
+            self.retry,
+            self.rng,
+            retry_on=(TransferAborted, RetryExhausted),
+            metrics=self.resilience,
+            label="repair",
+        )
+        return result
+
+    def _rereplicate_once(self, block_id: BlockId) -> Generator:
+        store = self.namenode.block_store
+        sources = [
+            n
+            for n in store.healthy_replica_nodes(block_id)
+            if self.network.is_up(n)
+        ]
+        if not sources:
+            replicas = store.replica_nodes(block_id)
+            if replicas:
+                raise SourceUnavailable(replicas[0], replicas[0], replicas[0])
+            raise RuntimeError(f"block {block_id} has no surviving replica")
+        target = self._replacement_node(block_id)
+        if target is None:
+            raise RuntimeError(f"no replacement node for block {block_id}")
+        size = store.block(block_id).size
+        yield from self.network.transfer(sources[0], target, size)
+        # A concurrent encode may have trimmed the block to its retained
+        # copy while ours was in flight; committing a second replica would
+        # over-replicate an encoded stripe.  Drop the copy instead.
+        stripe = self._stripe_of(block_id)
+        if (
+            stripe is not None
+            and stripe.state == StripeState.ENCODED
+            and store.replica_nodes(block_id)
+        ):
+            return
+        store.add_replica(block_id, target)
+
+    def _decode_once(self, stripe: Stripe, block_id: BlockId) -> Generator:
+        target = self._replacement_node(block_id)
+        if target is None:
+            raise RuntimeError(f"no replacement node for block {block_id}")
+        yield from self.raidnode.recover_block(stripe, block_id, target)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _rack_cap(self) -> int:
+        return getattr(self.namenode.policy, "c", 1)
+
+    def _replacement_node(self, block_id: BlockId) -> Optional[NodeId]:
+        """A live node for the repaired copy, honouring the rack cap.
+
+        Mirrors the FailureInjector's placement rule: encoded stripes keep
+        the hard ``<= c`` blocks-per-rack constraint when possible; when
+        every live candidate sits in a saturated rack the violation is
+        committed *and* a relocation is self-enqueued so the placement
+        monitor's invariant is eventually restored.
+        """
+        store = self.namenode.block_store
+        topology = self.namenode.topology
+        stripe = self._stripe_of(block_id)
+        rack_usage: Dict[RackId, int] = {}
+        if stripe is not None:
+            for member in stripe.all_block_ids():
+                for node in store.replica_nodes(member):
+                    rack = topology.rack_of(node)
+                    rack_usage[rack] = rack_usage.get(rack, 0) + 1
+        candidates = [
+            n
+            for n in topology.node_ids()
+            if self.network.is_up(n)
+            and block_id not in store.blocks_on_node(n)
+        ]
+        if not candidates:
+            return None
+        if stripe is not None and stripe.state == StripeState.ENCODED:
+            cap = self._rack_cap()
+            compliant = [
+                n for n in candidates
+                if rack_usage.get(topology.rack_of(n), 0) < cap
+            ]
+            if compliant:
+                return self.rng.choice(compliant)
+            choice = self.rng.choice(candidates)
+            self.request_relocation(stripe)
+            return choice
+        diverse = [
+            n for n in candidates if topology.rack_of(n) not in rack_usage
+        ]
+        return self.rng.choice(diverse or candidates)
+
+    def _stripe_of(self, block_id: BlockId) -> Optional[Stripe]:
+        pre_store = self.namenode.pre_encoding_store
+        if pre_store is None:
+            return None
+        stripe = pre_store.stripe_of_block(block_id)
+        if stripe is not None:
+            return stripe
+        stripe_id = self.namenode.block_store.block(block_id).stripe_id
+        if stripe_id is None:
+            return None
+        try:
+            return pre_store.stripe(stripe_id)
+        except KeyError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Relocation service
+    # ------------------------------------------------------------------
+    def _relocate(self, stripe: Stripe) -> Generator:
+        """Serve one relocation request (best effort, never raises)."""
+        try:
+            yield from self.raidnode.relocate_if_violating(stripe, self.mover)
+            self.relocations_done += 1
+        except Exception:
+            # The stripe may be mid-repair again (a block lost replicas
+            # since the request); the next violation re-enqueues it.
+            pass

@@ -17,16 +17,23 @@ retention).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Generator, List, Optional
+from typing import Generator, List, Optional, Tuple
 
 from repro.cluster.topology import NodeId
-from repro.core.parity import EncodingPlan, EncodingPlanner, download_plan
+from repro.core.parity import (
+    EncodingPlan,
+    EncodingPlanner,
+    SourceFilter,
+    download_plan,
+)
 from repro.core.stripe import Stripe
+from repro.faults.retry import RetryPolicy, with_retries
 from repro.hdfs.namenode import NameNode
 from repro.sim.engine import Simulator
-from repro.sim.metrics import ThroughputMeter, TimeSeries
-from repro.sim.netsim import Network
+from repro.sim.metrics import ResilienceMetrics, ThroughputMeter, TimeSeries
+from repro.sim.netsim import Network, SourceUnavailable
 
 
 @dataclass(frozen=True)
@@ -60,6 +67,14 @@ class StripeEncoder:
         throughput: Optional meter fed with each stripe's data volume.
         timeline: Optional series receiving stripe completion times
             (Figure 12's "encoded stripes vs time").
+        retry: When given, every stripe encode survives transient faults:
+            aborted transfers are retried under this policy, each attempt
+            re-plans its sources against current liveness, and when an EAR
+            stripe's core rack is entirely down the encode degrades to a
+            cross-rack encoder node instead of failing the map task.
+        resilience: Optional fault metrics fed by the retry loop.
+        rng: Random source for retry jitter and degraded encoder choice
+            (deterministic default).
     """
 
     def __init__(
@@ -71,6 +86,9 @@ class StripeEncoder:
         compute_bandwidth: Optional[float] = None,
         throughput: Optional[ThroughputMeter] = None,
         timeline: Optional[TimeSeries] = None,
+        retry: Optional[RetryPolicy] = None,
+        resilience: Optional[ResilienceMetrics] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if compute_bandwidth is not None and compute_bandwidth <= 0:
             raise ValueError("compute bandwidth must be positive")
@@ -81,6 +99,9 @@ class StripeEncoder:
         self.compute_bandwidth = compute_bandwidth
         self.throughput = throughput
         self.timeline = timeline
+        self.retry = retry
+        self.resilience = resilience
+        self.rng = rng if rng is not None else random.Random(0)
         self.records: List[EncodedStripe] = []
 
     # ------------------------------------------------------------------
@@ -96,16 +117,94 @@ class StripeEncoder:
 
         Returns:
             The :class:`EncodedStripe` record (generator return value).
+
+        Raises:
+            RetryExhausted: In retry mode, when the configured attempts
+                all died to transfer aborts or unavailable sources.
         """
+        if self.retry is None:
+            record = yield from self._encode_once(stripe, encoder_node)
+            return record
+        record = yield from with_retries(
+            self.sim,
+            lambda __: self._encode_attempt(stripe, encoder_node),
+            self.retry,
+            self.rng,
+            metrics=self.resilience,
+            label=f"encode stripe {stripe.stripe_id}",
+        )
+        return record
+
+    def _encode_attempt(
+        self, stripe: Stripe, pinned_node: Optional[NodeId]
+    ) -> Generator:
+        """One fault-aware encode attempt: re-plan against current liveness."""
+        node = pinned_node
+        if node is not None and not self.network.is_up(node):
+            node = None  # the map's node died; pick a live one instead
+        degraded = False
+        if node is None:
+            node, degraded = self._choose_live_encoder(stripe)
+        elif stripe.core_rack is not None:
+            core_nodes = self.namenode.topology.nodes_in_rack(stripe.core_rack)
+            degraded = not any(self.network.is_up(n) for n in core_nodes)
+
+        def source_ok(block_id: int, source: NodeId) -> bool:
+            return self.network.is_up(source) and not (
+                self.namenode.block_store.is_corrupted(block_id, source)
+            )
+
+        record = yield from self._encode_once(
+            stripe,
+            node,
+            source_ok=source_ok,
+            allow_foreign_encoder=True if degraded else None,
+        )
+        return record
+
+    def _choose_live_encoder(self, stripe: Stripe) -> Tuple[NodeId, bool]:
+        """A live encoder node, degrading to any rack when none is eligible.
+
+        Returns ``(node, degraded)`` where ``degraded`` means the node sits
+        outside the stripe's eligible set (e.g. the EAR core rack is down)
+        and planning must allow a foreign encoder.
+        """
+        eligible = [
+            n
+            for n in self.planner.eligible_encoder_nodes(stripe)
+            if self.network.is_up(n)
+        ]
+        if eligible:
+            return self.rng.choice(eligible), False
+        anywhere = [
+            n for n in self.namenode.topology.node_ids() if self.network.is_up(n)
+        ]
+        if not anywhere:
+            first = next(iter(self.namenode.topology.node_ids()))
+            raise SourceUnavailable(first, first, first)
+        return self.rng.choice(anywhere), True
+
+    def _encode_once(
+        self,
+        stripe: Stripe,
+        encoder_node: Optional[NodeId] = None,
+        source_ok: Optional[SourceFilter] = None,
+        allow_foreign_encoder: Optional[bool] = None,
+    ) -> Generator:
         start = self.sim.now
         if encoder_node is None:
             encoder_node = self.planner.pick_encoder_node(stripe)
-        plan = self.planner.plan(stripe, encoder_node=encoder_node)
+        plan = self.planner.plan(
+            stripe,
+            encoder_node=encoder_node,
+            allow_foreign_encoder=allow_foreign_encoder,
+        )
         store = self.namenode.block_store
 
         # Step 1: parallel downloads of the k data blocks.
         sources = download_plan(
-            self.namenode.topology, store, stripe, encoder_node
+            self.namenode.topology, store, stripe, encoder_node,
+            source_ok=source_ok,
         )
         downloads = []
         data_bytes = 0

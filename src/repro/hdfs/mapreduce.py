@@ -24,6 +24,18 @@ from typing import Callable, Dict, Generator, List, Optional, Tuple
 from repro.cluster.topology import ClusterTopology, NodeId
 from repro.sim.engine import Event, Simulator
 
+
+class TaskFailed(RuntimeError):
+    """A map task crashed on every allowed attempt; carries the last error."""
+
+    def __init__(self, task_id: int, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"task {task_id} failed after {attempts} attempt(s): {cause!r}"
+        )
+        self.task_id = task_id
+        self.attempts = attempts
+        self.cause = cause
+
 #: A task body: given the node the task landed on, yield simulation events.
 TaskBody = Callable[[NodeId], Generator]
 
@@ -96,6 +108,15 @@ class JobTracker:
         slots_per_node: Map slots per TaskTracker (the paper's Experiment
             A.3 uses 4).
         rng: Random source for tie-breaking among equally good nodes.
+        health: Optional liveness oracle (usually ``network.is_up``): the
+            scheduler never dispatches onto a node reported down.  When a
+            *restricted* task's preferred nodes are all down, the
+            restriction is relaxed and the task degrades to any live node
+            (the encoder then pays cross-rack downloads instead of the map
+            failing outright).
+        max_task_attempts: Times a crashed task is re-executed before its
+            completion event fails with :class:`TaskFailed` (1 = the
+            original fail-fast behaviour).
     """
 
     def __init__(
@@ -104,15 +125,21 @@ class JobTracker:
         topology: ClusterTopology,
         slots_per_node: int = 4,
         rng: Optional[random.Random] = None,
+        health: Optional[Callable[[NodeId], bool]] = None,
+        max_task_attempts: int = 1,
     ) -> None:
+        if max_task_attempts < 1:
+            raise ValueError("max_task_attempts must be at least 1")
         self.sim = sim
         self.topology = topology
         self.rng = rng if rng is not None else random.Random()
+        self.health = health
+        self.max_task_attempts = max_task_attempts
         self.trackers: Dict[NodeId, TaskTracker] = {
             node_id: TaskTracker(node_id, slots_per_node)
             for node_id in topology.node_ids()
         }
-        self._pending: List[Tuple[MapTask, Event]] = []
+        self._pending: List[Tuple[MapTask, Event, int]] = []
         self._job_ids = itertools.count()
 
     # ------------------------------------------------------------------
@@ -133,7 +160,7 @@ class JobTracker:
         for task in job.tasks:
             done = self.sim.event()
             completions.append(done)
-            self._pending.append((task, done))
+            self._pending.append((task, done, 1))
         self._dispatch()
         results = yield self.sim.all_of(completions)
         return results
@@ -142,6 +169,17 @@ class JobTracker:
         """Submit without waiting; returns the job's completion event."""
         return self.sim.process(self.run_job(job))
 
+    def watch_network(self, network) -> None:
+        """Re-dispatch queued tasks whenever an endpoint comes back up.
+
+        Without this, a job whose only eligible nodes are transiently down
+        would sit queued forever: slot state never changes, so nothing
+        re-triggers the scheduler.
+        """
+        network.on_endpoint_change(
+            lambda __, is_up: self._dispatch() if is_up else None
+        )
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -149,25 +187,31 @@ class JobTracker:
         scheduled_any = True
         while scheduled_any:
             scheduled_any = False
-            for index, (task, done) in enumerate(self._pending):
+            for index, (task, done, attempt) in enumerate(self._pending):
                 node = self._pick_node(task)
                 if node is None:
                     continue
                 del self._pending[index]
-                self._start(task, node, done)
+                self._start(task, node, done, attempt)
                 scheduled_any = True
                 break  # restart the scan: slot state changed
 
+    def _is_healthy(self, node: NodeId) -> bool:
+        return self.health is None or self.health(node)
+
     def _pick_node(self, task: MapTask) -> Optional[NodeId]:
         for node in task.preferred_nodes:
-            if self.trackers[node].free_slots > 0:
+            if self._is_healthy(node) and self.trackers[node].free_slots > 0:
                 return node
         if task.restrict_to_preferred:
-            return None
+            # Graceful degradation: only when every preferred node is DOWN
+            # (not merely busy) may a restricted task drift off-rack.
+            if any(self._is_healthy(n) for n in task.preferred_nodes):
+                return None
         free = [
             tracker.node_id
             for tracker in self.trackers.values()
-            if tracker.free_slots > 0
+            if tracker.free_slots > 0 and self._is_healthy(tracker.node_id)
         ]
         if not free:
             return None
@@ -176,17 +220,24 @@ class JobTracker:
             [n for n in free if self.trackers[n].free_slots == most]
         )
 
-    def _start(self, task: MapTask, node: NodeId, done: Event) -> None:
+    def _start(self, task: MapTask, node: NodeId, done: Event, attempt: int) -> None:
         self.trackers[node].busy += 1
-        self.sim.process(self._run(task, node, done))
+        self.sim.process(self._run(task, node, done, attempt))
 
-    def _run(self, task: MapTask, node: NodeId, done: Event) -> Generator:
+    def _run(
+        self, task: MapTask, node: NodeId, done: Event, attempt: int
+    ) -> Generator:
         try:
             result = yield from task.work(node)
-        except Exception as exc:  # a crashed task fails its completion event
+        except Exception as exc:  # the task crashed on this node
             self.trackers[node].busy -= 1
+            if attempt < self.max_task_attempts:
+                # Re-execute: back into the queue for a fresh placement.
+                self._pending.append((task, done, attempt + 1))
+                self._dispatch()
+                return
             self._dispatch()
-            done.fail(exc)
+            done.fail(TaskFailed(task.task_id, attempt, exc))
             return
         self.trackers[node].busy -= 1
         self._dispatch()

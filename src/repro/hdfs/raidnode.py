@@ -19,12 +19,14 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.cluster.topology import ClusterTopology, NodeId, RackId
 from repro.core.relocation import BlockMover, PlacementMonitor, RelocationPlan
-from repro.core.stripe import Stripe
+from repro.core.stripe import Stripe, StripeState
+from repro.faults.retry import RetryPolicy, with_retries
 from repro.hdfs.encoder import StripeEncoder
 from repro.hdfs.mapreduce import JobTracker, MapReduceJob, MapTask
 from repro.hdfs.namenode import NameNode
 from repro.sim.engine import Simulator
-from repro.sim.netsim import Network
+from repro.sim.metrics import ResilienceMetrics
+from repro.sim.netsim import Network, SourceUnavailable
 
 
 @dataclass(frozen=True)
@@ -64,7 +66,12 @@ class RaidNode:
         network: Link/disk model.
         namenode: Metadata server.
         encoder: The stripe encoder bound to the active policy's planner.
-        rng: Random source.
+        rng: Random source (deterministic default — like every other
+            simulation component, randomness must come by injection).
+        retry: When given, block recovery and degraded reads survive
+            transient faults: an aborted survivor download backs off and
+            re-plans from an alternate replica source.
+        resilience: Optional fault metrics fed by the retry loop.
     """
 
     def __init__(
@@ -74,12 +81,16 @@ class RaidNode:
         namenode: NameNode,
         encoder: StripeEncoder,
         rng: Optional[random.Random] = None,
+        retry: Optional[RetryPolicy] = None,
+        resilience: Optional[ResilienceMetrics] = None,
     ) -> None:
         self.sim = sim
         self.network = network
         self.namenode = namenode
         self.encoder = encoder
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = rng if rng is not None else random.Random(0)
+        self.retry = retry
+        self.resilience = resilience
         self.job_specs: List[EncodingJobSpec] = []
         self.recoveries: List[RecoveryRecord] = []
         self.degraded_reads: List[DegradedReadRecord] = []
@@ -158,7 +169,11 @@ class RaidNode:
 
     def _task_body(self, chunk: List[Stripe]):
         def work(node: NodeId) -> Generator:
-            result = yield from self.encoder.encode_stripes(chunk, node)
+            # Skip stripes already encoded so a re-executed map task (the
+            # JobTracker retries crashed attempts) is idempotent: a task
+            # that died halfway through its chunk only redoes the rest.
+            todo = [s for s in chunk if s.state != StripeState.ENCODED]
+            result = yield from self.encoder.encode_stripes(todo, node)
             return result
 
         return work
@@ -169,15 +184,39 @@ class RaidNode:
         by_rack: Dict[RackId, List[Stripe]] = {}
         for stripe in stripes:
             by_rack.setdefault(stripe.core_rack, []).append(stripe)
-        # Distribute the map budget over racks proportionally to their load,
-        # one map per rack minimum.
-        assignments: List[Tuple[List[Stripe], RackId]] = []
+        # Distribute the map budget over racks proportionally to their
+        # load: one map per rack minimum, and the *total* never exceeds
+        # max(num_map_tasks, number of core racks).  Largest-remainder
+        # apportionment keeps the sum exact (per-rack rounding used to
+        # over-allocate far past the requested task count).
+        racks = sorted(by_rack.items())
         total = len(stripes)
-        budget = max(num_map_tasks, len(by_rack))
-        for rack, group in sorted(by_rack.items()):
-            share = max(1, round(budget * len(group) / total))
-            share = min(share, len(group))
-            for chunk in self._deal(group, share):
+        budget = max(num_map_tasks, len(racks))
+        shares = {rack: 1 for rack, __ in racks}
+        spare = budget - len(racks)
+        quotas = [
+            (len(group) * (budget / total) - 1, rack) for rack, group in racks
+        ]
+        # Whole extra maps first, by integer part of each rack's quota...
+        for quota, rack in quotas:
+            extra = min(int(quota), len(by_rack[rack]) - shares[rack], spare)
+            if extra > 0:
+                shares[rack] += extra
+                spare -= extra
+        # ...then the remainders, largest first (rack id breaks ties).
+        remainders = sorted(
+            ((quota - int(quota), rack) for quota, rack in quotas),
+            key=lambda item: (-item[0], item[1]),
+        )
+        for __, rack in remainders:
+            if spare <= 0:
+                break
+            if shares[rack] < len(by_rack[rack]):
+                shares[rack] += 1
+                spare -= 1
+        assignments: List[Tuple[List[Stripe], RackId]] = []
+        for rack, group in racks:
+            for chunk in self._deal(group, shares[rack]):
                 assignments.append((chunk, rack))
         return assignments
 
@@ -240,7 +279,7 @@ class RaidNode:
             A :class:`RecoveryRecord` (generator return value).
         """
         start = self.sim.now
-        cross = yield from self._download_k_survivors(
+        cross = yield from self._download_survivors_retrying(
             stripe, lost_block_id, new_node
         )
         store = self.namenode.block_store
@@ -275,7 +314,7 @@ class RaidNode:
             A :class:`DegradedReadRecord` (generator return value).
         """
         start = self.sim.now
-        cross = yield from self._download_k_survivors(
+        cross = yield from self._download_survivors_retrying(
             stripe, lost_block_id, reader_node
         )
         record = DegradedReadRecord(
@@ -287,6 +326,31 @@ class RaidNode:
         self.degraded_reads.append(record)
         return record
 
+    def _download_survivors_retrying(
+        self, stripe: Stripe, lost_block_id: int, target_node: NodeId
+    ) -> Generator:
+        """``_download_k_survivors`` under the retry policy, when one is set.
+
+        Every attempt re-runs the survivor selection, so an abort caused by
+        a source dying mid-download re-plans from an alternate replica.
+        """
+        if self.retry is None:
+            cross = yield from self._download_k_survivors(
+                stripe, lost_block_id, target_node
+            )
+            return cross
+        cross = yield from with_retries(
+            self.sim,
+            lambda __: self._download_k_survivors(
+                stripe, lost_block_id, target_node
+            ),
+            self.retry,
+            self.rng,
+            metrics=self.resilience,
+            label=f"reconstruct block {lost_block_id}",
+        )
+        return cross
+
     def _download_k_survivors(
         self, stripe: Stripe, lost_block_id: int, target_node: NodeId
     ) -> Generator:
@@ -295,21 +359,33 @@ class RaidNode:
         Returns the number of cross-rack reads (generator return value).
 
         Raises:
-            RuntimeError: If fewer than ``k`` blocks survive.
+            RuntimeError: If fewer than ``k`` uncorrupted blocks survive
+                anywhere in the metadata (true data loss).
+            SourceUnavailable: If enough blocks survive but fewer than
+                ``k`` are on endpoints that are currently up (transient —
+                retry loops outwait the outage).
         """
         store = self.namenode.block_store
         k = stripe.k
         survivors: List[Tuple[int, NodeId]] = []
+        unavailable = 0
         for block_id in stripe.all_block_ids():
             if block_id == lost_block_id:
                 continue
-            nodes = store.replica_nodes(block_id)
-            if nodes:
-                survivors.append((block_id, nodes[0]))
+            nodes = store.healthy_replica_nodes(block_id)
+            if not nodes:
+                continue
+            up = [n for n in nodes if self.network.is_up(n)]
+            if not up:
+                unavailable += 1
+                continue
+            survivors.append((block_id, up[0]))
         if len(survivors) < k:
+            if len(survivors) + unavailable >= k:
+                raise SourceUnavailable(target_node, target_node, target_node)
             raise RuntimeError(
-                f"stripe {stripe.stripe_id} has only {len(survivors)} "
-                f"surviving blocks; need {k}"
+                f"stripe {stripe.stripe_id} has only "
+                f"{len(survivors) + unavailable} surviving blocks; need {k}"
             )
         # Prefer sources close to the target node.
         target_rack = self.namenode.topology.rack_of(target_node)

@@ -131,6 +131,135 @@ class ThroughputMeter:
 
 
 @dataclass
+class OutageWindow:
+    """One endpoint's down interval (``end`` is ``None`` while still down)."""
+
+    target: str
+    start: float
+    end: Optional[float] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Length of the window, or ``None`` while the outage is open."""
+        return None if self.end is None else self.end - self.start
+
+
+@dataclass(frozen=True)
+class DataLossEvent:
+    """A block that could not be reconstructed from any source."""
+
+    block_id: int
+    time: float
+    reason: str
+
+
+class ResilienceMetrics:
+    """Fault-pipeline accounting: MTTR, outages, retries, data loss.
+
+    One instance is shared by the chaos injector (outage windows), the
+    retry helper (retry/abort/straggler counts), the repair queue (repair
+    durations, per-block unavailability windows, data-loss events) and the
+    scrubber (corruption detections).  Everything is plain counters and
+    lists so experiment drivers can assert on them deterministically.
+    """
+
+    def __init__(self) -> None:
+        self.counters = Counter()
+        self.repair_durations: List[float] = []
+        self.outages: List[OutageWindow] = []
+        self.unavailability: List[OutageWindow] = []
+        self.data_loss: List[DataLossEvent] = []
+        self._open_outages: Dict[str, OutageWindow] = {}
+        self._open_unavailability: Dict[int, OutageWindow] = {}
+
+    # ------------------------------------------------------------------
+    # Counters fed by the retry helper and the scrubber
+    # ------------------------------------------------------------------
+    def record_retry(self) -> None:
+        """One retried attempt (after a retryable failure)."""
+        self.counters.add("retries")
+
+    def record_abort(self) -> None:
+        """One attempt that ended in a transfer abort."""
+        self.counters.add("aborts")
+
+    def record_straggler(self) -> None:
+        """One attempt killed by the retry policy's timeout."""
+        self.counters.add("stragglers")
+
+    def record_corruption_detected(self) -> None:
+        """One corrupted replica found by the scrubber."""
+        self.counters.add("corruption_detected")
+
+    def record_corruption_injected(self) -> None:
+        """One replica bit-rotted by the chaos injector."""
+        self.counters.add("corruption_injected")
+
+    # ------------------------------------------------------------------
+    # Outage windows (chaos injector)
+    # ------------------------------------------------------------------
+    def begin_outage(self, target: str, now: float) -> None:
+        """Open a down window for a node/rack label."""
+        if target in self._open_outages:
+            return
+        window = OutageWindow(target, now)
+        self._open_outages[target] = window
+        self.outages.append(window)
+
+    def end_outage(self, target: str, now: float) -> None:
+        """Close a previously opened down window."""
+        window = self._open_outages.pop(target, None)
+        if window is not None:
+            window.end = now
+
+    # ------------------------------------------------------------------
+    # Repairs and per-block unavailability (repair queue)
+    # ------------------------------------------------------------------
+    def record_repair(self, duration: float) -> None:
+        """One completed repair's wall-clock duration."""
+        if duration < 0:
+            raise ValueError("repair duration cannot be negative")
+        self.repair_durations.append(duration)
+        self.counters.add("repairs")
+
+    def mttr(self) -> Optional[float]:
+        """Mean time to repair over all completed repairs (None when none)."""
+        if not self.repair_durations:
+            return None
+        return sum(self.repair_durations) / len(self.repair_durations)
+
+    def block_unavailable(self, block_id: int, now: float) -> None:
+        """Open a window: the block currently has no readable copy."""
+        if block_id in self._open_unavailability:
+            return
+        window = OutageWindow(f"block:{block_id}", now)
+        self._open_unavailability[block_id] = window
+        self.unavailability.append(window)
+
+    def block_available(self, block_id: int, now: float) -> None:
+        """Close a block's unavailability window (repair finished)."""
+        window = self._open_unavailability.pop(block_id, None)
+        if window is not None:
+            window.end = now
+
+    def record_data_loss(self, block_id: int, now: float, reason: str) -> None:
+        """An unrecoverable block: fewer than k sources survive anywhere."""
+        self.data_loss.append(DataLossEvent(block_id, now, reason))
+        self.counters.add("data_loss")
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """A flat snapshot for tables and determinism fingerprints."""
+        out = dict(sorted(self.counters.as_dict().items()))
+        out["mttr"] = self.mttr() or 0.0
+        out["outages"] = float(len(self.outages))
+        out["unavailability_windows"] = float(len(self.unavailability))
+        closed = [w.duration for w in self.unavailability if w.end is not None]
+        out["unavailability_total"] = float(sum(closed)) if closed else 0.0
+        return out
+
+
+@dataclass
 class TimeSeries:
     """An event-time series, e.g. cumulative encoded stripes (Figure 12)."""
 

@@ -27,12 +27,44 @@ the slowest held resource.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.cluster.topology import ClusterTopology, NodeId, RackId
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.resources import MultiResource
+
+
+class TransferAborted(RuntimeError):
+    """A transfer failed because an endpoint died (or was unreachable).
+
+    Raised out of :meth:`Network.transfer` — immediately when an endpoint
+    is already down at start, or mid-flight when
+    :meth:`Network.fail_endpoint` kills an endpoint the transfer touches.
+
+    Attributes:
+        src: Transfer source node.
+        dst: Transfer destination node.
+        endpoint: The endpoint whose death aborted the transfer.
+    """
+
+    def __init__(self, src: NodeId, dst: NodeId, endpoint: NodeId) -> None:
+        super().__init__(
+            f"transfer {src} -> {dst} aborted: endpoint {endpoint} is down"
+        )
+        self.src = src
+        self.dst = dst
+        self.endpoint = endpoint
+
+
+class SourceUnavailable(TransferAborted):
+    """No live source currently serves the data (transient, retryable).
+
+    A subclass of :class:`TransferAborted` so retry loops treat "every
+    replica is on a down node right now" exactly like a mid-flight abort:
+    back off and re-plan once endpoints return.
+    """
 
 
 @dataclass(frozen=True)
@@ -62,6 +94,7 @@ class TransferStats:
     bytes_total: float = 0.0
     cross_rack_transfers: int = 0
     bytes_cross_rack: float = 0.0
+    aborted: int = 0
 
     def record(self, size: float, cross_rack: bool) -> None:
         """Account one completed transfer."""
@@ -70,6 +103,10 @@ class TransferStats:
         if cross_rack:
             self.cross_rack_transfers += 1
             self.bytes_cross_rack += size
+
+    def record_abort(self) -> None:
+        """Account one transfer that died before completing."""
+        self.aborted += 1
 
 
 class Network:
@@ -105,6 +142,10 @@ class Network:
         self._rack_down_bw: Dict[RackId, float] = {}
         self._externals: Dict[int, str] = {}
         self._next_external = -1
+        self._down_nodes: Set[NodeId] = set()
+        self._inflight: Dict[int, Tuple[NodeId, NodeId, Event]] = {}
+        self._transfer_seq = itertools.count()
+        self._state_listeners: List[Callable[[NodeId, bool], None]] = []
 
     # ------------------------------------------------------------------
     # Configuration
@@ -164,6 +205,58 @@ class Network:
             self._rack_down_bw[rack_id] = down
 
     # ------------------------------------------------------------------
+    # Endpoint liveness (the chaos layer's hook)
+    # ------------------------------------------------------------------
+    def is_up(self, node_id: NodeId) -> bool:
+        """True while the endpoint accepts and serves transfers."""
+        return node_id not in self._down_nodes
+
+    @property
+    def down_nodes(self) -> Set[NodeId]:
+        """Endpoints currently down (a copy)."""
+        return set(self._down_nodes)
+
+    def on_endpoint_change(
+        self, listener: Callable[[NodeId, bool], None]
+    ) -> None:
+        """Register ``listener(node_id, is_up)`` for liveness transitions.
+
+        The JobTracker uses this to re-dispatch queued tasks when a node
+        returns; schedulers and monitors may subscribe freely.
+        """
+        self._state_listeners.append(listener)
+
+    def fail_endpoint(self, node_id: NodeId) -> int:
+        """Take an endpoint down, aborting every in-flight transfer it
+        touches.
+
+        Safe to call for both transient outages (pair with
+        :meth:`restore_endpoint`) and permanent failures.  Idempotent.
+
+        Returns:
+            Number of in-flight transfers aborted.
+        """
+        if node_id in self._down_nodes:
+            return 0
+        self._down_nodes.add(node_id)
+        aborted = 0
+        for src, dst, abort in list(self._inflight.values()):
+            if node_id in (src, dst) and not abort.triggered:
+                abort.succeed(node_id)
+                aborted += 1
+        for listener in list(self._state_listeners):
+            listener(node_id, False)
+        return aborted
+
+    def restore_endpoint(self, node_id: NodeId) -> None:
+        """Bring a downed endpoint back.  Idempotent."""
+        if node_id not in self._down_nodes:
+            return
+        self._down_nodes.discard(node_id)
+        for listener in list(self._state_listeners):
+            listener(node_id, True)
+
+    # ------------------------------------------------------------------
     # Bandwidth lookups
     # ------------------------------------------------------------------
     def node_up_bandwidth(self, node_id: NodeId) -> float:
@@ -216,9 +309,18 @@ class Network:
 
         Yields:
             Simulation events; completes after the transfer's duration.
+
+        Raises:
+            TransferAborted: When an endpoint is down at start, or dies
+                (via :meth:`fail_endpoint`) while the transfer is queued
+                for links or in flight.
         """
         if size <= 0:
             raise ValueError("transfer size must be positive")
+        for endpoint in (src, dst):
+            if endpoint in self._down_nodes:
+                self.stats.record_abort()
+                raise TransferAborted(src, dst, endpoint)
         use_read = self.disk is not None if read_disk is None else read_disk
         use_write = self.disk is not None if write_disk is None else write_disk
         if self.disk is None and (use_read or use_write):
@@ -249,12 +351,27 @@ class Network:
             return  # nothing to hold: an in-memory no-op
 
         duration = size / min(bandwidths)
+        abort = self.sim.event()
+        token = next(self._transfer_seq)
+        self._inflight[token] = (src, dst, abort)
         grant = self.links.acquire(keys)
-        yield grant
+        granted = False
         try:
-            yield self.sim.timeout(duration)
+            yield self.sim.any_of([grant, abort])
+            if abort.triggered:
+                self.stats.record_abort()
+                raise TransferAborted(src, dst, abort.value)
+            granted = True
+            yield self.sim.any_of([self.sim.timeout(duration), abort])
+            if abort.triggered:
+                self.stats.record_abort()
+                raise TransferAborted(src, dst, abort.value)
         finally:
-            self.links.release(grant)
+            del self._inflight[token]
+            if granted:
+                self.links.release(grant)
+            else:
+                self.links.cancel(grant)
         self.stats.record(size, self.is_cross_rack(src, dst))
 
     def disk_read(self, node_id: NodeId, size: float) -> Generator:

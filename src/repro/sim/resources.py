@@ -145,6 +145,22 @@ class MultiResource:
         self._held -= request.keys
         self._grant()
 
+    def cancel(self, request: MultiRequest) -> None:
+        """Withdraw a claim whether or not it was granted yet.
+
+        An aborted transfer may still be queued for its links (never
+        granted) or may have been granted between the abort and the
+        cleanup; both must end with the keys free for other claims.
+        """
+        if request.triggered:
+            if request.keys <= self._held:
+                self.release(request)
+            return
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            pass  # already granted-and-released or never enqueued
+
     def _grant(self) -> None:
         remaining: List[MultiRequest] = []
         for req in self._queue:

@@ -1,0 +1,303 @@
+"""Prioritized repair queue: ordering, outcomes, retries, relocation."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.policy import ReplicationScheme
+from repro.core.relocation import BlockMover, PlacementMonitor
+from repro.erasure.codec import CodeParams
+from repro.experiments.runner import build_cluster, populate_until_sealed
+from repro.faults.repair import RepairQueue
+from repro.faults.retry import RetryPolicy
+from repro.sim.metrics import ResilienceMetrics
+from repro.sim.trace import Tracer
+
+CODE = CodeParams(6, 4)
+SCHEME = ReplicationScheme(3, 2)
+TOPO = ClusterTopology(
+    nodes_per_rack=4, num_racks=8,
+    intra_rack_bandwidth=1e6, cross_rack_bandwidth=1e6,
+)
+#: Six racks exactly fit a 6-block stripe at c=1: saturating them is easy.
+TOPO_TIGHT = ClusterTopology(
+    nodes_per_rack=4, num_racks=6,
+    intra_rack_bandwidth=1e6, cross_rack_bandwidth=1e6,
+)
+#: 100 B/s makes a 1000-byte repair take 10 s: long enough to kill mid-way.
+TOPO_SLOW = ClusterTopology(
+    nodes_per_rack=4, num_racks=8,
+    intra_rack_bandwidth=100.0, cross_rack_bandwidth=100.0,
+)
+
+
+def build(topology=TOPO, seed=1, stripes=2, encode=True, retry=None,
+          resilience=None, mover=None):
+    setup = build_cluster("ear", topology, CODE, SCHEME, seed,
+                          block_size=1000)
+    populate_until_sealed(setup, stripes)
+    sealed = setup.namenode.sealed_stripes()[:stripes]
+    if encode:
+        def encode_all():
+            for stripe in sealed:
+                yield from setup.encoder.encode_stripe(stripe)
+
+        setup.sim.process(encode_all())
+        setup.sim.run()
+    queue = RepairQueue(
+        setup.sim, setup.network, setup.namenode, setup.raidnode,
+        rng=random.Random(seed + 90), retry=retry, resilience=resilience,
+        mover=mover,
+    )
+    return setup, sealed, queue
+
+
+class TestPrioritization:
+    def test_most_at_risk_block_repaired_first(self):
+        setup, sealed, queue = build(topology=TOPO_SLOW, encode=False)
+        store = setup.namenode.block_store
+        # Block A keeps 2 of 3 replicas (margin 1); block B keeps only 1
+        # (margin 0).  A is enqueued *first* but B must be repaired first.
+        block_a, block_b = sealed[0].block_ids[0], sealed[0].block_ids[1]
+        store.remove_replica(block_a, store.replica_nodes(block_a)[0])
+        for node in store.replica_nodes(block_b)[:2]:
+            store.remove_replica(block_b, node)
+        finished = {}
+
+        def watch(label, event):
+            yield event
+            finished[label] = setup.sim.now
+
+        setup.sim.process(watch("a", queue.enqueue(block_a)))
+        setup.sim.process(watch("b", queue.enqueue(block_b)))
+        setup.sim.run()
+        assert finished["b"] < finished["a"]
+        assert queue.outcomes["rereplicated"] == 2
+        assert queue.pending_count == 0
+
+    def test_enqueue_dedupes_to_one_event(self):
+        setup, sealed, queue = build(encode=False)
+        store = setup.namenode.block_store
+        block = sealed[0].block_ids[0]
+        store.remove_replica(block, store.replica_nodes(block)[0])
+        first = queue.enqueue(block)
+        assert queue.enqueue(block) is first
+        assert queue.pending_count == 1
+        setup.sim.run()
+        assert first.value == "rereplicated"
+
+
+class TestOutcomes:
+    def test_encoded_block_with_surviving_copy_is_noop(self):
+        setup, sealed, queue = build()
+        done = queue.enqueue(sealed[0].block_ids[0])
+        setup.sim.run()
+        assert done.value == "noop"
+        assert queue.outcomes["noop"] == 1
+
+    def test_lost_encoded_block_is_decoded(self):
+        setup, sealed, queue = build()
+        store = setup.namenode.block_store
+        block = sealed[0].block_ids[0]
+        store.remove_replica(block, store.replica_nodes(block)[0])
+        done = queue.enqueue(block)
+        setup.sim.run()
+        assert done.value == "decoded"
+        assert len(store.replica_nodes(block)) == 1
+
+    def test_under_replicated_block_is_rereplicated(self):
+        setup, sealed, queue = build(encode=False)
+        store = setup.namenode.block_store
+        block = sealed[0].block_ids[0]
+        store.remove_replica(block, store.replica_nodes(block)[0])
+        done = queue.enqueue(block)
+        setup.sim.run()
+        assert done.value == "rereplicated"
+        assert len(store.replica_nodes(block)) == 3
+
+    def test_block_with_no_copy_and_no_stripe_is_unrecoverable(self):
+        metrics = ResilienceMetrics()
+        setup, sealed, queue = build(encode=False, resilience=metrics)
+        store = setup.namenode.block_store
+        block = sealed[0].block_ids[0]
+        for node in list(store.replica_nodes(block)):
+            store.remove_replica(block, node)
+        done = queue.enqueue(block)
+        setup.sim.run()
+        assert done.value == "unrecoverable"
+        assert queue.unrecoverable == [block]
+        assert [e.block_id for e in metrics.data_loss] == [block]
+
+    def test_repairs_feed_resilience_metrics(self):
+        metrics = ResilienceMetrics()
+        setup, sealed, queue = build(encode=False, resilience=metrics)
+        store = setup.namenode.block_store
+        block = sealed[0].block_ids[0]
+        store.remove_replica(block, store.replica_nodes(block)[0])
+        queue.enqueue(block)
+        setup.sim.run()
+        assert metrics.counters.get("repairs") == 1
+        assert metrics.mttr() is not None
+        # The unavailability window opened at enqueue and closed at repair.
+        assert len(metrics.unavailability) == 1
+        assert metrics.unavailability[0].end is not None
+
+
+class TestEncodeRepairRace:
+    def test_inflight_rereplication_dropped_when_stripe_encodes(self):
+        """A copy still in flight when its stripe finishes encoding must be
+        discarded: the encoder already trimmed the block to one replica."""
+        from repro.core.stripe import StripeState
+
+        setup, sealed, queue = build(topology=TOPO_SLOW, encode=False)
+        store = setup.namenode.block_store
+        stripe = sealed[0]
+        block = stripe.block_ids[0]
+        store.remove_replica(block, store.replica_nodes(block)[0])
+        done = queue.enqueue(block)
+
+        def encode_midflight():
+            # The repair transfer takes 10 s; at +5 s the encode completes,
+            # trimming every member to its single retained copy.
+            yield setup.sim.timeout(5.0)
+            for member in stripe.block_ids:
+                for extra in list(store.replica_nodes(member))[1:]:
+                    store.remove_replica(member, extra)
+            stripe.state = StripeState.ENCODED
+
+        setup.sim.process(encode_midflight())
+        setup.sim.run()
+        assert done.value == "rereplicated"
+        # Not 2: the in-flight copy was dropped on arrival.
+        assert len(store.replica_nodes(block)) == 1
+
+
+class TestPlacementUnderPressure:
+    def test_saturated_racks_commit_violation_and_request_relocation(self):
+        setup, sealed, queue = build(topology=TOPO_TIGHT, stripes=1)
+        store = setup.namenode.block_store
+        stripe = sealed[0]
+        block = stripe.block_ids[0]
+        victim = store.replica_nodes(block)[0]
+        home_rack = TOPO_TIGHT.rack_of(victim)
+        # Six racks, six blocks, c=1: the only compliant rack is the one
+        # that held the lost block.  Take it entirely down so every live
+        # candidate sits in a saturated rack.
+        for node in TOPO_TIGHT.nodes_in_rack(home_rack):
+            setup.network.fail_endpoint(node)
+        store.remove_replica(block, victim)
+        done = queue.enqueue(block)
+        setup.sim.run()
+        assert done.value == "decoded"
+        assert stripe in queue.relocation_requests
+        # The committed placement really does violate the cap.
+        new_node = store.replica_nodes(block)[0]
+        assert TOPO_TIGHT.rack_of(new_node) != home_rack
+
+    def test_relocation_served_once_damage_queue_drains(self):
+        mover = BlockMover(TOPO, CODE, rng=random.Random(9))
+        setup, sealed, queue = build(stripes=1, mover=mover)
+        store = setup.namenode.block_store
+        stripe = sealed[0]
+        # Manufacture a c=1 violation: move one block's copy into a rack
+        # that already holds another member of the stripe.
+        b1, b2 = stripe.block_ids[0], stripe.block_ids[1]
+        n1 = store.replica_nodes(b1)[0]
+        n2 = store.replica_nodes(b2)[0]
+        target = next(
+            n for n in TOPO.nodes_in_rack(TOPO.rack_of(n1)) if n != n1
+        )
+        store.add_replica(b2, target)
+        store.remove_replica(b2, n2)
+        monitor = PlacementMonitor(TOPO, CODE)
+        assert monitor.scan(store, [stripe]) == [stripe]
+        queue.request_relocation(stripe)
+        setup.sim.run()
+        assert queue.relocations_done == 1
+        assert monitor.scan(store, [stripe]) == []
+
+
+class TestRetryingRepair:
+    """The ISSUE acceptance scenario: an in-flight repair transfer whose
+    endpoint dies raises TransferAborted, and the retry re-plans with an
+    alternate source/target instead of giving up."""
+
+    POLICY = RetryPolicy(max_attempts=5, base_delay=1.0, multiplier=2.0,
+                         jitter=0.0)
+
+    def damaged_build(self):
+        metrics = ResilienceMetrics()
+        setup, sealed, queue = build(
+            topology=TOPO_SLOW, encode=False,
+            retry=self.POLICY, resilience=metrics,
+        )
+        store = setup.namenode.block_store
+        block = sealed[0].block_ids[0]
+        store.remove_replica(block, store.replica_nodes(block)[0])
+        return setup, store, queue, metrics, block
+
+    def kill_inflight(self, setup, pick):
+        """Kill one endpoint of the (single) in-flight repair transfer."""
+        killed = []
+
+        def killer():
+            while not setup.network._inflight:
+                yield setup.sim.timeout(0.1)
+            yield setup.sim.timeout(0.5)  # well into the 10 s transfer
+            src, dst, __ = next(iter(setup.network._inflight.values()))
+            victim = src if pick == "src" else dst
+            assert setup.network.fail_endpoint(victim) == 1
+            killed.append(victim)
+
+        setup.sim.process(killer())
+        return killed
+
+    def test_destination_death_midflight_retries_to_new_target(self):
+        setup, store, queue, metrics, block = self.damaged_build()
+        killed = self.kill_inflight(setup, pick="dst")
+        done = queue.enqueue(block)
+        setup.sim.run()
+        assert done.value == "rereplicated"
+        # The in-flight transfer was aborted (TransferAborted surfaced to
+        # the retry loop), then a fresh attempt chose a live target.
+        assert setup.network.stats.aborted == 1
+        assert metrics.counters.get("aborts") == 1
+        assert metrics.counters.get("retries") == 1
+        assert killed[0] not in store.replica_nodes(block)
+        assert len(store.replica_nodes(block)) == 3
+
+    def test_source_death_midflight_retries_from_alternate_source(self):
+        setup, store, queue, metrics, block = self.damaged_build()
+        tracer = Tracer.attach(setup.network)
+        killed = self.kill_inflight(setup, pick="src")
+        done = queue.enqueue(block)
+        setup.sim.run()
+        assert done.value == "rereplicated"
+        assert metrics.counters.get("aborts") == 1
+        assert metrics.counters.get("retries") == 1
+        # Only the successful attempt completes; it reads from a replica
+        # other than the dead one.
+        assert len(tracer.records) == 1
+        assert tracer.records[0].src != killed[0]
+        assert tracer.records[0].src in store.replica_nodes(block)
+        assert len(store.replica_nodes(block)) == 3
+
+    def test_retries_exhaust_to_unrecoverable_without_data_corruption(self):
+        """When every source stays dead past the retry budget the block is
+        reported unrecoverable — but nothing crashes and the queue drains."""
+        policy = RetryPolicy(max_attempts=2, base_delay=1.0, jitter=0.0)
+        metrics = ResilienceMetrics()
+        setup, sealed, queue = build(
+            topology=TOPO_SLOW, encode=False, retry=policy,
+            resilience=metrics,
+        )
+        store = setup.namenode.block_store
+        block = sealed[0].block_ids[0]
+        for node in store.replica_nodes(block):
+            setup.network.fail_endpoint(node)
+        done = queue.enqueue(block)
+        setup.sim.run()
+        assert done.value == "unrecoverable"
+        assert queue.pending_count == 0
+        assert metrics.counters.get("data_loss") == 1

@@ -1,0 +1,213 @@
+"""RetryPolicy math and the with_retries driver."""
+
+import random
+
+import pytest
+
+from repro.faults.retry import (
+    AttemptTimeout,
+    RetryExhausted,
+    RetryPolicy,
+    with_retries,
+)
+from repro.sim.engine import Simulator
+from repro.sim.metrics import ResilienceMetrics
+from repro.sim.netsim import TransferAborted
+
+
+def aborted():
+    return TransferAborted(0, 1, 1)
+
+
+class TestRetryPolicy:
+    def test_defaults_validate(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 5
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay": -1.0},
+        {"multiplier": 0.5},
+        {"jitter": -0.1},
+        {"timeout": 0.0},
+    ])
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, jitter=0.0,
+                             max_delay=100.0)
+        rng = random.Random(0)
+        assert [policy.backoff(i, rng) for i in (1, 2, 3, 4)] == [1, 2, 4, 8]
+
+    def test_backoff_caps_at_max_delay(self):
+        policy = RetryPolicy(base_delay=10.0, multiplier=10.0, jitter=0.0,
+                             max_delay=25.0)
+        rng = random.Random(0)
+        assert policy.backoff(3, rng) == 25.0
+
+    def test_jitter_adds_bounded_noise(self):
+        policy = RetryPolicy(base_delay=10.0, multiplier=1.0, jitter=0.5)
+        rng = random.Random(42)
+        for __ in range(50):
+            delay = policy.backoff(1, rng)
+            assert 10.0 <= delay <= 15.0
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = [policy.backoff(1, random.Random(7)) for __ in range(3)]
+        b = [policy.backoff(1, random.Random(7)) for __ in range(3)]
+        assert a == b
+
+    def test_backoff_rejects_zero_retry_number(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0, random.Random(0))
+
+
+class TestWithRetries:
+    def run(self, attempt_factory, policy, metrics=None, retry_on=None):
+        sim = Simulator()
+        result, error = [], []
+
+        def driver():
+            try:
+                kwargs = {"metrics": metrics}
+                if retry_on is not None:
+                    kwargs["retry_on"] = retry_on
+                value = yield from with_retries(
+                    sim, attempt_factory, policy, random.Random(0), **kwargs
+                )
+                result.append(value)
+            except Exception as exc:  # noqa: BLE001
+                error.append(exc)
+
+        sim.process(driver())
+        sim.run()
+        return sim, result, error
+
+    def test_first_attempt_success_needs_no_retry(self):
+        def attempt(__):
+            yield Simulator  # pragma: no cover - replaced below
+        def ok(__):
+            return "done"
+            yield  # makes it a generator
+
+        sim, result, error = self.run(ok, RetryPolicy(jitter=0.0))
+        assert result == ["done"]
+        assert error == []
+        assert sim.now == 0.0
+
+    def test_retries_after_transient_aborts_then_succeeds(self):
+        calls = []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt < 2:
+                raise aborted()
+            return "recovered"
+            yield
+
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, jitter=0.0)
+        metrics = ResilienceMetrics()
+        sim, result, error = self.run(flaky, policy, metrics=metrics)
+        assert result == ["recovered"]
+        assert calls == [0, 1, 2]
+        assert sim.now == pytest.approx(3.0)  # backoffs 1 + 2
+        assert metrics.counters.as_dict()["retries"] == 2
+        assert metrics.counters.as_dict()["aborts"] == 2
+
+    def test_exhaustion_raises_with_last_error(self):
+        def hopeless(__):
+            raise aborted()
+            yield
+
+        policy = RetryPolicy(max_attempts=3, base_delay=1.0, jitter=0.0)
+        __, result, error = self.run(hopeless, policy)
+        assert result == []
+        assert isinstance(error[0], RetryExhausted)
+        assert error[0].attempts == 3
+        assert isinstance(error[0].last_error, TransferAborted)
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        calls = []
+
+        def broken(attempt):
+            calls.append(attempt)
+            raise KeyError("not transient")
+            yield
+
+        __, result, error = self.run(broken, RetryPolicy(jitter=0.0))
+        assert calls == [0]
+        assert isinstance(error[0], KeyError)
+
+    def test_straggler_attempt_is_killed_and_retried(self):
+        calls = []
+
+        def straggles_then_succeeds(attempt):
+            calls.append(attempt)
+            sim = sims[0]
+            if attempt == 0:
+                yield sim.timeout(100.0)  # way past the 5 s cap
+                raise AssertionError("straggler should have been killed")
+            yield sim.timeout(1.0)
+            return "fast"
+
+        sims = []
+        sim = Simulator()
+        sims.append(sim)
+        result, error = [], []
+        policy = RetryPolicy(timeout=5.0, base_delay=1.0, jitter=0.0)
+        metrics = ResilienceMetrics()
+
+        def driver():
+            try:
+                value = yield from with_retries(
+                    sim, straggles_then_succeeds, policy, random.Random(0),
+                    metrics=metrics,
+                )
+                result.append(value)
+            except Exception as exc:  # noqa: BLE001
+                error.append(exc)
+
+        sim.process(driver())
+        sim.run()
+        assert result == ["fast"]
+        assert calls == [0, 1]
+        # 5 s straggler kill + 1 s backoff + 1 s fast attempt.
+        assert metrics.counters.as_dict()["stragglers"] == 1
+
+    def test_all_attempts_straggle_raises_attempt_timeout(self):
+        sim = Simulator()
+        error = []
+
+        def forever(__):
+            yield sim.timeout(1000.0)
+
+        policy = RetryPolicy(max_attempts=2, timeout=1.0, base_delay=1.0,
+                             jitter=0.0)
+
+        def driver():
+            try:
+                yield from with_retries(sim, forever, policy, random.Random(0))
+            except RetryExhausted as exc:
+                error.append(exc)
+
+        sim.process(driver())
+        sim.run()
+        assert isinstance(error[0].last_error, AttemptTimeout)
+
+    def test_custom_retry_on_tuple(self):
+        calls = []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt == 0:
+                raise OSError("transient-ish")
+            return "ok"
+            yield
+
+        policy = RetryPolicy(base_delay=1.0, jitter=0.0)
+        __, result, __e = self.run(flaky, policy, retry_on=(OSError,))
+        assert result == ["ok"]
+        assert calls == [0, 1]

@@ -115,6 +115,53 @@ class TestRackFailure:
         monitor = PlacementMonitor(TOPO, CODE)
         assert monitor.scan(store, stripes) == []
 
+    def test_forced_rack_cap_violation_recorded_not_silent(self):
+        """When every live candidate sits in a saturated rack, the repair
+        still lands — but the <= c violation is recorded, not swallowed."""
+        from repro.hdfs.failures import PlacementViolation
+
+        topo = ClusterTopology(
+            nodes_per_rack=4, num_racks=6,
+            intra_rack_bandwidth=1e6, cross_rack_bandwidth=1e6,
+        )
+        setup = build_cluster("ear", topo, CODE, SCHEME, 2, block_size=1000)
+        populate_until_sealed(setup, 1)
+        stripe = setup.namenode.sealed_stripes()[0]
+
+        def encode():
+            yield from setup.encoder.encode_stripe(stripe)
+
+        setup.sim.process(encode())
+        setup.sim.run()
+        injector = FailureInjector(
+            setup.sim, setup.network, setup.namenode, setup.raidnode,
+            rng=random.Random(11),
+        )
+        store = setup.namenode.block_store
+        block = stripe.block_ids[0]
+        home_rack = topo.rack_of(store.replica_nodes(block)[0])
+        # Six racks and a 6-block stripe at c=1: after this whole rack
+        # fails, every replacement rack already holds a stripe member.
+        setup.sim.process(injector.fail_rack_at(1.0, home_rack))
+        setup.sim.run()
+        assert injector.reports[-1].unrecoverable == ()
+        violated = [v for v in injector.violations if v.block_id == block]
+        assert len(violated) == 1
+        violation = violated[0]
+        assert isinstance(violation, PlacementViolation)
+        assert violation.rack_id != home_rack
+        assert tuple(store.replica_nodes(block)) == (violation.node_id,)
+
+    def test_no_violations_recorded_when_compliant_racks_exist(self):
+        setup, stripes, injector = build(seed=6)
+        store = setup.namenode.block_store
+        victim = store.replica_nodes(stripes[0].block_ids[0])[0]
+        setup.sim.process(injector.fail_node_at(1.0, victim))
+        setup.sim.run()
+        # Eight racks leave spare racks for every 6-block stripe: the
+        # repair never needs to break the cap.
+        assert injector.violations == []
+
     def test_excess_failures_reported_unrecoverable(self):
         setup, stripes, injector = build(seed=5)
         store = setup.namenode.block_store

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.cluster.topology import ClusterTopology
-from repro.hdfs.mapreduce import JobTracker, MapReduceJob, MapTask
+from repro.hdfs.mapreduce import JobTracker, MapReduceJob, MapTask, TaskFailed
 from repro.sim.engine import Simulator
 
 
@@ -168,3 +168,150 @@ class TestScheduling:
         assert caught == [True]
         # The slot must have been returned despite the crash.
         assert all(t.busy == 0 for t in jt.trackers.values())
+
+
+class TestFaultTolerance:
+    """Re-execution of crashed maps and liveness-aware placement."""
+
+    def test_max_task_attempts_validated(self, topo):
+        with pytest.raises(ValueError):
+            JobTracker(Simulator(), topo, max_task_attempts=0)
+
+    def test_crashed_task_reexecuted_until_success(self, topo):
+        sim = Simulator()
+        jt = JobTracker(
+            sim, topo, slots_per_node=1, rng=random.Random(1),
+            max_task_attempts=3,
+        )
+        attempts = []
+
+        def flaky(node):
+            attempts.append(node)
+            yield sim.timeout(1.0)
+            if len(attempts) < 3:
+                raise RuntimeError("crash")
+            return "ok"
+
+        results = []
+
+        def run():
+            out = yield from jt.run_job(
+                MapReduceJob(job_id=0, tasks=[MapTask(task_id=0, work=flaky)])
+            )
+            results.extend(out)
+
+        sim.process(run())
+        sim.run()
+        assert results == ["ok"]
+        assert len(attempts) == 3
+        assert all(t.busy == 0 for t in jt.trackers.values())
+
+    def test_exhausted_reexecution_raises_task_failed(self, topo):
+        sim = Simulator()
+        jt = JobTracker(
+            sim, topo, slots_per_node=1, rng=random.Random(1),
+            max_task_attempts=2,
+        )
+        attempts = []
+
+        def doomed(node):
+            attempts.append(node)
+            yield sim.timeout(1.0)
+            raise OSError("disk on fire")
+
+        caught = []
+
+        def run():
+            try:
+                yield from jt.run_job(
+                    MapReduceJob(job_id=0, tasks=[MapTask(task_id=9, work=doomed)])
+                )
+            except TaskFailed as exc:
+                caught.append(exc)
+
+        sim.process(run())
+        sim.run()
+        assert len(attempts) == 2
+        assert caught[0].task_id == 9
+        assert caught[0].attempts == 2
+        assert isinstance(caught[0].cause, OSError)
+
+    def test_scheduler_skips_down_nodes(self, topo):
+        sim = Simulator()
+        down = {4}
+        jt = JobTracker(
+            sim, topo, slots_per_node=1, rng=random.Random(1),
+            health=lambda n: n not in down,
+        )
+        ran = []
+        task = make_task(sim, 0, 1.0, ran, preferred_nodes=(4, 5))
+        sim.process(jt.run_job(MapReduceJob(job_id=0, tasks=[task])))
+        sim.run()
+        # The preferred-but-dead node 4 was passed over for live node 5.
+        assert ran[0][1] == 5
+
+    def test_restriction_relaxed_only_when_all_preferred_down(self, topo):
+        sim = Simulator()
+        down = {4, 5}
+        jt = JobTracker(
+            sim, topo, slots_per_node=1, rng=random.Random(1),
+            health=lambda n: n not in down,
+        )
+        ran = []
+        pinned = make_task(
+            sim, 0, 1.0, ran, preferred_nodes=(4, 5),
+            restrict_to_preferred=True,
+        )
+        sim.process(jt.run_job(MapReduceJob(job_id=0, tasks=[pinned])))
+        sim.run()
+        # Every preferred node is dead: the task degrades to a live node
+        # instead of queueing forever.
+        assert ran[0][1] not in down
+
+    def test_restriction_holds_while_any_preferred_alive(self, topo):
+        sim = Simulator()
+        down = {4}
+        jt = JobTracker(
+            sim, topo, slots_per_node=1, rng=random.Random(1),
+            health=lambda n: n not in down,
+        )
+        ran = []
+        blocker = make_task(sim, 0, 5.0, ran, preferred_nodes=(5,))
+        pinned = make_task(
+            sim, 1, 1.0, ran, preferred_nodes=(4, 5),
+            restrict_to_preferred=True,
+        )
+        sim.process(
+            jt.run_job(MapReduceJob(job_id=0, tasks=[blocker, pinned]))
+        )
+        sim.run()
+        by_id = {tid: (node, t) for tid, node, t in ran}
+        # Node 5 is alive but busy: the pinned task must wait for it, not
+        # drift off its preference set.
+        assert by_id[1][0] == 5
+        assert by_id[1][1] == pytest.approx(6.0)
+
+    def test_watch_network_redispatches_on_restore(self, topo):
+        from repro.sim.netsim import Network
+
+        sim = Simulator()
+        network = Network(sim, topo)
+        jt = JobTracker(
+            sim, topo, slots_per_node=1, rng=random.Random(1),
+            health=network.is_up,
+        )
+        jt.watch_network(network)
+        for node in topo.node_ids():
+            network.fail_endpoint(node)
+        ran = []
+        jt.submit(MapReduceJob(job_id=0, tasks=[make_task(sim, 0, 1.0, ran)]))
+
+        def heal():
+            yield sim.timeout(10.0)
+            network.restore_endpoint(2)
+
+        sim.process(heal())
+        sim.run()
+        # Nothing could run until node 2 returned; the restore listener
+        # re-triggered the dispatcher.
+        assert ran == [(0, 2, pytest.approx(11.0))]

@@ -9,12 +9,13 @@ from repro.core.ear import EncodingAwareReplication
 from repro.core.random_replication import RandomReplication
 from repro.core.stripe import PreEncodingStore, StripeState
 from repro.erasure.codec import CodeParams
+from repro.faults.retry import RetryPolicy
 from repro.hdfs.encoder import StripeEncoder
 from repro.hdfs.mapreduce import JobTracker
 from repro.hdfs.namenode import NameNode
 from repro.hdfs.raidnode import RaidNode
 from repro.sim.engine import Simulator
-from repro.sim.netsim import Network
+from repro.sim.netsim import Network, SourceUnavailable
 
 CODE = CodeParams(6, 4)
 
@@ -195,3 +196,104 @@ class TestDegradedRead:
         sim.run()
         record = rn.degraded_reads[-1]
         assert 0 <= record.cross_rack_reads <= CODE.k
+
+
+class TestJobCarvingBudget:
+    """Regression: per-rack rounding used to allocate far more map tasks
+    than requested; the total must respect the budget."""
+
+    @pytest.mark.parametrize("num_map_tasks", [1, 2, 4, 6, 8, 12])
+    def test_task_count_never_exceeds_budget(self, num_map_tasks):
+        sim, net, nn, encoder, jt, rn = build("ear", stripes=24)
+        stripes = nn.sealed_stripes()
+        job = rn.build_encoding_job(jt, stripes, num_map_tasks)
+        core_racks = {s.core_rack for s in stripes}
+        # One map per core rack is the floor; the request is the ceiling.
+        assert len(job.tasks) <= max(num_map_tasks, len(core_racks))
+        # And the carve is still a partition of the stripes.
+        spec = rn.job_specs[-1]
+        assigned = [sid for chunk in spec.stripes_per_task for sid in chunk]
+        assert sorted(assigned) == sorted(s.stripe_id for s in stripes)
+
+    def test_budget_matched_exactly_when_feasible(self):
+        sim, net, nn, encoder, jt, rn = build("ear", stripes=24)
+        stripes = nn.sealed_stripes()
+        core_racks = {s.core_rack for s in stripes}
+        budget = max(12, len(core_racks))
+        job = rn.build_encoding_job(jt, stripes, budget)
+        # 24 stripes over <= 8 racks can always fill 12 tasks.
+        assert len(job.tasks) == budget
+
+
+class TestSurvivorSelection:
+    """Coverage for _download_k_survivors: corrupted and down sources."""
+
+    def encoded(self, seed=1):
+        sim, net, nn, encoder, jt, rn = build("ear", seed=seed)
+        stripes = nn.sealed_stripes()
+        sim.process(rn.run_encoding(jt, stripes, num_map_tasks=6))
+        sim.run()
+        return sim, net, nn, rn, stripes[0]
+
+    def test_corrupted_copies_are_not_usable_sources(self):
+        sim, net, nn, rn, stripe = self.encoded()
+        lost = stripe.block_ids[0]
+        nn.block_store.remove_replica(lost, nn.block_locations(lost)[0])
+        # Rot two more members: 3 healthy survivors < k = 4 remain, and
+        # corruption is *permanent* damage, so this must be a hard error —
+        # not a retryable SourceUnavailable.
+        for member in stripe.all_block_ids()[1:3]:
+            node = nn.block_locations(member)[0]
+            nn.block_store.mark_corrupted(member, node)
+        with pytest.raises(RuntimeError) as err:
+            list(rn.recover_block(stripe, lost, 0))
+        assert not isinstance(err.value, SourceUnavailable)
+
+    def test_down_sources_raise_transient_source_unavailable(self):
+        sim, net, nn, rn, stripe = self.encoded()
+        lost = stripe.block_ids[0]
+        nn.block_store.remove_replica(lost, nn.block_locations(lost)[0])
+        downed = []
+        for member in stripe.all_block_ids()[1:3]:
+            node = nn.block_locations(member)[0]
+            net.fail_endpoint(node)
+            downed.append(node)
+        # Enough copies survive in the metadata; they are just unreachable
+        # right now.  That is transient and must be distinguishable.
+        with pytest.raises(SourceUnavailable):
+            list(rn.recover_block(stripe, lost, 0))
+        for node in downed:
+            net.restore_endpoint(node)
+        sim.process(rn.recover_block(stripe, lost, 0))
+        sim.run()
+        assert nn.block_locations(lost) == (0,)
+
+    def test_retrying_recovery_outwaits_an_outage(self):
+        sim, net, nn, rn, stripe = self.encoded()
+        retrying = RaidNode(
+            sim, net, nn, rn.encoder, rng=random.Random(5),
+            retry=RetryPolicy(max_attempts=6, base_delay=1.0,
+                              multiplier=2.0, jitter=0.0),
+        )
+        lost = stripe.block_ids[0]
+        nn.block_store.remove_replica(lost, nn.block_locations(lost)[0])
+        downed = [
+            nn.block_locations(m)[0] for m in stripe.all_block_ids()[1:3]
+        ]
+        for node in downed:
+            net.fail_endpoint(node)
+        start = sim.now
+
+        def heal():
+            yield sim.timeout(5.0)
+            for node in downed:
+                net.restore_endpoint(node)
+
+        sim.process(heal())
+        sim.process(retrying.recover_block(stripe, lost, 0))
+        sim.run()
+        assert nn.block_locations(lost) == (0,)
+        # Attempts at +0, +1, +3 fail (sources down); the +7 attempt lands
+        # after the heal at +5 and succeeds.
+        assert retrying.recoveries[-1].duration > 5.0
+        assert sim.now > start + 5.0

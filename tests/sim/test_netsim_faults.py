@@ -1,0 +1,182 @@
+"""Endpoint liveness and abortable transfers (the chaos layer's base)."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.sim.engine import Simulator
+from repro.sim.netsim import Network, SourceUnavailable, TransferAborted
+
+TOPO = ClusterTopology(
+    nodes_per_rack=2, num_racks=3,
+    intra_rack_bandwidth=100.0, cross_rack_bandwidth=100.0,
+)
+
+
+def make_network():
+    sim = Simulator()
+    return sim, Network(sim, TOPO)
+
+
+def run_transfer(sim, network, src, dst, size, errors, done):
+    def proc():
+        try:
+            yield from network.transfer(src, dst, size)
+        except TransferAborted as exc:
+            errors.append((exc, sim.now))
+            return
+        done.append((src, dst))
+
+    return sim.process(proc())
+
+
+class TestLiveness:
+    def test_endpoints_start_up(self):
+        __, network = make_network()
+        assert all(network.is_up(n) for n in TOPO.node_ids())
+        assert network.down_nodes == set()
+
+    def test_fail_and_restore_roundtrip(self):
+        __, network = make_network()
+        network.fail_endpoint(3)
+        assert not network.is_up(3)
+        assert network.down_nodes == {3}
+        network.restore_endpoint(3)
+        assert network.is_up(3)
+        assert network.down_nodes == set()
+
+    def test_fail_is_idempotent(self):
+        __, network = make_network()
+        assert network.fail_endpoint(1) == 0
+        assert network.fail_endpoint(1) == 0
+        network.restore_endpoint(1)
+        network.restore_endpoint(1)  # no-op, no raise
+        assert network.is_up(1)
+
+    def test_listeners_see_transitions(self):
+        __, network = make_network()
+        seen = []
+        network.on_endpoint_change(lambda n, up: seen.append((n, up)))
+        network.fail_endpoint(2)
+        network.fail_endpoint(2)  # idempotent: no second notification
+        network.restore_endpoint(2)
+        assert seen == [(2, False), (2, True)]
+
+
+class TestTransferAborts:
+    def test_transfer_to_down_endpoint_raises_immediately(self):
+        sim, network = make_network()
+        network.fail_endpoint(4)
+        errors, done = [], []
+        run_transfer(sim, network, 0, 4, 100, errors, done)
+        sim.run()
+        assert done == []
+        assert len(errors) == 1
+        assert errors[0][0].endpoint == 4
+        assert network.stats.aborted == 1
+
+    def test_midflight_destination_death_aborts(self):
+        sim, network = make_network()
+        errors, done = [], []
+        run_transfer(sim, network, 0, 2, 1000, errors, done)  # 10 s long
+
+        def killer():
+            yield sim.timeout(3.0)
+            aborted = network.fail_endpoint(2)
+            assert aborted == 1
+
+        sim.process(killer())
+        sim.run()
+        assert done == []
+        assert len(errors) == 1
+        exc, when = errors[0]
+        assert exc.src == 0 and exc.dst == 2
+        assert when == pytest.approx(3.0)  # aborted the instant it died
+        assert network.stats.aborted == 1
+
+    def test_midflight_source_death_aborts(self):
+        sim, network = make_network()
+        errors, done = [], []
+        run_transfer(sim, network, 1, 5, 1000, errors, done)
+
+        def killer():
+            yield sim.timeout(2.0)
+            network.fail_endpoint(1)
+
+        sim.process(killer())
+        sim.run()
+        assert done == []
+        assert errors[0][0].endpoint == 1
+        assert errors[0][1] == pytest.approx(2.0)
+
+    def test_unrelated_transfers_survive_a_death(self):
+        sim, network = make_network()
+        errors, done = [], []
+        run_transfer(sim, network, 0, 2, 1000, errors, done)
+        run_transfer(sim, network, 1, 3, 1000, errors, done)
+
+        def killer():
+            yield sim.timeout(1.0)
+            network.fail_endpoint(2)
+
+        sim.process(killer())
+        sim.run()
+        assert done == [(1, 3)]
+        assert len(errors) == 1
+
+    def test_aborted_transfer_releases_its_links(self):
+        """After an abort, a fresh transfer over the same path completes."""
+        sim, network = make_network()
+        errors, done = [], []
+        run_transfer(sim, network, 0, 1, 1000, errors, done)
+
+        def kill_then_reuse():
+            yield sim.timeout(1.0)
+            network.fail_endpoint(1)
+            network.restore_endpoint(1)
+            yield from network.transfer(0, 1, 100)
+            done.append(("reuse", sim.now))
+
+        sim.process(kill_then_reuse())
+        sim.run()
+        assert len(errors) == 1
+        # The reuse transfer got the links right away (full bandwidth):
+        # 1 s kill delay + 100 bytes / 100 B/s = 2 s, not queued behind
+        # the aborted transfer's would-have-been 10 s hold.
+        assert done == [("reuse", pytest.approx(2.0))]
+
+    def test_queued_transfer_aborts_and_frees_its_claim(self):
+        """A transfer still waiting for links can be aborted; the claim is
+        withdrawn so later transfers are not blocked behind a ghost."""
+        sim, network = make_network()
+        errors, done = [], []
+        run_transfer(sim, network, 0, 1, 500, errors, done)   # holds links 5 s
+        run_transfer(sim, network, 0, 1, 500, errors, done)   # queued behind
+
+        def killer():
+            # Kill the *queued* transfer's destination while it waits.
+            yield sim.timeout(1.0)
+            network.fail_endpoint(1)
+
+        sim.process(killer())
+        sim.run()
+        # Both die: the in-flight one and the queued one.
+        assert len(errors) == 2
+        assert done == []
+
+    def test_completed_transfers_unaffected_by_later_death(self):
+        sim, network = make_network()
+        errors, done = [], []
+        run_transfer(sim, network, 0, 1, 100, errors, done)  # 1 s
+
+        def killer():
+            yield sim.timeout(5.0)
+            assert network.fail_endpoint(1) == 0  # nothing in flight
+
+        sim.process(killer())
+        sim.run()
+        assert done == [(0, 1)]
+        assert errors == []
+        assert network.stats.transfers == 1
+
+    def test_source_unavailable_is_a_transfer_abort(self):
+        assert issubclass(SourceUnavailable, TransferAborted)
