@@ -79,7 +79,7 @@ def empirical_attempts(
     """
     if num_stripes < 1:
         raise ValueError("num_stripes must be positive")
-    rng = rng if rng is not None else random.Random()
+    rng = rng if rng is not None else random.Random(0)
     topology = ClusterTopology(nodes_per_rack=nodes_per_rack, num_racks=num_racks)
     ear = EncodingAwareReplication(
         topology, code, scheme=scheme, rng=rng, c=c

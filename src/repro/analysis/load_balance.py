@@ -86,7 +86,7 @@ def hotness_index(
     for block_id in range(file_blocks):
         decision = policy.place_block(block_id)
         racks = {topology.rack_of(node) for node in decision.node_ids}
-        for rack in racks:
+        for rack in sorted(racks):
             load[rack] += 1.0 / len(racks)
     return max(load) / file_blocks
 

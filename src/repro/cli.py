@@ -239,6 +239,13 @@ def cmd_chaos(args) -> None:
     print("\ndrill clean: no data loss, all stripes encoded")
 
 
+def cmd_lint(args) -> int:
+    """reprolint: AST-based determinism & resource-safety checks."""
+    from repro.lint.cli import cmd_lint as run
+
+    return run(args)
+
+
 def cmd_fig14(args) -> None:
     """Figure 14: storage load balance."""
     from repro.experiments.loadbalance import storage_balance
@@ -326,6 +333,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--horizon", type=float, default=40.0)
     p.set_defaults(func=cmd_chaos)
 
+    p = sub.add_parser("lint", help=cmd_lint.__doc__)
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p)
+    p.set_defaults(func=cmd_lint)
+
     p = sub.add_parser("fig14", help=cmd_fig14.__doc__)
     p.add_argument("--blocks", type=int, default=10_000)
     p.add_argument("--runs", type=int, default=10)
@@ -358,8 +371,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in list_experiments():
             print(name)
         return 0
-    args.func(args)
-    return 0
+    result = args.func(args)
+    return 0 if result is None else int(result)
 
 
 if __name__ == "__main__":

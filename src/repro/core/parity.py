@@ -167,7 +167,7 @@ def plan_ear_encoding(
         PlacementError: If no retention plan exists even with no
             reservation — i.e. the stripe was not EAR-placed.
     """
-    rng = rng if rng is not None else random.Random()
+    rng = rng if rng is not None else random.Random(0)
     if stripe.core_rack is None:
         raise PlacementError("EAR encoding requires a stripe with a core rack")
     layout = {bid: block_store.replica_nodes(bid) for bid in stripe.block_ids}
@@ -263,7 +263,7 @@ def plan_rr_encoding(
     to randomly chosen racks not yet holding stripe blocks, falling back to
     least-loaded racks when fewer than ``n - k`` empty racks remain.
     """
-    rng = rng if rng is not None else random.Random()
+    rng = rng if rng is not None else random.Random(0)
     layout = {bid: block_store.replica_nodes(bid) for bid in stripe.block_ids}
     if encoder_node is None:
         encoder_node = rng.randrange(topology.num_nodes)
@@ -425,7 +425,7 @@ class EARPlanner(EncodingPlanner):
         self.block_store = block_store
         self.code = code
         self.c = c
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = rng if rng is not None else random.Random(0)
         self.reserve_core_for_parity = reserve_core_for_parity
         self.allow_foreign_encoder = allow_foreign_encoder
 
@@ -473,7 +473,7 @@ class RRPlanner(EncodingPlanner):
         self.topology = topology
         self.block_store = block_store
         self.code = code
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = rng if rng is not None else random.Random(0)
 
     def plan(
         self,

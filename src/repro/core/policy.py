@@ -124,7 +124,7 @@ class PlacementPolicy(ABC):
             )
         self.topology = topology
         self.scheme = scheme
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = rng if rng is not None else random.Random(0)
 
     @abstractmethod
     def place_block(

@@ -143,7 +143,7 @@ class BlockMover:
             code.num_parity if required_rack_failures is None
             else required_rack_failures
         )
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = rng if rng is not None else random.Random(0)
         self.monitor = PlacementMonitor(topology, code, self.required_rack_failures)
 
     def rack_cap(self) -> int:

@@ -21,6 +21,7 @@ from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from repro.cluster.block import BlockId, BlockStore
 from repro.cluster.topology import NodeId, RackId
+from repro.core.policy import PlacementError
 from repro.core.stripe import Stripe, StripeState
 from repro.faults.retry import RetryExhausted, RetryPolicy, with_retries
 from repro.sim.engine import Event, Simulator
@@ -87,6 +88,7 @@ class RepairQueue:
         self.relocation_requests: List[Stripe] = []
         self._reloc_pending: List[Stripe] = []
         self.relocations_done = 0
+        self.relocation_failures: List[Tuple[int, str]] = []
         self._worker = sim.process(self._run())
 
     # ------------------------------------------------------------------
@@ -336,11 +338,27 @@ class RepairQueue:
     # Relocation service
     # ------------------------------------------------------------------
     def _relocate(self, stripe: Stripe) -> Generator:
-        """Serve one relocation request (best effort, never raises)."""
+        """Serve one relocation request.
+
+        Transient failures — the stripe went back into repair since the
+        request (``PlacementError``, ``KeyError``/``ValueError`` from a
+        replica that moved mid-plan) or an endpoint died under the move
+        (``TransferAborted``, ``RetryExhausted``) — are recorded in the
+        resilience metrics and deferred to the next violation scan.
+        Anything else is a genuine bug and propagates: a relocation
+        worker that swallows unknown exceptions is how placement
+        invariants rot silently.
+        """
         try:
             yield from self.raidnode.relocate_if_violating(stripe, self.mover)
             self.relocations_done += 1
-        except Exception:
-            # The stripe may be mid-repair again (a block lost replicas
-            # since the request); the next violation re-enqueues it.
-            pass
+        except (
+            PlacementError,
+            TransferAborted,
+            RetryExhausted,
+            KeyError,
+            ValueError,
+        ) as exc:
+            self.relocation_failures.append((stripe.stripe_id, repr(exc)))
+            if self.resilience is not None:
+                self.resilience.record_relocation_failure(repr(exc))

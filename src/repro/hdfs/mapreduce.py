@@ -132,7 +132,7 @@ class JobTracker:
             raise ValueError("max_task_attempts must be at least 1")
         self.sim = sim
         self.topology = topology
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = rng if rng is not None else random.Random(0)
         self.health = health
         self.max_task_attempts = max_task_attempts
         self.trackers: Dict[NodeId, TaskTracker] = {

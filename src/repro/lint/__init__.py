@@ -1,0 +1,54 @@
+"""reprolint — AST-based determinism & resource-safety linter.
+
+EAR's claims (zero cross-rack encoding traffic, the Theorem-1 redraw
+bounds, RR-equivalent load balance) are validated by *seeded*
+discrete-event simulation: an unseeded RNG, a wall-clock read inside the
+simulator, or a leaked link claim silently invalidates experiment results
+without failing a single test.  reprolint walks the ``ast`` of every
+module and enforces the invariants that keep runs byte-reproducible and
+resource-safe:
+
+========  ==============================================================
+rule id   enforces
+========  ==============================================================
+DET001    no module-level / unseeded ``random`` use — randomness must
+          flow through an injected, seeded ``random.Random``
+DET002    no wall-clock reads (``time.time``, ``datetime.now``, …)
+          inside simulation code — simulated time is ``sim.now``
+DET003    no iteration over ``set`` values feeding ordered decisions
+          without an explicit ``sorted(...)``
+RES001    every ``acquire``/``request`` claim released under
+          ``try/finally`` (the static form of PR 1's link-claim leak)
+EXC001    no ``except Exception``/bare ``except`` that swallows
+          ``TransferAborted``/``SimulationError`` without re-raise or
+          use of the caught exception
+FLT001    no ``==``/``!=`` between simulated-time floats
+HYG001    no mutable default arguments
+HYG002    no shadowed builtins
+========  ==============================================================
+
+Findings are suppressible per line (``# reprolint: disable=RID``) or per
+file (``# reprolint: disable-file=RID``); configuration lives in
+``[tool.reprolint]`` of ``pyproject.toml``.  Run via ``repro lint``.
+"""
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import LintResult, lint_paths, lint_source
+from repro.lint.model import Finding, Rule, Severity, all_rules, get_rule, register
+from repro.lint.reporters import json_report, text_report
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "json_report",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "register",
+    "text_report",
+]

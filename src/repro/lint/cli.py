@@ -1,0 +1,90 @@
+"""The ``repro lint`` entry point (also runnable standalone).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.cli lint src/repro
+    PYTHONPATH=src python -m repro.cli lint src/repro --format json
+    PYTHONPATH=src python -m repro.lint.cli src/repro   # standalone
+
+Exit status is 1 when any finding meets the fail threshold (``error`` by
+default, override with ``--fail-on`` or ``fail-on`` in pyproject), else 0
+— that is the whole CI contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import lint_paths
+from repro.lint.model import Severity
+from repro.lint.reporters import json_report, text_report
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to a parser (shared with ``repro.cli``)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--fail-on", choices=tuple(s.label for s in Severity), default=None,
+        help="minimum severity that fails the run (default: error)",
+    )
+    parser.add_argument(
+        "--config", default=None, metavar="PYPROJECT",
+        help="explicit pyproject.toml (default: nearest to the first path)",
+    )
+
+
+def run_lint(
+    paths: Sequence[str],
+    fmt: str = "text",
+    fail_on: Optional[str] = None,
+    config_path: Optional[str] = None,
+) -> int:
+    """Run the linter and print a report; returns the process exit code."""
+    start_dir = None
+    if paths:
+        first = paths[0]
+        start_dir = first if os.path.isdir(first) else os.path.dirname(first) or "."
+    config = load_config(pyproject_path=config_path, start_dir=start_dir)
+    if fail_on is not None:
+        config = replace(config, fail_on=Severity.parse(fail_on))
+    result = lint_paths(paths, config)
+    report = json_report(result) if fmt == "json" else text_report(result)
+    print(report)
+    return result.exit_code(config)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Adapter used by the top-level ``repro`` CLI."""
+    return run_lint(
+        paths=args.paths,
+        fmt=args.format,
+        fail_on=args.fail_on,
+        config_path=args.config,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based determinism & resource-safety linter.",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    return cmd_lint(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

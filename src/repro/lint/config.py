@@ -1,0 +1,152 @@
+"""Configuration: ``[tool.reprolint]`` in ``pyproject.toml``.
+
+Recognised keys::
+
+    [tool.reprolint]
+    disable = ["HYG002"]            # rule ids never reported
+    exclude = ["lint/testdata"]     # path substrings skipped entirely
+    fail-on = "error"               # minimum severity that fails the run
+
+    [tool.reprolint.severity]
+    FLT001 = "warning"              # per-rule severity overrides
+
+    [tool.reprolint.det002]
+    paths = ["sim", "core", "faults"]   # packages where wall-clock is banned
+
+Parsing uses :mod:`tomllib` (Python 3.11+); on older interpreters the
+defaults apply silently — the linter must never be the thing that breaks
+a build for lack of a TOML parser.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+try:  # pragma: no cover - exercised implicitly on 3.11+
+    import tomllib
+except ImportError:  # pragma: no cover - 3.9/3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+#: Packages in which DET002 (wall-clock reads) applies by default.
+DEFAULT_WALL_CLOCK_PATHS: Tuple[str, ...] = ("sim", "core", "faults")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Effective linter configuration (immutable; defaults are safe)."""
+
+    disabled_rules: frozenset = frozenset()
+    exclude: Tuple[str, ...] = ()
+    severity_overrides: Dict[str, "Severity"] = field(default_factory=dict)  # type: ignore[name-defined]  # noqa: F821
+    wall_clock_paths: Tuple[str, ...] = DEFAULT_WALL_CLOCK_PATHS
+    fail_on: "Severity" = None  # type: ignore[assignment]  # noqa: F821
+
+    def __post_init__(self) -> None:
+        from repro.lint.model import Severity
+
+        if self.fail_on is None:
+            object.__setattr__(self, "fail_on", Severity.ERROR)
+
+    def is_excluded(self, path: str) -> bool:
+        """True when ``path`` matches any configured exclude substring."""
+        normalised = path.replace("\\", "/")
+        return any(part and part in normalised for part in self.exclude)
+
+
+def load_config(
+    pyproject_path: Optional[str] = None, start_dir: Optional[str] = None
+) -> LintConfig:
+    """Load configuration, or the defaults when none is found.
+
+    Args:
+        pyproject_path: Explicit path to a ``pyproject.toml``.
+        start_dir: When no explicit path is given, search upward from
+            here (default: the current working directory) for a
+            ``pyproject.toml``.
+
+    Returns:
+        The effective :class:`LintConfig`; malformed or missing files
+        (or a missing TOML parser) yield the defaults.
+    """
+    path = pyproject_path
+    if path is None:
+        path = _find_pyproject(start_dir or os.getcwd())
+    if path is None or tomllib is None or not os.path.isfile(path):
+        return LintConfig()
+    try:
+        with open(path, "rb") as handle:
+            data = tomllib.load(handle)
+    except (OSError, ValueError):
+        return LintConfig()
+    section = data.get("tool", {}).get("reprolint", {})
+    if not isinstance(section, dict):
+        return LintConfig()
+    return _from_section(section)
+
+
+def _find_pyproject(start_dir: str) -> Optional[str]:
+    current = os.path.abspath(start_dir)
+    while True:
+        candidate = os.path.join(current, "pyproject.toml")
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(current)
+        if parent == current:
+            return None
+        current = parent
+
+
+def _from_section(section: dict) -> LintConfig:
+    from repro.lint.model import Severity
+
+    config = LintConfig()
+
+    disabled = section.get("disable", [])
+    if isinstance(disabled, list):
+        config = replace(
+            config,
+            disabled_rules=frozenset(
+                str(r).upper() for r in disabled if isinstance(r, str)
+            ),
+        )
+
+    exclude = section.get("exclude", [])
+    if isinstance(exclude, list):
+        config = replace(
+            config,
+            exclude=tuple(str(p) for p in exclude if isinstance(p, str)),
+        )
+
+    fail_on = section.get("fail-on", section.get("fail_on"))
+    if isinstance(fail_on, str):
+        try:
+            config = replace(config, fail_on=Severity.parse(fail_on))
+        except ValueError:
+            pass
+
+    overrides = section.get("severity", {})
+    if isinstance(overrides, dict):
+        parsed: Dict[str, Severity] = {}
+        for rule_id, label in overrides.items():
+            if not isinstance(label, str):
+                continue
+            try:
+                parsed[str(rule_id).upper()] = Severity.parse(label)
+            except ValueError:
+                continue
+        config = replace(config, severity_overrides=parsed)
+
+    det002 = section.get("det002", {})
+    if isinstance(det002, dict):
+        paths = det002.get("paths", [])
+        if isinstance(paths, list) and paths:
+            config = replace(
+                config,
+                wall_clock_paths=tuple(
+                    str(p) for p in paths if isinstance(p, str)
+                ),
+            )
+
+    return config

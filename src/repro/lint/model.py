@@ -1,0 +1,209 @@
+"""Core data model: severities, findings, the rule base class, registry.
+
+A rule is a class with metadata (id, severity, autofixable flag) and a
+``check(ctx)`` method yielding findings over one parsed file.  Rules
+self-register via the :func:`register` decorator, so adding a rule is one
+file in ``repro/lint/rules/`` and nothing else.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from repro.lint.config import LintConfig
+
+
+class Severity(IntEnum):
+    """Finding severities, ordered so comparisons mean what they say."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        """Lower-case name used in reports and configuration."""
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, value: str) -> "Severity":
+        """Parse a severity label.
+
+        Raises:
+            ValueError: For labels that are not ``info``/``warning``/``error``.
+        """
+        try:
+            return cls[value.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {value!r}; expected one of "
+                f"{', '.join(s.label for s in cls)}"
+            ) from None
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+    autofixable: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (the JSON reporter's row)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.label,
+            "message": self.message,
+            "autofixable": self.autofixable,
+        }
+
+
+class FileContext:
+    """Everything a rule may inspect about one file.
+
+    Attributes:
+        path: The path findings are reported under.
+        source: Raw module text.
+        tree: The parsed ``ast.Module``.
+        config: Effective lint configuration.
+    """
+
+    def __init__(
+        self, path: str, source: str, tree: ast.Module, config: LintConfig
+    ) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self._parts = tuple(part for part in path.replace("\\", "/").split("/") if part)
+
+    def in_scope(self, segments: Iterable[str]) -> bool:
+        """True when any of ``segments`` appears as a path component.
+
+        Used by path-scoped rules (DET002 applies only under ``sim/``,
+        ``core/``, ``faults/``); a file named exactly ``<segment>.py``
+        also counts, so single-module layouts stay covered.
+        """
+        for segment in segments:
+            if segment in self._parts or f"{segment}.py" in self._parts:
+                return True
+        return False
+
+    def functions(self) -> Iterator[ast.AST]:
+        """Every function/async-function definition in the module."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+
+    Attributes:
+        rule_id: Stable identifier (``DET001``); used in reports,
+            suppressions and configuration.
+        name: Short human name.
+        description: One-paragraph rationale shown by ``--explain``-style
+            tooling and the docs.
+        severity: Default severity; overridable via configuration.
+        autofixable: Whether a mechanical rewrite exists (metadata only —
+            reprolint reports, it does not rewrite).
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+    autofixable: bool = False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield findings for one file."""
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        """Build a finding anchored at ``node``, honouring config overrides."""
+        effective = ctx.config.severity_overrides.get(
+            self.rule_id, severity if severity is not None else self.severity
+        )
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            severity=effective,
+            message=message,
+            autofixable=self.autofixable,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry.
+
+    Raises:
+        ValueError: On a missing or duplicate ``rule_id``.
+    """
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    existing = _REGISTRY.get(cls.rule_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Registered rule classes, sorted by rule id (import side-effect free:
+    importing ``repro.lint.rules`` is what populates the registry)."""
+    import repro.lint.rules  # noqa: F401  — registers the builtin pack
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    """Look up one registered rule class.
+
+    Raises:
+        KeyError: For unknown rule ids.
+    """
+    import repro.lint.rules  # noqa: F401
+
+    return _REGISTRY[rule_id]
+
+
+def call_name(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """The dotted-name chain of a call target, or ``None``.
+
+    ``random.Random`` → ``("random", "Random")``; ``a.b.c()`` →
+    ``("a", "b", "c")``; anything not a plain name/attribute chain
+    (subscripts, calls) → ``None``.  Shared helper for several rules.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None

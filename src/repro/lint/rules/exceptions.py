@@ -1,0 +1,83 @@
+"""EXC001: broad exception handlers must not swallow silently.
+
+A bare ``except:`` or ``except Exception:`` in the fault pipeline
+swallows ``TransferAborted`` and ``SimulationError`` along with genuine
+bugs; a repair that "succeeds" by ignoring its own failure is precisely
+how data loss goes unnoticed in a drill.  A broad handler is acceptable
+only when it *does something* with the exception: re-raises, or binds it
+and actually uses the binding (records it, logs it, wraps it).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Tuple
+
+from repro.lint.model import FileContext, Finding, Rule, Severity, register
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """EXC001: ``except Exception``/bare ``except`` that neither
+    re-raises nor uses the caught exception."""
+
+    rule_id = "EXC001"
+    name = "swallowed-exception"
+    description = (
+        "A broad handler with no re-raise and no use of the caught "
+        "exception swallows TransferAborted/SimulationError together "
+        "with real bugs; narrow the type, re-raise, or record it."
+    )
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad, label = self._broadness(node)
+            if not broad:
+                continue
+            if self._reraises(node) or self._uses_binding(node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{label} swallows every exception (including "
+                "TransferAborted/SimulationError); narrow the type, "
+                "re-raise, or record the failure",
+            )
+
+    def _broadness(self, handler: ast.ExceptHandler) -> Tuple[bool, str]:
+        if handler.type is None:
+            return True, "bare except"
+        names = []
+        types = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for node in types:
+            if isinstance(node, ast.Name):
+                names.append(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.append(node.attr)
+        for name in names:
+            if name in _BROAD:
+                return True, f"except {name}"
+        return False, ""
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+    @staticmethod
+    def _uses_binding(handler: ast.ExceptHandler) -> bool:
+        if handler.name is None:
+            return False
+        for stmt in handler.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Name) and node.id == handler.name:
+                    return True
+        return False

@@ -1,0 +1,73 @@
+"""FLT001: no exact equality between simulated-time floats.
+
+Simulated timestamps are accumulated floats (``now + duration`` chains);
+``finish_time == deadline`` silently flips with the order of additions.
+Compare with a tolerance, or restructure so the comparison is on event
+counts / integer ticks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.lint.model import FileContext, Finding, Rule, Severity, register
+
+#: Exact identifier names treated as simulated-time values.
+_TIME_NAMES = frozenset({"now", "deadline", "timestamp", "sim_time"})
+#: Identifier suffixes treated as simulated-time values.
+_TIME_SUFFIXES = ("_time", "_at", "_deadline")
+
+
+def _time_like(node: ast.AST) -> Optional[str]:
+    """The label of a time-like operand, or ``None``."""
+    if isinstance(node, ast.Attribute):
+        if node.attr in _TIME_NAMES or node.attr.endswith(_TIME_SUFFIXES):
+            if isinstance(node.value, ast.Name):
+                return f"{node.value.id}.{node.attr}"
+            return node.attr
+    if isinstance(node, ast.Name):
+        if node.id in _TIME_NAMES or node.id.endswith(_TIME_SUFFIXES):
+            return node.id
+    if isinstance(node, ast.BinOp):
+        return _time_like(node.left) or _time_like(node.right)
+    return None
+
+
+@register
+class FloatTimeEqualityRule(Rule):
+    """FLT001: ``==``/``!=`` between simulated-time floats."""
+
+    rule_id = "FLT001"
+    name = "float-time-equality"
+    description = (
+        "Exact equality between accumulated float timestamps flips with "
+        "summation order; compare with a tolerance instead."
+    )
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if self._is_none(left) or self._is_none(right):
+                    continue
+                label = _time_like(left) or _time_like(right)
+                if label is None:
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"exact float equality on simulated time ({label}); "
+                    "accumulated timestamps need a tolerance "
+                    "(e.g. abs(a - b) < eps)",
+                )
+
+    @staticmethod
+    def _is_none(node: ast.AST) -> bool:
+        return isinstance(node, ast.Constant) and node.value is None

@@ -1,0 +1,145 @@
+"""Classic hygiene rules: HYG001 (mutable defaults), HYG002 (shadowed
+builtins).
+
+Neither is determinism-specific, but both have bitten simulation code in
+exactly this shape: a mutable default accumulating state across stripes,
+and a shadowed ``sum``/``min`` silently changing a load-balance metric.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterable, Iterator
+
+from repro.lint.model import FileContext, Finding, Rule, Severity, call_name, register
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque",
+     "OrderedDict"}
+)
+
+#: Builtins worth protecting; dunder names and rarities are excluded.
+_BUILTIN_NAMES = frozenset(
+    name
+    for name in dir(builtins)
+    if not name.startswith("_") and name[0].islower()
+)
+
+
+@register
+class MutableDefaultRule(Rule):
+    """HYG001: mutable default argument values."""
+
+    rule_id = "HYG001"
+    name = "mutable-default"
+    description = (
+        "A mutable default is shared across every call; state leaks "
+        "between stripes/experiments. Default to None and build inside."
+    )
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for func in ctx.functions():
+            defaults = list(func.args.defaults) + [
+                d for d in func.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default argument in {func.name}(); "
+                        "use None and construct inside the function",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            chain = call_name(node.func)
+            return chain is not None and chain[-1] in _MUTABLE_CONSTRUCTORS
+        return False
+
+
+@register
+class ShadowedBuiltinRule(Rule):
+    """HYG002: names that shadow Python builtins.
+
+    Flags function/class names, parameters and plain-name assignments
+    that reuse a builtin name (``list``, ``sum``, ``id`` …).  Warning
+    severity by default: shadowing is legal and occasionally idiomatic,
+    but inside numeric pipelines a shadowed ``sum`` or ``max`` is a bug
+    that reads like correct code.
+    """
+
+    rule_id = "HYG002"
+    name = "shadowed-builtin"
+    description = (
+        "Shadowing a builtin makes later uses of that builtin silently "
+        "resolve to the local value."
+    )
+    severity = Severity.WARNING
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        # Methods live in their class's attribute namespace — a method
+        # named ``format`` shadows nothing — so only flag plain functions.
+        method_ids = {
+            id(item)
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if id(node) not in method_ids:
+                    yield from self._check_def_name(ctx, node, "function")
+                yield from self._check_args(ctx, node)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_def_name(ctx, node, "class")
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._check_target(ctx, target)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_target(ctx, node.target)
+            elif isinstance(node, ast.comprehension):
+                yield from self._check_target(ctx, node.target)
+
+    def _check_def_name(
+        self, ctx: FileContext, node: ast.AST, kind: str
+    ) -> Iterator[Finding]:
+        if node.name in _BUILTIN_NAMES:
+            yield self.finding(
+                ctx, node, f"{kind} name {node.name!r} shadows a builtin"
+            )
+
+    def _check_args(
+        self, ctx: FileContext, func: ast.AST
+    ) -> Iterator[Finding]:
+        args = list(func.args.args) + list(func.args.kwonlyargs) + list(
+            getattr(func.args, "posonlyargs", [])
+        )
+        for extra in (func.args.vararg, func.args.kwarg):
+            if extra is not None:
+                args.append(extra)
+        for arg in args:
+            if arg.arg in _BUILTIN_NAMES:
+                yield self.finding(
+                    ctx,
+                    arg,
+                    f"parameter {arg.arg!r} of {func.name}() shadows a builtin",
+                )
+
+    def _check_target(
+        self, ctx: FileContext, target: ast.AST
+    ) -> Iterator[Finding]:
+        if isinstance(target, ast.Name) and target.id in _BUILTIN_NAMES:
+            yield self.finding(
+                ctx, target, f"assignment to {target.id!r} shadows a builtin"
+            )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_target(ctx, element)

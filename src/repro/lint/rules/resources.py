@@ -1,0 +1,183 @@
+"""RES001: every claim released under ``try/finally``.
+
+This is the static form of the link-claim leak PR 1 fixed by hand: a
+transfer acquired its links, then an abort path returned without
+releasing them, and the simulated network slowly wedged.  The rule runs
+an intra-function control-flow approximation over the AST: a claim
+(``x = r.acquire(...)`` / ``x = r.request(...)``) whose matching
+``release(x)``/``cancel(x)`` is not inside a ``finally`` block is a leak
+waiting for the first exception between the two lines.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.lint.model import FileContext, Finding, Rule, Severity, register
+
+_CLAIM_METHODS = frozenset({"acquire", "request", "claim"})
+_RELEASE_METHODS = frozenset({"release", "cancel"})
+#: Sinks that hand a claim to other code, transferring release duty.
+_HANDOFF_CALL_ATTRS = frozenset({"append", "add", "put", "push", "setdefault"})
+
+
+class _Claim:
+    def __init__(self, name: str, node: ast.Call, stmt: ast.stmt) -> None:
+        self.name = name
+        self.node = node
+        self.stmt = stmt
+        self.released_guarded = False
+        self.released_unguarded: Optional[ast.Call] = None
+        self.handed_off = False
+
+
+@register
+class UnguardedClaimRule(Rule):
+    """RES001: claims must be released in a ``finally`` (or handed off).
+
+    Per function: every ``name = <obj>.acquire(...)`` (or ``request`` /
+    ``claim``) must see a ``release(name)``/``cancel(name)`` inside some
+    ``finally`` block, unless the claim escapes the function (returned,
+    stored on an object, appended to a collection).  A release on the
+    statement immediately after the claim is also accepted — there is no
+    suspension point for an exception to slip through.  ``with`` blocks
+    around the claim count as guarded by construction.
+    """
+
+    rule_id = "RES001"
+    name = "unguarded-claim"
+    description = (
+        "A claim released outside try/finally leaks its resource on the "
+        "first exception between acquire and release."
+    )
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for func in ctx.functions():
+            yield from self._check_function(ctx, func)
+
+    def _check_function(self, ctx: FileContext, func: ast.AST) -> Iterable[Finding]:
+        claims = self._collect_claims(func)
+        if not claims:
+            return
+        finally_nodes = self._finally_subtrees(func)
+        with_nodes = self._with_subtrees(func)
+        for claim in claims:
+            if id(claim.node) in with_nodes:
+                continue  # with-statement manages the claim
+            self._scan_uses(func, claim, finally_nodes)
+            if claim.released_guarded or claim.handed_off:
+                continue
+            if claim.released_unguarded is not None:
+                if self._is_immediate(func, claim):
+                    continue
+                yield self.finding(
+                    ctx,
+                    claim.node,
+                    f"claim {claim.name!r} is released outside try/finally; "
+                    "an exception between acquire and release leaks it",
+                )
+            else:
+                yield self.finding(
+                    ctx,
+                    claim.node,
+                    f"claim {claim.name!r} is never released in this "
+                    "function (and does not escape it)",
+                )
+
+    # ------------------------------------------------------------------
+    def _collect_claims(self, func: ast.AST) -> List[_Claim]:
+        claims: List[_Claim] = []
+        for stmt in ast.walk(func):
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            value = stmt.value
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in _CLAIM_METHODS
+            ):
+                claims.append(_Claim(target.id, value, stmt))
+        return claims
+
+    def _finally_subtrees(self, func: ast.AST) -> Set[int]:
+        ids: Set[int] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    for sub in ast.walk(stmt):
+                        ids.add(id(sub))
+        return ids
+
+    def _with_subtrees(self, func: ast.AST) -> Set[int]:
+        ids: Set[int] = set()
+        for node in ast.walk(func):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    for sub in ast.walk(item.context_expr):
+                        ids.add(id(sub))
+        return ids
+
+    def _scan_uses(
+        self, func: ast.AST, claim: _Claim, finally_nodes: Set[int]
+    ) -> None:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _RELEASE_METHODS
+                    and any(self._is_name(a, claim.name) for a in node.args)
+                ):
+                    if id(node) in finally_nodes:
+                        claim.released_guarded = True
+                    elif claim.released_unguarded is None:
+                        claim.released_unguarded = node
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _HANDOFF_CALL_ATTRS
+                    and any(
+                        self._contains_name(a, claim.name) for a in node.args
+                    )
+                ):
+                    claim.handed_off = True
+            elif isinstance(node, ast.Return) and node.value is not None:
+                if self._contains_name(node.value, claim.name):
+                    claim.handed_off = True
+            elif isinstance(node, ast.Assign) and node is not claim.stmt:
+                stored = any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in node.targets
+                )
+                if stored and self._contains_name(node.value, claim.name):
+                    claim.handed_off = True
+
+    def _is_immediate(self, func: ast.AST, claim: _Claim) -> bool:
+        """True when the release is the statement right after the claim."""
+        release = claim.released_unguarded
+        if release is None:
+            return False
+        for node in ast.walk(func):
+            body = getattr(node, "body", None)
+            if not isinstance(body, list):
+                continue
+            for index, stmt in enumerate(body):
+                if stmt is claim.stmt:
+                    nxt = body[index + 1] if index + 1 < len(body) else None
+                    return nxt is not None and any(
+                        sub is release for sub in ast.walk(nxt)
+                    )
+        return False
+
+    @staticmethod
+    def _is_name(node: ast.AST, name: str) -> bool:
+        return isinstance(node, ast.Name) and node.id == name
+
+    @staticmethod
+    def _contains_name(node: ast.AST, name: str) -> bool:
+        return any(
+            isinstance(sub, ast.Name) and sub.id == name
+            for sub in ast.walk(node)
+        )

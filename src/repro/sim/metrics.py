@@ -166,6 +166,7 @@ class ResilienceMetrics:
     def __init__(self) -> None:
         self.counters = Counter()
         self.repair_durations: List[float] = []
+        self.relocation_failures: List[str] = []
         self.outages: List[OutageWindow] = []
         self.unavailability: List[OutageWindow] = []
         self.data_loss: List[DataLossEvent] = []
@@ -194,6 +195,16 @@ class ResilienceMetrics:
     def record_corruption_injected(self) -> None:
         """One replica bit-rotted by the chaos injector."""
         self.counters.add("corruption_injected")
+
+    def record_relocation_failure(self, reason: str) -> None:
+        """One relocation attempt that failed transiently.
+
+        The repair queue records the reason (the repr of the exception)
+        so drills can assert the failure was seen rather than swallowed;
+        the stripe itself is re-enqueued by the next violation scan.
+        """
+        self.counters.add("relocation_failures")
+        self.relocation_failures.append(reason)
 
     # ------------------------------------------------------------------
     # Outage windows (chaos injector)

@@ -11,16 +11,19 @@
 
 from repro.workloads.background import BackgroundTraffic, UdpCrossTraffic
 from repro.workloads.reads import ReadResult, ReadStream
+from repro.workloads.seeding import EXPERIMENT_SEED, experiment_rng
 from repro.workloads.swim import SwimJob, SwimWorkload, run_swim_job
 from repro.workloads.writes import WriteStream
 
 __all__ = [
     "BackgroundTraffic",
+    "EXPERIMENT_SEED",
     "ReadResult",
     "ReadStream",
     "SwimJob",
     "SwimWorkload",
     "UdpCrossTraffic",
     "WriteStream",
+    "experiment_rng",
     "run_swim_job",
 ]

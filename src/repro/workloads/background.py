@@ -19,6 +19,7 @@ from repro.cluster.topology import ClusterTopology, NodeId
 from repro.sim.engine import Simulator
 from repro.sim.netsim import Network
 from repro.sim.sources import exponential_sizes, poisson_arrivals
+from repro.workloads.seeding import experiment_rng
 
 
 class BackgroundTraffic:
@@ -28,7 +29,8 @@ class BackgroundTraffic:
         sim: Simulation kernel.
         network: Link model.
         rate: Mean requests/second.
-        rng: Seeded random source.
+        rng: Seeded random source; defaults to a fresh generator seeded
+            with the experiment seed.
         mean_size: Mean transfer size in bytes (exponentially distributed).
         cross_rack_fraction: Probability a request crosses racks (the paper
             uses a 1:1 mix, i.e. 0.5).
@@ -39,7 +41,7 @@ class BackgroundTraffic:
         sim: Simulator,
         network: Network,
         rate: float,
-        rng: random.Random,
+        rng: Optional[random.Random] = None,
         mean_size: float = 64 * 1024 * 1024,
         cross_rack_fraction: float = 0.5,
     ) -> None:
@@ -51,11 +53,11 @@ class BackgroundTraffic:
         self.network = network
         self.topology = network.topology
         self.rate = rate
-        self.rng = rng
+        self.rng = rng if rng is not None else experiment_rng()
         self.mean_size = mean_size
         self.cross_rack_fraction = cross_rack_fraction
         self.completed: List[Tuple[NodeId, NodeId, float]] = []
-        self._sizes = exponential_sizes(rng, mean_size)
+        self._sizes = exponential_sizes(self.rng, mean_size)
         self._stopped = False
 
     def stop(self) -> None:

@@ -19,6 +19,7 @@ from repro.cluster.topology import NodeId
 from repro.hdfs.client import CFSClient
 from repro.sim.engine import Simulator
 from repro.sim.sources import poisson_arrivals
+from repro.workloads.seeding import experiment_rng
 
 
 @dataclass(frozen=True)
@@ -43,7 +44,8 @@ class ReadStream:
         sim: Simulation kernel.
         client: CFS client.
         rate: Mean requests/second.
-        rng: Seeded random source.
+        rng: Seeded random source; defaults to a fresh generator seeded
+            with the experiment seed (never process entropy).
         block_pool: Blocks eligible to be read; resampled per request.
             When omitted, each request picks uniformly from all blocks
             currently known to the NameNode.
@@ -55,7 +57,7 @@ class ReadStream:
         sim: Simulator,
         client: CFSClient,
         rate: float,
-        rng: random.Random,
+        rng: Optional[random.Random] = None,
         block_pool: Optional[List[BlockId]] = None,
         reader_nodes: Optional[List[NodeId]] = None,
     ) -> None:
@@ -64,7 +66,7 @@ class ReadStream:
         self.sim = sim
         self.client = client
         self.rate = rate
-        self.rng = rng
+        self.rng = rng if rng is not None else experiment_rng()
         self.block_pool = block_pool
         self.reader_nodes = (
             list(client.namenode.topology.node_ids())

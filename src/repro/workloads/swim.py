@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Generator, List, Sequence
+from typing import Generator, List, Optional, Sequence
 
 from repro.cluster.block import BlockId
 from repro.cluster.topology import NodeId
@@ -28,6 +28,7 @@ from repro.hdfs.client import CFSClient
 from repro.hdfs.mapreduce import JobTracker, MapReduceJob, MapTask
 from repro.sim.engine import Simulator
 from repro.sim.netsim import Network
+from repro.workloads.seeding import experiment_rng
 
 #: Default CPU processing rate applied to map input (bytes/second).
 DEFAULT_COMPUTE_RATE = 200e6
@@ -89,7 +90,8 @@ class SwimWorkload:
     """Generates and executes a SWIM-like job mix.
 
     Args:
-        rng: Seeded random source.
+        rng: Seeded random source; defaults to a fresh generator seeded
+            with the experiment seed (keeps replays byte-identical).
         block_size: HDFS block size in bytes.
         mean_interarrival: Mean seconds between job submissions.
         map_only_fraction: Share of jobs with no shuffle/reduce phase
@@ -98,7 +100,7 @@ class SwimWorkload:
 
     def __init__(
         self,
-        rng: random.Random,
+        rng: Optional[random.Random] = None,
         block_size: int = 64 * 1024 * 1024,
         mean_interarrival: float = 20.0,
         map_only_fraction: float = 0.35,
@@ -107,7 +109,7 @@ class SwimWorkload:
             raise ValueError("mean_interarrival must be positive")
         if not 0 <= map_only_fraction <= 1:
             raise ValueError("map_only_fraction must lie in [0, 1]")
-        self.rng = rng
+        self.rng = rng if rng is not None else experiment_rng()
         self.block_size = block_size
         self.mean_interarrival = mean_interarrival
         self.map_only_fraction = map_only_fraction

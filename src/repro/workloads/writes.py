@@ -16,6 +16,7 @@ from repro.cluster.topology import NodeId
 from repro.hdfs.client import CFSClient, WriteResult
 from repro.sim.engine import Simulator
 from repro.sim.sources import poisson_arrivals
+from repro.workloads.seeding import experiment_rng
 
 
 class WriteStream:
@@ -25,7 +26,8 @@ class WriteStream:
         sim: Simulation kernel.
         client: CFS client issuing the writes.
         rate: Mean requests/second.
-        rng: Seeded random source (arrivals and writer choice).
+        rng: Seeded random source (arrivals and writer choice); defaults
+            to a fresh generator seeded with the experiment seed.
         block_size: Bytes per write (client default when ``None``).
         writer_nodes: Pool of originating endpoints; every DataNode when
             omitted.
@@ -39,7 +41,7 @@ class WriteStream:
         sim: Simulator,
         client: CFSClient,
         rate: float,
-        rng: random.Random,
+        rng: Optional[random.Random] = None,
         block_size: Optional[int] = None,
         writer_nodes: Optional[List[NodeId]] = None,
     ) -> None:
@@ -48,7 +50,7 @@ class WriteStream:
         self.sim = sim
         self.client = client
         self.rate = rate
-        self.rng = rng
+        self.rng = rng if rng is not None else experiment_rng()
         self.block_size = block_size
         self.writer_nodes = (
             list(client.namenode.topology.node_ids())
