@@ -1,0 +1,41 @@
+"""Seeded, deterministic benchmark harness — the repo's perf trajectory.
+
+``repro bench`` runs a registry of micro-benchmarks over the library's hot
+paths (GF(2^8) kernels, stripe encode/decode, Dinic max-flow, EAR redraws,
+the DES kernel) plus — unless ``--smoke`` — the paper-figure benchmarks
+discovered from ``benchmarks/bench_*.py``, and writes a schema-versioned
+``BENCH_<tag>.json``.
+
+Every scenario records two kinds of numbers:
+
+* **wall time** (``wall_time_s``) — machine-dependent, for humans comparing
+  runs on one box; never asserted on.
+* **counted work** (``ops``) — deterministic operation counts drained from
+  :data:`repro.sim.metrics.PERF` (GF multiplies, BFS level-graph builds,
+  DFS augmentations, redraw attempts, processed events).  CI and the
+  perf-regression tests (`tests/bench/test_budgets.py`) assert on these,
+  so a regression in counted work fails deterministically on any machine.
+
+* :mod:`repro.bench.schema` — the BENCH json schema and its validator.
+* :mod:`repro.bench.scenarios` — the built-in micro-benchmark registry.
+* :mod:`repro.bench.discover` — adapter running ``benchmarks/bench_*.py``.
+* :mod:`repro.bench.runner` — orchestration and report writing.
+* :mod:`repro.bench.cli` — the ``repro bench`` subcommand.
+"""
+
+from repro.bench.runner import run_bench
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    BenchSchemaError,
+    validate_report,
+)
+from repro.bench.scenarios import Scenario, builtin_scenarios
+
+__all__ = [
+    "BenchSchemaError",
+    "SCHEMA_VERSION",
+    "Scenario",
+    "builtin_scenarios",
+    "run_bench",
+    "validate_report",
+]

@@ -1,0 +1,67 @@
+"""Argument wiring for the ``repro bench`` subcommand."""
+
+from __future__ import annotations
+
+import argparse
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach ``repro bench`` options to an argparse parser."""
+    parser.add_argument(
+        "--tag",
+        default="dev",
+        help="report label; output file is BENCH_<tag>.json (default: dev)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny scenario sizes and no figure benchmarks (CI gate)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="master seed every scenario derives from (default: 0)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory to write the report into (default: .)",
+    )
+    parser.add_argument(
+        "--filter",
+        dest="name_filter",
+        default=None,
+        metavar="SUBSTRING",
+        help="run only scenarios whose name contains SUBSTRING",
+    )
+    figures = parser.add_mutually_exclusive_group()
+    figures.add_argument(
+        "--figures",
+        dest="include_figures",
+        action="store_true",
+        default=None,
+        help="force discovery of benchmarks/bench_*.py even with --smoke",
+    )
+    figures.add_argument(
+        "--no-figures",
+        dest="include_figures",
+        action="store_false",
+        help="skip the discovered figure benchmarks",
+    )
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the seeded benchmark suite and write BENCH_<tag>.json."""
+    from repro.bench.runner import run_bench
+
+    result = run_bench(
+        tag=args.tag,
+        smoke=args.smoke,
+        seed=args.seed,
+        out_dir=args.out_dir,
+        name_filter=args.name_filter,
+        include_figures=args.include_figures,
+        echo=print,
+    )
+    return 0 if result.ok else 1

@@ -1,0 +1,106 @@
+"""Discover the paper-figure benchmarks in ``benchmarks/bench_*.py``.
+
+Those files are pytest-benchmark suites; outside pytest we substitute a
+stub for the ``benchmark`` fixture that simply calls the measured function
+once — the harness supplies its own wall-time clock and counted-work
+snapshot around the whole scenario, so pytest-benchmark's statistics layer
+is not needed (and must not be imported).
+
+Only test functions whose sole parameter is ``benchmark`` are adapted;
+anything with extra fixtures is reported in the skip list so the runner
+can say what was not covered (no silent truncation).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import inspect
+import io
+import random
+import sys
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from repro.bench.scenarios import Scenario
+
+#: Default location of the pytest-benchmark suites, relative to the repo
+#: root (this file lives at ``src/repro/bench/discover.py``).
+DEFAULT_BENCH_DIR = Path(__file__).resolve().parents[3] / "benchmarks"
+
+
+class _StubBenchmark:
+    """Replacement for the pytest-benchmark fixture: run once, no stats."""
+
+    def __call__(self, fn, *args, **kwargs):
+        return fn(*args, **kwargs)
+
+    def pedantic(
+        self, fn, args=(), kwargs=None, rounds=1, iterations=1, warmup_rounds=0
+    ):
+        return fn(*args, **(kwargs or {}))
+
+
+def _scenario_name(stem: str, function_name: str) -> str:
+    short = stem[len("bench_"):] if stem.startswith("bench_") else stem
+    test = (
+        function_name[len("test_"):]
+        if function_name.startswith("test_")
+        else function_name
+    )
+    if test == short or test.startswith(short):
+        return f"figure.{test}"
+    return f"figure.{short}.{test}"
+
+
+def _adapt(function: Callable) -> Callable[[random.Random], None]:
+    def run(rng: random.Random) -> None:
+        # Figure benchmarks seed themselves (reprolint DET001 enforces it)
+        # and print paper-style tables; swallow the prose — the report
+        # records wall time and counted work, not the tables.
+        with contextlib.redirect_stdout(io.StringIO()):
+            function(_StubBenchmark())
+        return None
+
+    return run
+
+
+def discover_figure_scenarios(
+    bench_dir: Optional[Path] = None,
+) -> Tuple[List[Scenario], List[str]]:
+    """Adapt every eligible bench test into a ``figure`` scenario.
+
+    Returns:
+        ``(scenarios, skipped)`` where ``skipped`` names the test functions
+        that could not be adapted (unexpected fixture signature).
+    """
+    bench_dir = Path(bench_dir) if bench_dir is not None else DEFAULT_BENCH_DIR
+    scenarios: List[Scenario] = []
+    skipped: List[str] = []
+    if not bench_dir.is_dir():
+        return scenarios, skipped
+    # The bench files import helpers package-relatively (`from .conftest
+    # import ...`), so they must be imported as `<package>.<module>` with
+    # the package's parent directory importable.
+    parent = str(bench_dir.parent)
+    if parent not in sys.path:
+        sys.path.insert(0, parent)
+    package = bench_dir.name
+    for path in sorted(bench_dir.glob("bench_*.py")):
+        module = importlib.import_module(f"{package}.{path.stem}")
+        for name, function in sorted(vars(module).items()):
+            if not name.startswith("test_") or not callable(function):
+                continue
+            parameters = list(inspect.signature(function).parameters)
+            if parameters != ["benchmark"]:
+                skipped.append(f"{path.stem}.{name}")
+                continue
+            scenarios.append(
+                Scenario(
+                    name=_scenario_name(path.stem, name),
+                    group="figure",
+                    params={"module": path.stem, "function": name},
+                    fn=_adapt(function),
+                )
+            )
+    return scenarios, skipped

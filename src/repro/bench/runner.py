@@ -1,0 +1,150 @@
+"""Orchestration: run scenarios, collect wall time + counted work, write
+the ``BENCH_<tag>.json`` report.
+
+Wall time comes from ``time.perf_counter`` (machine-dependent, recorded
+but never asserted on); counted work comes from a
+:func:`repro.sim.metrics.measure_ops` snapshot around each scenario and is
+deterministic for a fixed ``--seed``.  Each scenario gets its own RNG
+derived from ``(master seed, scenario name)`` via CRC-32 — stable across
+processes and interpreter hash randomisation, and independent of the order
+scenarios run in.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench.discover import discover_figure_scenarios
+from repro.bench.scenarios import Scenario, builtin_scenarios
+from repro.bench.schema import SCHEMA_VERSION, validate_report
+from repro.sim.metrics import measure_ops
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one :func:`run_bench` invocation."""
+
+    path: Path
+    report: Dict
+    failures: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every scenario ran to completion."""
+        return not self.failures
+
+
+def _scenario_seed(master_seed: int, name: str) -> int:
+    return zlib.crc32(name.encode("utf-8")) ^ (master_seed & 0xFFFFFFFF)
+
+
+def _run_scenario(scenario: Scenario, master_seed: int) -> Dict:
+    rng = random.Random(_scenario_seed(master_seed, scenario.name))
+    error: Optional[str] = None
+    metrics: Dict[str, float] = {}
+    start = time.perf_counter()
+    with measure_ops() as measured:
+        try:
+            derived = scenario.fn(rng)
+        except Exception as exc:  # recorded per-scenario, run continues
+            error = f"{type(exc).__name__}: {exc}"
+        else:
+            if derived:
+                metrics = {key: float(value) for key, value in derived.items()}
+    wall = time.perf_counter() - start
+    return {
+        "name": scenario.name,
+        "group": scenario.group,
+        "params": dict(scenario.params),
+        "wall_time_s": wall,
+        "ops": measured.ops,
+        "metrics": metrics,
+        "error": error,
+    }
+
+
+def run_bench(
+    tag: str,
+    smoke: bool = False,
+    seed: int = 0,
+    out_dir: str = ".",
+    name_filter: Optional[str] = None,
+    include_figures: Optional[bool] = None,
+    bench_dir: Optional[Path] = None,
+    scenarios: Optional[Sequence[Scenario]] = None,
+    echo: Optional[Callable[[str], None]] = None,
+) -> BenchResult:
+    """Run the benchmark suite and write ``BENCH_<tag>.json``.
+
+    Args:
+        tag: Report label; the output file is ``BENCH_<tag>.json``.
+        smoke: Shrink scenario sizes for a CI gate and (by default) skip
+            the discovered figure benchmarks.
+        seed: Master seed every scenario's RNG derives from.
+        out_dir: Directory the report is written into.
+        name_filter: When set, only scenarios whose name contains this
+            substring run.
+        include_figures: Force figure-benchmark discovery on/off; the
+            default is ``not smoke``.
+        bench_dir: Override the ``benchmarks/`` directory (tests).
+        scenarios: Explicit scenario list, replacing registry + discovery.
+        echo: Per-scenario progress sink (e.g. ``print``); quiet when None.
+
+    Returns:
+        A :class:`BenchResult`; ``failures`` lists scenarios whose ``error``
+        field is set, ``skipped`` lists bench tests discovery could not
+        adapt.
+    """
+    say = echo if echo is not None else (lambda message: None)
+    skipped: List[str] = []
+    if scenarios is None:
+        selected = list(builtin_scenarios(smoke))
+        figures = include_figures if include_figures is not None else not smoke
+        if figures:
+            discovered, skipped = discover_figure_scenarios(bench_dir)
+            selected.extend(discovered)
+    else:
+        selected = list(scenarios)
+    if name_filter:
+        selected = [s for s in selected if name_filter in s.name]
+
+    entries: List[Dict] = []
+    failures: List[str] = []
+    for scenario in selected:
+        entry = _run_scenario(scenario, seed)
+        entries.append(entry)
+        if entry["error"] is not None:
+            failures.append(scenario.name)
+            say(f"FAIL {scenario.name}: {entry['error']}")
+        else:
+            ops = sum(entry["ops"].values())
+            say(
+                f"ok   {scenario.name}  "
+                f"wall={entry['wall_time_s']:.4f}s ops={ops:.0f}"
+            )
+    for name in skipped:
+        say(f"skip {name} (signature not adaptable)")
+
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "tag": tag,
+        "seed": seed,
+        "smoke": smoke,
+        "scenarios": entries,
+    }
+    validate_report(report)
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{tag}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    say(f"wrote {path} ({len(entries)} scenarios, {len(failures)} failed)")
+    return BenchResult(path=path, report=report, failures=failures, skipped=skipped)

@@ -1,0 +1,461 @@
+"""Built-in micro-benchmark scenarios over the library's hot paths.
+
+Each scenario is a named, seeded callable; the runner executes it under a
+wall-time clock and a :data:`repro.sim.metrics.PERF` snapshot, so a scenario
+only has to *do the work* — counted operations are collected for free by the
+instrumented kernels.  Scenarios may also return derived ``metrics``
+(ratios, checksums, split op-counts from internal differential runs).
+
+Differential scenarios (``*_vs_*`` / ``*_identity``) run the optimized and
+the historical code path on identical inputs and **assert equality inline**,
+so every ``repro bench`` invocation re-proves that the fast paths did not
+buy speed with wrongness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.metrics import measure_ops
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named benchmark unit.
+
+    Attributes:
+        name: Unique dotted name (``micro.rs_encode``).
+        group: ``"micro"`` for built-ins, ``"figure"`` for discovered
+            ``benchmarks/bench_*.py`` tests.
+        params: The sizes/knobs the scenario ran with (recorded verbatim).
+        fn: The workload; receives a seeded RNG, returns derived metrics
+            (or ``None``).
+    """
+
+    name: str
+    group: str
+    params: Dict[str, object] = field(default_factory=dict)
+    fn: Callable[[random.Random], Optional[Dict[str, float]]] = lambda rng: None
+
+
+def _random_blocks(rng: random.Random, count: int, size: int) -> List[bytes]:
+    return [
+        bytes(rng.randrange(256) for __ in range(size)) for __ in range(count)
+    ]
+
+
+def _random_array(rng: random.Random, size: int) -> np.ndarray:
+    return np.frombuffer(
+        bytes(rng.randrange(256) for __ in range(size)), dtype=np.uint8
+    ).copy()
+
+
+# ----------------------------------------------------------------------
+# GF(2^8) kernels
+# ----------------------------------------------------------------------
+def _gf_mul_bulk(size: int):
+    def run(rng: random.Random) -> Dict[str, float]:
+        from repro.erasure.galois import GF256
+
+        a = _random_array(rng, size)
+        b = _random_array(rng, size)
+        out = GF256.mul_bulk(a, b)
+        return {"checksum": float(int(np.bitwise_xor.reduce(out)))}
+
+    return run
+
+
+def _gf_mul_array(size: int, scalars: int):
+    def run(rng: random.Random) -> Dict[str, float]:
+        from repro.erasure.galois import GF256
+
+        data = _random_array(rng, size)
+        checksum = 0
+        for __ in range(scalars):
+            out = GF256.mul_array(rng.randrange(256), data)
+            checksum ^= int(np.bitwise_xor.reduce(out))
+        return {"checksum": float(checksum)}
+
+    return run
+
+
+def _gf_mul_scalar_loop(pairs: int):
+    def run(rng: random.Random) -> Dict[str, float]:
+        from repro.erasure.galois import GF256
+
+        checksum = 0
+        for __ in range(pairs):
+            checksum ^= GF256.mul(rng.randrange(256), rng.randrange(256))
+        return {"checksum": float(checksum)}
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Stripe codecs
+# ----------------------------------------------------------------------
+def _rs_encode(n: int, k: int, block: int, stripes: int, scheme: str):
+    def run(rng: random.Random) -> Dict[str, float]:
+        from repro.erasure.codec import make_codec
+
+        codec = make_codec(n, k, scheme)
+        encoded = 0
+        for __ in range(stripes):
+            parity = codec.encode(_random_blocks(rng, k, block))
+            encoded += len(parity)
+        return {"parity_blocks": float(encoded)}
+
+    return run
+
+
+def _rs_encode_vs_scalar(n: int, k: int, block: int):
+    def run(rng: random.Random) -> Dict[str, float]:
+        from repro.erasure import matrix as gfm
+        from repro.erasure.codec import make_codec
+
+        codec = make_codec(n, k)
+        data = _random_blocks(rng, k, block)
+        with measure_ops() as batched:
+            parity = codec.encode(data)
+        shards = codec._stack(data, expected=k)
+        with measure_ops() as scalar:
+            reference = gfm.apply_to_shards_scalar(
+                codec._generator[k:, :], shards
+            )
+        if [row.tobytes() for row in reference] != parity:
+            raise AssertionError("batched encode diverged from scalar oracle")
+        calls_batched = batched.get("gf.kernel_calls")
+        calls_scalar = scalar.get("gf.kernel_calls")
+        return {
+            "gf_calls_batched": float(calls_batched),
+            "gf_calls_scalar": float(calls_scalar),
+            "gf_call_ratio": calls_scalar / max(1, calls_batched),
+        }
+
+    return run
+
+
+def _rs_decode_roundtrip(n: int, k: int, block: int, scheme: str):
+    def run(rng: random.Random) -> Dict[str, float]:
+        from repro.erasure.codec import make_codec
+
+        codec = make_codec(n, k, scheme)
+        data = _random_blocks(rng, k, block)
+        stripe = list(data) + codec.encode(data)
+        alive = sorted(rng.sample(range(n), k))
+        decoded = codec.decode({index: stripe[index] for index in alive})
+        if decoded != data:
+            raise AssertionError("decode did not recover the data blocks")
+        return {"survivors": float(len(alive))}
+
+    return run
+
+
+def _rs_decode_matrix_cache(n: int, k: int, block: int, repeats: int):
+    def run(rng: random.Random) -> Dict[str, float]:
+        from repro.erasure.codec import make_codec
+
+        codec = make_codec(n, k)
+        alive = sorted(rng.sample(range(n), k))
+        with measure_ops() as measured:
+            for __ in range(repeats):
+                data = _random_blocks(rng, k, block)
+                stripe = list(data) + codec.encode(data)
+                decoded = codec.decode({i: stripe[i] for i in alive})
+                if decoded != data:
+                    raise AssertionError("cached decode returned wrong bytes")
+        return {
+            "cache_hits": float(measured.get("codec.decode_matrix_hits")),
+            "cache_misses": float(measured.get("codec.decode_matrix_misses")),
+        }
+
+    return run
+
+
+def _lrc_encode(k: int, groups: int, global_parities: int, block: int):
+    def run(rng: random.Random) -> Dict[str, float]:
+        from repro.erasure.lrc import LocalReconstructionCodec, LRCParams
+
+        codec = LocalReconstructionCodec(LRCParams(k, groups, global_parities))
+        parity = codec.encode(_random_blocks(rng, k, block))
+        return {"parity_blocks": float(len(parity))}
+
+    return run
+
+
+def _lrc_local_repair(k: int, groups: int, global_parities: int, block: int):
+    def run(rng: random.Random) -> Dict[str, float]:
+        from repro.erasure.lrc import LocalReconstructionCodec, LRCParams
+
+        params = LRCParams(k, groups, global_parities)
+        codec = LocalReconstructionCodec(params)
+        data = _random_blocks(rng, k, block)
+        stripe = list(data) + codec.encode(data)
+        lost = rng.randrange(k)
+        available = {i: stripe[i] for i in range(params.n) if i != lost}
+        rebuilt, read = codec.repair(lost, available)
+        if rebuilt != data[lost]:
+            raise AssertionError("local repair returned wrong bytes")
+        return {"blocks_read": float(len(read))}
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Max-flow and EAR placement
+# ----------------------------------------------------------------------
+def _draw_stripe_layouts(
+    rng: random.Random, stripes: int, blocks: int, replicas: int, num_nodes: int
+) -> List[List[Tuple[int, List[int]]]]:
+    layouts = []
+    for __ in range(stripes):
+        layouts.append(
+            [
+                (block, rng.sample(range(num_nodes), replicas))
+                for block in range(blocks)
+            ]
+        )
+    return layouts
+
+
+def _maxflow_fresh(stripes: int, blocks: int):
+    def run(rng: random.Random) -> Dict[str, float]:
+        from repro.cluster.topology import ClusterTopology
+        from repro.core.flowgraph import StripeFlowGraph
+
+        topology = ClusterTopology(nodes_per_rack=10, num_racks=8)
+        graph = StripeFlowGraph(topology, c=2)
+        layouts = _draw_stripe_layouts(
+            rng, stripes, blocks, replicas=3, num_nodes=topology.num_nodes
+        )
+        feasible = 0
+        for layout in layouts:
+            flow = graph.max_matching_size(dict(layout))
+            feasible += int(flow == blocks)
+        return {"feasible_stripes": float(feasible)}
+
+    return run
+
+
+def _maxflow_incremental_vs_fresh(stripes: int, blocks: int):
+    def run(rng: random.Random) -> Dict[str, float]:
+        from repro.cluster.topology import ClusterTopology
+        from repro.core.flowgraph import StripeFlowGraph
+
+        topology = ClusterTopology(nodes_per_rack=10, num_racks=8)
+        graph = StripeFlowGraph(topology, c=2)
+        layouts = _draw_stripe_layouts(
+            rng, stripes, blocks, replicas=3, num_nodes=topology.num_nodes
+        )
+        with measure_ops() as incremental:
+            accepted_incremental = []
+            for layout in layouts:
+                session = graph.session()
+                accepted = [
+                    block
+                    for block, nodes in layout
+                    if session.try_place(block, nodes)
+                ]
+                accepted_incremental.append(accepted)
+        with measure_ops() as fresh:
+            accepted_fresh = []
+            for layout in layouts:
+                kept: Dict[int, List[int]] = {}
+                accepted = []
+                for block, nodes in layout:
+                    candidate = dict(kept)
+                    candidate[block] = nodes
+                    if graph.max_matching_size(candidate) == len(candidate):
+                        kept[block] = nodes
+                        accepted.append(block)
+                accepted_fresh.append(accepted)
+        if accepted_incremental != accepted_fresh:
+            raise AssertionError("incremental max-flow diverged from fresh")
+        return {
+            "bfs_incremental": float(incremental.get("maxflow.bfs_builds")),
+            "bfs_fresh": float(fresh.get("maxflow.bfs_builds")),
+        }
+
+    return run
+
+
+def _ear_place(stripes: int, use_incremental: bool):
+    def run(rng: random.Random) -> Dict[str, float]:
+        from repro.cluster.topology import ClusterTopology
+        from repro.core.ear import EncodingAwareReplication
+        from repro.erasure.codec import CodeParams
+
+        topology = ClusterTopology.large_scale()
+        code = CodeParams(14, 10)
+        ear = EncodingAwareReplication(
+            topology,
+            code,
+            rng=random.Random(rng.randrange(2**31)),
+            use_incremental=use_incremental,
+        )
+        with measure_ops() as measured:
+            for block_id in range(stripes * code.k):
+                ear.place_block(block_id, writer_node=0)
+        return {
+            "stripes_placed": float(len(ear.store.sealed_stripes())),
+            "redraw_attempts": float(measured.get("ear.redraw_attempts")),
+            "bfs_builds": float(measured.get("maxflow.bfs_builds")),
+        }
+
+    return run
+
+
+def _ear_identity(stripes: int):
+    def run(rng: random.Random) -> Dict[str, float]:
+        from repro.cluster.topology import ClusterTopology
+        from repro.core.ear import EncodingAwareReplication
+        from repro.erasure.codec import CodeParams
+
+        topology = ClusterTopology.large_scale()
+        code = CodeParams(14, 10)
+        seed = rng.randrange(2**31)
+        decisions = {}
+        ops = {}
+        for mode in (True, False):
+            ear = EncodingAwareReplication(
+                topology, code, rng=random.Random(seed), use_incremental=mode
+            )
+            with measure_ops() as measured:
+                decisions[mode] = [
+                    ear.place_block(block_id, writer_node=0)
+                    for block_id in range(stripes * code.k)
+                ]
+            ops[mode] = measured.get("maxflow.bfs_builds")
+        if decisions[True] != decisions[False]:
+            raise AssertionError(
+                "incremental EAR placements diverged from the fresh solver"
+            )
+        return {
+            "bfs_incremental": float(ops[True]),
+            "bfs_fresh": float(ops[False]),
+        }
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Simulation kernel
+# ----------------------------------------------------------------------
+def _sim_events(processes: int, timeouts: int):
+    def run(rng: random.Random) -> Dict[str, float]:
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        delays = [rng.random() for __ in range(processes)]
+
+        def ticker(delay: float):
+            for __ in range(timeouts):
+                yield sim.timeout(delay)
+
+        for delay in delays:
+            sim.process(ticker(delay))
+        with measure_ops() as measured:
+            sim.run()
+        return {"events": float(measured.get("sim.events"))}
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def builtin_scenarios(smoke: bool = False) -> List[Scenario]:
+    """The built-in micro scenarios, sized for full or ``--smoke`` runs."""
+    array = 1 << 14 if smoke else 1 << 20
+    block = 4096 if smoke else 65536
+    stripes = 1 if smoke else 4
+    layouts = 20 if smoke else 200
+    ear_stripes = 2 if smoke else 12
+    processes = 20 if smoke else 100
+    timeouts = 50 if smoke else 500
+
+    def scenario(name: str, params: Dict[str, object], fn) -> Scenario:
+        return Scenario(name=f"micro.{name}", group="micro", params=params, fn=fn)
+
+    return [
+        scenario(
+            "gf_mul_bulk", {"bytes": array}, _gf_mul_bulk(array)
+        ),
+        scenario(
+            "gf_mul_array",
+            {"bytes": array // 16, "scalars": 64},
+            _gf_mul_array(array // 16, 64),
+        ),
+        scenario(
+            "gf_mul_scalar_loop", {"pairs": 10_000}, _gf_mul_scalar_loop(10_000)
+        ),
+        scenario(
+            "rs_encode",
+            {"n": 14, "k": 10, "block_bytes": block, "stripes": stripes},
+            _rs_encode(14, 10, block, stripes, "reed-solomon"),
+        ),
+        scenario(
+            "rs_encode_vs_scalar",
+            {"n": 14, "k": 10, "block_bytes": block},
+            _rs_encode_vs_scalar(14, 10, block),
+        ),
+        scenario(
+            "rs_decode_roundtrip",
+            {"n": 14, "k": 10, "block_bytes": block},
+            _rs_decode_roundtrip(14, 10, block, "reed-solomon"),
+        ),
+        scenario(
+            "rs_decode_matrix_cache",
+            {"n": 14, "k": 10, "block_bytes": block // 4, "repeats": 8},
+            _rs_decode_matrix_cache(14, 10, block // 4, 8),
+        ),
+        scenario(
+            "cauchy_encode",
+            {"n": 14, "k": 10, "block_bytes": block, "stripes": stripes},
+            _rs_encode(14, 10, block, stripes, "cauchy-rs"),
+        ),
+        scenario(
+            "cauchy_decode_roundtrip",
+            {"n": 14, "k": 10, "block_bytes": block},
+            _rs_decode_roundtrip(14, 10, block, "cauchy-rs"),
+        ),
+        scenario(
+            "lrc_encode",
+            {"k": 12, "local_groups": 2, "global_parities": 2, "block_bytes": block},
+            _lrc_encode(12, 2, 2, block),
+        ),
+        scenario(
+            "lrc_local_repair",
+            {"k": 12, "local_groups": 2, "global_parities": 2, "block_bytes": block},
+            _lrc_local_repair(12, 2, 2, block),
+        ),
+        scenario(
+            "maxflow_fresh",
+            {"stripes": layouts, "blocks": 10},
+            _maxflow_fresh(layouts, 10),
+        ),
+        scenario(
+            "maxflow_incremental_vs_fresh",
+            {"stripes": layouts, "blocks": 10},
+            _maxflow_incremental_vs_fresh(layouts, 10),
+        ),
+        scenario(
+            "ear_place_incremental",
+            {"stripes": ear_stripes, "code": "(14,10)"},
+            _ear_place(ear_stripes, True),
+        ),
+        scenario(
+            "ear_incremental_vs_fresh_identity",
+            {"stripes": max(1, ear_stripes // 2), "code": "(14,10)"},
+            _ear_identity(max(1, ear_stripes // 2)),
+        ),
+        scenario(
+            "sim_event_throughput",
+            {"processes": processes, "timeouts": timeouts},
+            _sim_events(processes, timeouts),
+        ),
+    ]

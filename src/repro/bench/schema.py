@@ -1,0 +1,125 @@
+"""The ``BENCH_<tag>.json`` schema and its (dependency-free) validator.
+
+The report format is intentionally flat and append-only: new counters and
+derived metrics may appear under ``ops`` / ``metrics`` without a version
+bump; removing or re-typing a field bumps :data:`SCHEMA_VERSION`.
+
+Top-level document::
+
+    {
+      "schema_version": 1,
+      "tag": "pr3",                  # perf-trajectory label (file suffix)
+      "seed": 0,                     # master seed every scenario derives from
+      "smoke": false,                # tiny-config mode (CI gate)
+      "scenarios": [ <scenario>, ... ]
+    }
+
+Scenario::
+
+    {
+      "name": "micro.rs_encode",     # unique within the report
+      "group": "micro" | "figure",   # built-in vs discovered bench_*.py
+      "params": {...},               # scenario-defined sizes/knobs
+      "wall_time_s": 0.0123,         # measured, machine-dependent
+      "ops": {"gf.symbol_mults": 163840, ...},   # counted work, deterministic
+      "metrics": {"events_per_sec": 1.2e6, ...}, # derived numbers (optional)
+      "error": null | "<repr of the failure>"
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+#: Bumped whenever a field is removed or its meaning/type changes.
+SCHEMA_VERSION = 1
+
+_GROUPS = ("micro", "figure")
+
+
+class BenchSchemaError(ValueError):
+    """Raised when a BENCH report does not conform to the schema."""
+
+    def __init__(self, errors: List[str]) -> None:
+        super().__init__("; ".join(errors))
+        self.errors = errors
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def schema_errors(report: object) -> List[str]:
+    """Every schema violation in ``report`` (empty when valid)."""
+    errors: List[str] = []
+    if not isinstance(report, dict):
+        return [f"report must be an object, got {type(report).__name__}"]
+    if report.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {report.get('schema_version')!r}"
+        )
+    if not isinstance(report.get("tag"), str) or not report.get("tag"):
+        errors.append("tag must be a non-empty string")
+    if not isinstance(report.get("seed"), int) or isinstance(report.get("seed"), bool):
+        errors.append("seed must be an integer")
+    if not isinstance(report.get("smoke"), bool):
+        errors.append("smoke must be a boolean")
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, list):
+        errors.append("scenarios must be a list")
+        return errors
+    seen: set = set()
+    for position, scenario in enumerate(scenarios):
+        where = f"scenarios[{position}]"
+        if not isinstance(scenario, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        name = scenario.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}.name must be a non-empty string")
+        elif name in seen:
+            errors.append(f"{where}.name {name!r} is duplicated")
+        else:
+            seen.add(name)
+        if scenario.get("group") not in _GROUPS:
+            errors.append(f"{where}.group must be one of {_GROUPS}")
+        if not isinstance(scenario.get("params"), dict):
+            errors.append(f"{where}.params must be an object")
+        wall = scenario.get("wall_time_s")
+        if not _is_number(wall) or wall < 0:
+            errors.append(f"{where}.wall_time_s must be a non-negative number")
+        ops = scenario.get("ops")
+        if not isinstance(ops, dict):
+            errors.append(f"{where}.ops must be an object")
+        else:
+            for key, value in ops.items():
+                if not isinstance(key, str) or not _is_number(value):
+                    errors.append(f"{where}.ops[{key!r}] must map str -> number")
+                    break
+        metrics = scenario.get("metrics")
+        if not isinstance(metrics, dict) or not all(
+            isinstance(key, str) and _is_number(value)
+            for key, value in metrics.items()
+        ):
+            errors.append(f"{where}.metrics must map str -> number")
+        error = scenario.get("error")
+        if error is not None and not isinstance(error, str):
+            errors.append(f"{where}.error must be null or a string")
+    return errors
+
+
+def validate_report(report: object) -> None:
+    """Raise :class:`BenchSchemaError` when the report violates the schema."""
+    errors = schema_errors(report)
+    if errors:
+        raise BenchSchemaError(errors)
+
+
+def validate_file(path: str) -> Dict:
+    """Load and validate a BENCH json file, returning the parsed report."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    validate_report(report)
+    return report

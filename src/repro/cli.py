@@ -246,6 +246,13 @@ def cmd_lint(args) -> int:
     return run(args)
 
 
+def cmd_bench(args) -> int:
+    """Seeded benchmark suite; writes a schema-versioned BENCH_<tag>.json."""
+    from repro.bench.cli import cmd_bench as run
+
+    return run(args)
+
+
 def cmd_fig14(args) -> None:
     """Figure 14: storage load balance."""
     from repro.experiments.loadbalance import storage_balance
@@ -332,6 +339,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--corruptions", type=int, default=3)
     p.add_argument("--horizon", type=float, default=40.0)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser("bench", help=cmd_bench.__doc__)
+    from repro.bench.cli import add_bench_arguments
+
+    add_bench_arguments(p)
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("lint", help=cmd_lint.__doc__)
     from repro.lint.cli import add_lint_arguments

@@ -24,7 +24,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.block import BlockId
 from repro.cluster.topology import ClusterTopology, NodeId, RackId
-from repro.core.flowgraph import StripeFlowGraph
+from repro.core.flowgraph import StripeFlowGraph, StripeFlowSession
+from repro.sim.metrics import PERF
 from repro.core.policy import (
     PlacementDecision,
     PlacementError,
@@ -66,6 +67,14 @@ class EncodingAwareReplication(PlacementPolicy):
             time.  Keeping parity in the core rack turns those uploads
             intra-rack — the "keep more data/parity blocks in one rack"
             behaviour behind Figure 13(e).  No effect at ``c = 1``.
+        use_incremental: When True (the default) each stripe keeps one
+            incremental :class:`StripeFlowSession` alive across every
+            redraw, augmenting the previous max-flow solution instead of
+            rebuilding and re-solving the whole graph per attempt.  The
+            accept/reject decisions — and therefore the placements for a
+            given seed — are identical either way; only the counted work
+            differs.  False restores the from-scratch solve (kept as the
+            differential-test oracle).
 
     Example:
         >>> topo = ClusterTopology.large_scale()
@@ -90,6 +99,7 @@ class EncodingAwareReplication(PlacementPolicy):
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         bias_target_racks: bool = False,
         reserve_core_for_parity: bool = True,
+        use_incremental: bool = True,
     ) -> None:
         super().__init__(topology, scheme, rng)
         if c <= 0:
@@ -135,7 +145,9 @@ class EncodingAwareReplication(PlacementPolicy):
         if self.store.k != code.k:
             raise ValueError("store's k disagrees with the code's k")
 
+        self.use_incremental = use_incremental
         self._open_by_rack: Dict[RackId, int] = {}
+        self._sessions: Dict[int, StripeFlowSession] = {}
         self._layouts: Dict[int, Dict[BlockId, List[NodeId]]] = defaultdict(dict)
         # attempts[i] collects the redraw counts observed for the i-th block
         # of a stripe (1-indexed), for validating Theorem 1.
@@ -161,14 +173,27 @@ class EncodingAwareReplication(PlacementPolicy):
         stripe = self._open_stripe_for(core_rack)
         layout = self._layouts[stripe.stripe_id]
         index = len(stripe.block_ids) + 1  # this block is the i-th of its stripe
-        flow_graph = self.flow_graph_for(stripe)
+        session: Optional[StripeFlowSession] = None
+        flow_graph: Optional[StripeFlowGraph] = None
+        if self.use_incremental:
+            session = self._sessions.get(stripe.stripe_id)
+            if session is None:
+                session = self.flow_graph_for(stripe).session()
+                self._sessions[stripe.stripe_id] = session
+        else:
+            flow_graph = self.flow_graph_for(stripe)
 
         for attempt in range(1, self.max_attempts + 1):
             node_ids = self._draw_candidate(core_rack, stripe)
-            candidate = dict(layout)
-            candidate[block_id] = node_ids
-            if flow_graph.max_matching_size(candidate) == index:
-                break
+            PERF.bump("ear.redraw_attempts")
+            if session is not None:
+                if session.try_place(block_id, node_ids):
+                    break
+            else:
+                candidate = dict(layout)
+                candidate[block_id] = node_ids
+                if flow_graph.max_matching_size(candidate) == index:
+                    break
         else:
             raise PlacementError(
                 f"no qualifying layout for block {block_id} (stripe "
@@ -181,6 +206,7 @@ class EncodingAwareReplication(PlacementPolicy):
         self.store.add_block(stripe.stripe_id, block_id)
         if stripe.is_full():
             del self._open_by_rack[core_rack]
+            self._sessions.pop(stripe.stripe_id, None)
         return PlacementDecision(
             block_id=block_id,
             node_ids=tuple(node_ids),

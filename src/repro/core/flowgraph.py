@@ -19,13 +19,114 @@ retained replica of each block is the block->node edge carrying flow.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.cluster.topology import ClusterTopology, NodeId, RackId
 from repro.core.maxflow import Dinic
 
 _SOURCE = ("S",)
 _SINK = ("T",)
+
+
+class StripeFlowSession:
+    """Incremental feasibility checking for one stripe's redraw loop.
+
+    EAR redraws the layout of the newest block until the flow graph's max
+    flow equals the block count (Section III-B); between attempts only that
+    block's edges change.  A session therefore keeps **one** :class:`Dinic`
+    solver alive across every attempt of the stripe: accepted blocks' edges
+    and their routed flow stay in place, a candidate's edges are added under
+    a checkpoint, the solver augments from the previous residual state (at
+    most one extra unit can exist, since each block contributes one unit of
+    source capacity), and a rejected candidate is rolled back.
+
+    The accept/reject decision is provably identical to the from-scratch
+    :meth:`StripeFlowGraph.max_matching_size` test: the pre-attempt flow is
+    feasible for the candidate graph, Dinic run to completion from any
+    feasible flow reaches the (unique) max-flow value, and reaching
+    ``accepted_blocks + 1`` is maximal by the source-side cut.  What changes
+    is the counted work — one BFS level-graph build per attempt instead of a
+    full re-solve.
+
+    Example:
+        >>> topo = ClusterTopology(nodes_per_rack=2, num_racks=4)
+        >>> session = StripeFlowGraph(topo, c=1).session()
+        >>> session.try_place(0, (0, 1))    # both replicas in rack 0
+        True
+        >>> session.try_place(1, (1,))      # would need rack 0 twice (c=1)
+        False
+        >>> session.num_placed
+        1
+    """
+
+    def __init__(self, graph: "StripeFlowGraph") -> None:
+        self.graph = graph
+        self._solver = Dinic()
+        self._solver.vertex(_SOURCE)
+        self._solver.vertex(_SINK)
+        self._flow = 0
+        self._layout: Dict[object, List[NodeId]] = {}
+        self._nodes_added: Set[NodeId] = set()
+        self._racks_added: Set[RackId] = set()
+
+    @property
+    def num_placed(self) -> int:
+        """Blocks accepted so far (equals the routed flow)."""
+        return self._flow
+
+    def layout(self) -> Dict[object, List[NodeId]]:
+        """The accepted layout (block -> replica nodes)."""
+        return {block: list(nodes) for block, nodes in self._layout.items()}
+
+    def try_place(self, block: object, node_ids: Sequence[NodeId]) -> bool:
+        """Tentatively add one block's replica layout.
+
+        Adds the candidate's edges, augments the retained flow by at most
+        one unit, and keeps the edges iff the flow then covers every block
+        (the Section III-B acceptance test).  On rejection the graph is
+        rolled back to its pre-attempt state, so the caller can redraw.
+
+        Args:
+            block: Block label; must not have been accepted already.
+            node_ids: The candidate replica nodes for the block.
+
+        Returns:
+            True when the block was accepted (edges and flow retained).
+        """
+        if block in self._layout:
+            raise ValueError(f"block {block!r} was already placed")
+        token = self._solver.checkpoint()
+        nodes_new: List[NodeId] = []
+        racks_new: List[RackId] = []
+        self._solver.add_edge(_SOURCE, ("B", block), 1)
+        for node_id in node_ids:
+            rack_id = self.graph.topology.rack_of(node_id)
+            if not self.graph._rack_admissible(rack_id):
+                continue
+            self._solver.add_edge(("B", block), ("N", node_id), 1)
+            if node_id not in self._nodes_added:
+                self._nodes_added.add(node_id)
+                nodes_new.append(node_id)
+                self._solver.add_edge(("N", node_id), ("R", rack_id), 1)
+            if rack_id not in self._racks_added:
+                self._racks_added.add(rack_id)
+                racks_new.append(rack_id)
+                self._solver.add_edge(
+                    ("R", rack_id), _SINK, self.graph.rack_capacity(rack_id)
+                )
+        gained = self._solver.max_flow(_SOURCE, _SINK, limit=1)
+        if gained == 1:
+            self._flow += 1
+            self._layout[block] = list(node_ids)
+            return True
+        # A failed augmentation changed no capacity, so the candidate's
+        # edges carry no flow and rollback restores the pre-attempt graph.
+        self._solver.rollback(token)
+        for node_id in nodes_new:
+            self._nodes_added.discard(node_id)
+        for rack_id in racks_new:
+            self._racks_added.discard(rack_id)
+        return False
 
 
 class StripeFlowGraph:
@@ -107,6 +208,10 @@ class StripeFlowGraph:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    def session(self) -> StripeFlowSession:
+        """A fresh incremental session reusing one solver across redraws."""
+        return StripeFlowSession(self)
+
     def max_matching_size(self, layout: Dict[object, Sequence[NodeId]]) -> int:
         """Size of the maximum matching for the given replica layout.
 

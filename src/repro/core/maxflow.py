@@ -1,16 +1,43 @@
-"""Dinic's maximum-flow algorithm.
+"""Dinic's maximum-flow algorithm with incremental re-solving.
 
 A from-scratch implementation used by :mod:`repro.core.flowgraph` to decide
 whether a replica layout admits a maximum matching under the per-rack
 capacity constraint (Section III-B).  The graphs involved are tiny (a few
 dozen vertices), but the implementation is a complete, general max-flow
 solver with BFS level graphs and DFS blocking flows.
+
+Beyond the classic solve, the solver supports the *incremental* workflow of
+EAR's redraw loop (Theorem 1): between attempts only the newest block's
+edges change, so callers take a :meth:`Dinic.checkpoint` before adding the
+candidate edges, augment from the previous residual state (``max_flow`` with
+a ``limit``), and :meth:`Dinic.rollback` on rejection instead of rebuilding
+and re-solving the whole graph.  Rollback is sound because a failed
+augmentation attempt leaves every capacity untouched — Dinic only commits
+capacity changes along complete source-to-sink paths.
+
+Counted work (BFS level-graph builds, DFS augmentations) is reported into
+:data:`repro.sim.metrics.PERF` so benchmarks and perf-regression tests can
+assert on deterministic operation counts rather than wall time.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.sim.metrics import PERF
+
+
+class Checkpoint(NamedTuple):
+    """A restore point for :meth:`Dinic.rollback`.
+
+    Only valid while no flow has been routed *through* edges added after the
+    checkpoint (the incremental-redraw workflow guarantees this: a rejected
+    attempt never changed any capacity).
+    """
+
+    num_edges: int
+    num_vertices: int
 
 
 class Dinic:
@@ -38,8 +65,11 @@ class Dinic:
         self._to: List[int] = []
         self._cap: List[int] = []
         self._orig_cap: List[int] = []
-        # Map (u, v) -> first edge id added, for flow_on queries.
-        self._edge_id: Dict[Tuple[object, object], int] = {}
+        # Map (u, v) -> every forward edge id added, for flow_on queries.
+        self._edge_ids: Dict[Tuple[object, object], List[int]] = {}
+        # (u, v) key per forward edge, in insertion order, so rollback can
+        # unwind _edge_ids without scanning the whole dict.
+        self._edge_keys: List[Tuple[object, object]] = []
 
     # ------------------------------------------------------------------
     # Graph construction
@@ -56,12 +86,13 @@ class Dinic:
         """Add a directed edge ``u -> v`` with the given capacity.
 
         Adding the same (u, v) pair twice creates parallel edges; flow_on
-        reports only the first.
+        sums the flow over all of them.
         """
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         ui, vi = self.vertex(u), self.vertex(v)
-        self._edge_id.setdefault((u, v), len(self._to))
+        self._edge_ids.setdefault((u, v), []).append(len(self._to))
+        self._edge_keys.append((u, v))
         # Forward edge.
         self._adj[ui].append(len(self._to))
         self._to.append(vi)
@@ -79,15 +110,77 @@ class Dinic:
         return len(self._labels)
 
     # ------------------------------------------------------------------
+    # Incremental editing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Checkpoint:
+        """A token that :meth:`rollback` restores the graph structure to."""
+        return Checkpoint(len(self._to), len(self._labels))
+
+    def rollback(self, token: Checkpoint) -> None:
+        """Remove every edge and vertex added since ``token``.
+
+        Raises:
+            ValueError: If any edge added after the checkpoint carries flow
+                (removing it would silently destroy routed flow; the caller
+                should only roll back attempts whose augmentation failed).
+        """
+        if len(self._to) < token.num_edges or self.num_vertices < token.num_vertices:
+            raise ValueError("checkpoint is newer than the current graph")
+        for edge in range(token.num_edges, len(self._to), 2):
+            if self._cap[edge] != self._orig_cap[edge]:
+                raise ValueError(
+                    "cannot roll back: an edge added after the checkpoint "
+                    "carries flow"
+                )
+        # Edges are appended, and each vertex's adjacency list grows at its
+        # tail, so removing the newest edges is popping from tails — walk
+        # newest-first and each popped id must match.
+        for edge in range(len(self._to) - 1, token.num_edges - 1, -1):
+            owner = self._to[edge ^ 1]
+            popped = self._adj[owner].pop()
+            if popped != edge:
+                raise AssertionError("adjacency tail does not match edge log")
+        del self._to[token.num_edges:]
+        del self._cap[token.num_edges:]
+        del self._orig_cap[token.num_edges:]
+        # Unwind the (u, v) -> edge-ids index.
+        forward_kept = token.num_edges // 2
+        for key in reversed(self._edge_keys[forward_kept:]):
+            ids = self._edge_ids[key]
+            ids.pop()
+            if not ids:
+                del self._edge_ids[key]
+        del self._edge_keys[forward_kept:]
+        # Drop vertices introduced after the checkpoint.
+        for label in self._labels[token.num_vertices:]:
+            del self._index[label]
+        del self._labels[token.num_vertices:]
+        del self._adj[token.num_vertices:]
+
+    # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
-    def max_flow(self, source: object, sink: object) -> int:
+    def max_flow(
+        self, source: object, sink: object, limit: Optional[int] = None
+    ) -> int:
         """Compute the maximum flow from ``source`` to ``sink``.
 
         Can be called repeatedly; each call continues from the current
         residual state, so calling twice without modifying the graph returns
         0 the second time.  Use a fresh instance (or :meth:`reset`) for a
         from-scratch solve.
+
+        Args:
+            source: Source vertex label.
+            sink: Sink vertex label.
+            limit: When given, stop as soon as this much *additional* flow
+                has been routed in this call.  The incremental redraw loop
+                passes 1: the structural bound (one unit per block) makes
+                reaching the limit a proof of maximality, and stopping early
+                skips the final no-more-paths BFS.
+
+        Returns:
+            The additional flow routed by this call.
         """
         if source not in self._index or sink not in self._index:
             return 0
@@ -95,32 +188,40 @@ class Dinic:
         if s == t:
             raise ValueError("source and sink must differ")
         total = 0
-        while True:
+        while limit is None or total < limit:
             level = self._bfs_levels(s, t)
             if level is None:
-                return total
+                break
             iters = [0] * self.num_vertices
-            while True:
-                pushed = self._dfs(s, t, float("inf"), level, iters)
+            while limit is None or total < limit:
+                bound = float("inf") if limit is None else limit - total
+                pushed = self._dfs(s, t, bound, level, iters)
                 if pushed == 0:
                     break
+                PERF.bump("maxflow.augmentations")
                 total += pushed
+        return total
 
     def reset(self) -> None:
         """Restore all edge capacities, discarding any routed flow."""
         self._cap = list(self._orig_cap)
 
     def flow_on(self, u: object, v: object) -> int:
-        """Flow routed over the (first) edge ``u -> v`` after a solve."""
-        edge = self._edge_id.get((u, v))
-        if edge is None:
+        """Total flow routed over the edge(s) ``u -> v`` after a solve.
+
+        Parallel (u, v) edges are summed; earlier revisions reported only
+        the first one, silently under-counting parallel layouts.
+        """
+        edges = self._edge_ids.get((u, v))
+        if edges is None:
             raise KeyError(f"no edge {u!r} -> {v!r}")
-        return self._orig_cap[edge] - self._cap[edge]
+        return sum(self._orig_cap[edge] - self._cap[edge] for edge in edges)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _bfs_levels(self, s: int, t: int) -> Optional[List[int]]:
+        PERF.bump("maxflow.bfs_builds")
         level = [-1] * self.num_vertices
         level[s] = 0
         queue = deque([s])

@@ -10,7 +10,8 @@ needed.  The paper cites Cauchy RS [3] as one of the erasure codes CFSes use.
 
 from __future__ import annotations
 
-from typing import Sequence
+from functools import lru_cache
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -38,19 +39,35 @@ def cauchy_matrix(x_points: Sequence[int], y_points: Sequence[int]) -> np.ndarra
     return out
 
 
-def build_generator_matrix(n: int, k: int) -> np.ndarray:
-    """Systematic ``n x k`` generator: identity stacked on a Cauchy matrix."""
+@lru_cache(maxsize=64)
+def generator_matrix(n: int, k: int) -> np.ndarray:
+    """Cached, **read-only** systematic generator (copy before mutating)."""
     if not 0 < k < n:
         raise ValueError(f"require 0 < k < n, got n={n}, k={k}")
     if n > 256:
         raise ValueError("Cauchy RS over GF(2^8) supports at most n = 256")
     parity = cauchy_matrix(range(k, n), range(k))
-    return np.concatenate([gfm.identity(k), parity], axis=0)
+    generator = np.concatenate([gfm.identity(k), parity], axis=0)
+    generator.setflags(write=False)
+    return generator
+
+
+def build_generator_matrix(n: int, k: int) -> np.ndarray:
+    """A fresh, writable ``n x k`` generator: identity on a Cauchy matrix."""
+    return generator_matrix(n, k).copy()
+
+
+@lru_cache(maxsize=256)
+def decode_matrix(n: int, k: int, indices: Tuple[int, ...]) -> np.ndarray:
+    """Cached, read-only decode matrix keyed by (n, k, erasure pattern)."""
+    matrix = gfm.invert(generator_matrix(n, k)[list(indices), :])
+    matrix.setflags(write=False)
+    return matrix
 
 
 def parity_matrix(n: int, k: int) -> np.ndarray:
     """The ``(n - k) x k`` Cauchy parity matrix."""
-    return cauchy_matrix(range(k, n), range(k))
+    return generator_matrix(n, k)[k:, :]
 
 
 def encode(data_shards: np.ndarray, n: int, k: int) -> np.ndarray:
@@ -78,6 +95,6 @@ def decode(
         raise ValueError(
             f"expected {k} shard rows, got shape {available_shards.shape}"
         )
-    generator = build_generator_matrix(n, k)
-    decode_matrix = gfm.invert(generator[indices, :])
-    return gfm.apply_to_shards(decode_matrix, available_shards)
+    return gfm.apply_to_shards(
+        decode_matrix(n, k, tuple(indices)), available_shards
+    )

@@ -8,12 +8,17 @@ zero-pads the tail of a file.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.erasure import cauchy, reed_solomon
+from repro.sim.metrics import PERF
+
+#: Decode matrices retained per codec instance, keyed by erasure pattern.
+DECODE_CACHE_SIZE = 128
 
 
 @dataclass(frozen=True)
@@ -86,10 +91,34 @@ class ErasureCodec:
     def __init__(self, params: CodeParams) -> None:
         self.params = params
         self._generator = self._build_generator(params.n, params.k)
+        # LRU of decode matrices keyed by the surviving-shard pattern: a
+        # burst of repairs after a node/rack failure hits the same pattern
+        # for every affected stripe and inverts the k x k system once.
+        self._decode_cache: "OrderedDict[Tuple[int, ...], np.ndarray]" = (
+            OrderedDict()
+        )
 
     # -- hooks ----------------------------------------------------------
     def _build_generator(self, n: int, k: int) -> np.ndarray:
         raise NotImplementedError
+
+    # -- caching --------------------------------------------------------
+    def _decode_matrix(self, chosen: Tuple[int, ...]) -> np.ndarray:
+        """The (cached) inverse of the chosen survivors' generator rows."""
+        cached = self._decode_cache.get(chosen)
+        if cached is not None:
+            self._decode_cache.move_to_end(chosen)
+            PERF.bump("codec.decode_matrix_hits")
+            return cached
+        PERF.bump("codec.decode_matrix_misses")
+        from repro.erasure import matrix as gfm
+
+        matrix = gfm.invert(self._generator[list(chosen), :])
+        matrix.setflags(write=False)
+        self._decode_cache[chosen] = matrix
+        if len(self._decode_cache) > DECODE_CACHE_SIZE:
+            self._decode_cache.popitem(last=False)
+        return matrix
 
     # -- public API -----------------------------------------------------
     def encode(self, data_blocks: Sequence[bytes]) -> List[bytes]:
@@ -128,10 +157,7 @@ class ErasureCodec:
             )
         chosen = sorted(available)[: self.params.k]
         shards = self._stack([available[i] for i in chosen], expected=self.params.k)
-        from repro.erasure import matrix as gfm
-
-        decode_matrix = gfm.invert(self._generator[chosen, :])
-        data = self._apply(decode_matrix, shards)
+        data = self._apply(self._decode_matrix(tuple(chosen)), shards)
         blocks = [row.tobytes() for row in data]
         if original_lengths is not None:
             if len(original_lengths) != self.params.k:
@@ -199,7 +225,7 @@ class ReedSolomonCodec(ErasureCodec):
     scheme = "reed-solomon"
 
     def _build_generator(self, n: int, k: int) -> np.ndarray:
-        return reed_solomon.build_generator_matrix(n, k)
+        return reed_solomon.generator_matrix(n, k)
 
 
 class CauchyRSCodec(ErasureCodec):
@@ -208,7 +234,7 @@ class CauchyRSCodec(ErasureCodec):
     scheme = "cauchy-rs"
 
     def _build_generator(self, n: int, k: int) -> np.ndarray:
-        return cauchy.build_generator_matrix(n, k)
+        return cauchy.generator_matrix(n, k)
 
 
 _SCHEMES = {

@@ -5,6 +5,15 @@ The field is constructed over the AES/Rijndael-compatible primitive polynomial
 erasure-coding libraries (e.g. Jerasure, ISA-L).  Single-element operations
 work on Python ints; bulk operations accept numpy ``uint8`` arrays and use
 precomputed log/antilog tables.
+
+Bulk kernels come in two generations.  The log/antilog path
+(:meth:`GF256.addmul_array`) masks out zeros and gathers through two tables;
+the full 256x256 multiplication table (:meth:`GF256.mul_table`,
+:meth:`GF256.mul_bulk`) trades 64 KiB of memory for a single ``np.take``
+gather per operation — the same trade Jerasure's "big table" variant makes —
+and is what the fused matrix kernels in :mod:`repro.erasure.matrix` build
+on.  Bulk calls report counted work ("gf.kernel_calls", "gf.symbol_mults")
+into :data:`repro.sim.metrics.PERF` for the benchmark harness.
 """
 
 from __future__ import annotations
@@ -12,6 +21,8 @@ from __future__ import annotations
 from typing import Iterable, Union
 
 import numpy as np
+
+from repro.sim.metrics import PERF
 
 #: Primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (decimal 285).
 PRIMITIVE_POLY = 0x11D
@@ -40,6 +51,20 @@ def _build_tables():
 
 
 _EXP, _LOG = _build_tables()
+
+
+def _build_mul_table() -> np.ndarray:
+    """The full 256x256 product table ``T[a, b] = a * b`` over GF(2^8)."""
+    logs = _LOG[np.arange(256)]
+    table = _EXP[logs[:, None] + logs[None, :]].astype(np.uint8)
+    # log[0] is a placeholder; zero annihilates, so fix row and column 0.
+    table[0, :] = 0
+    table[:, 0] = 0
+    table.setflags(write=False)
+    return table
+
+
+_MUL_TABLE = _build_mul_table()
 
 
 class GF256:
@@ -110,8 +135,21 @@ class GF256:
         return int(_EXP[(_LOG[a] * exponent) % GROUP_ORDER])
 
     @staticmethod
+    def mul_table() -> np.ndarray:
+        """The full 256x256 multiplication table (read-only).
+
+        ``mul_table()[a, b] == mul(a, b)`` for every pair of field elements;
+        batched kernels gather rows of this table instead of masking through
+        the log/antilog pair.
+        """
+        return _MUL_TABLE
+
+    @staticmethod
     def mul_array(scalar: int, data: np.ndarray) -> np.ndarray:
         """Multiply every byte of ``data`` by ``scalar`` (vectorised).
+
+        One ``np.take`` gather through the scalar's row of the 256x256
+        table; zero rows make the old zero-masking unnecessary.
 
         Args:
             scalar: Field element in [0, 255].
@@ -123,22 +161,40 @@ class GF256:
         if not 0 <= scalar < 256:
             raise ValueError(f"scalar {scalar} outside GF(2^8)")
         data = np.asarray(data, dtype=np.uint8)
+        PERF.bump("gf.kernel_calls")
+        PERF.bump("gf.symbol_mults", data.size)
         if scalar == 0:
             return np.zeros_like(data)
         if scalar == 1:
             return data.copy()
-        log_s = _LOG[scalar]
-        out = np.zeros(data.shape, dtype=np.uint8)
-        nonzero = data != 0
-        out[nonzero] = _EXP[log_s + _LOG[data[nonzero]]].astype(np.uint8)
+        return np.take(_MUL_TABLE[scalar], data)
+
+    @staticmethod
+    def mul_bulk(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise product of two byte arrays in one table gather.
+
+        Args:
+            a: ``uint8`` array (or scalar) of field elements.
+            b: ``uint8`` array (or scalar); broadcast against ``a``.
+
+        Returns:
+            ``uint8`` array of the broadcast shape with ``out = a * b``.
+        """
+        a = np.asarray(a, dtype=np.uint8)
+        b = np.asarray(b, dtype=np.uint8)
+        out = _MUL_TABLE[a, b]
+        PERF.bump("gf.kernel_calls")
+        PERF.bump("gf.symbol_mults", out.size)
         return out
 
     @staticmethod
     def addmul_array(acc: np.ndarray, scalar: int, data: np.ndarray) -> None:
-        """In-place ``acc ^= scalar * data`` — the inner loop of encoding."""
+        """In-place ``acc ^= scalar * data`` — the scalar-path inner loop."""
         if scalar == 0:
             return
         if scalar == 1:
+            PERF.bump("gf.kernel_calls")
+            PERF.bump("gf.symbol_mults", np.asarray(data).size)
             np.bitwise_xor(acc, data, out=acc)
             return
         np.bitwise_xor(acc, GF256.mul_array(scalar, data), out=acc)

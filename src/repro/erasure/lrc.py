@@ -17,6 +17,7 @@ patterns up to ``g + 1`` erasures; LRCs are not MDS).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -24,7 +25,8 @@ import numpy as np
 
 from repro.erasure import matrix as gfm
 from repro.erasure import reed_solomon
-from repro.erasure.codec import ErasureCodec
+from repro.erasure.codec import DECODE_CACHE_SIZE, ErasureCodec
+from repro.sim.metrics import PERF
 
 
 @dataclass(frozen=True)
@@ -109,6 +111,15 @@ class LocalReconstructionCodec:
     def __init__(self, params: LRCParams) -> None:
         self.params = params
         self._generator = self._build_generator()
+        # Caches keyed by the survivor pattern: the invertible-subset search
+        # is combinatorial in the worst case and the k x k inversion is the
+        # decode hot spot, so both are LRU-memoised per erasure pattern.
+        self._subset_cache: "OrderedDict[Tuple[int, ...], Optional[Tuple[int, ...]]]" = (
+            OrderedDict()
+        )
+        self._decode_cache: "OrderedDict[Tuple[int, ...], np.ndarray]" = (
+            OrderedDict()
+        )
 
     def _build_generator(self) -> np.ndarray:
         p = self.params
@@ -154,15 +165,14 @@ class LocalReconstructionCodec:
         shards = ErasureCodec._stack(
             [available[i] for i in indices], expected=len(indices)
         )
-        subset = self._invertible_subset(indices)
+        subset = self._invertible_subset_cached(tuple(indices))
         if subset is None:
             raise ValueError(
                 "failure pattern is unrecoverable for this LRC "
                 f"(survivors: {indices})"
             )
         rows = [indices.index(i) for i in subset]
-        decode_matrix = gfm.invert(self._generator[subset, :])
-        data = gfm.apply_to_shards(decode_matrix, shards[rows, :])
+        data = gfm.apply_to_shards(self._decode_matrix(subset), shards[rows, :])
         return [row.tobytes() for row in data]
 
     def repair(
@@ -229,6 +239,37 @@ class LocalReconstructionCodec:
             return None  # global parity: needs a global decode
         members = p.group_members(group) + [p.local_parity_index(group)]
         return [i for i in members if i != lost_index]
+
+    def _invertible_subset_cached(
+        self, indices: Tuple[int, ...]
+    ) -> Optional[Tuple[int, ...]]:
+        """LRU-memoised :meth:`_invertible_subset` keyed by survivor set."""
+        if indices in self._subset_cache:
+            self._subset_cache.move_to_end(indices)
+            PERF.bump("lrc.subset_hits")
+            return self._subset_cache[indices]
+        PERF.bump("lrc.subset_misses")
+        subset = self._invertible_subset(list(indices))
+        result = None if subset is None else tuple(subset)
+        self._subset_cache[indices] = result
+        if len(self._subset_cache) > DECODE_CACHE_SIZE:
+            self._subset_cache.popitem(last=False)
+        return result
+
+    def _decode_matrix(self, subset: Tuple[int, ...]) -> np.ndarray:
+        """LRU-cached inverse of the chosen survivors' generator rows."""
+        cached = self._decode_cache.get(subset)
+        if cached is not None:
+            self._decode_cache.move_to_end(subset)
+            PERF.bump("lrc.decode_matrix_hits")
+            return cached
+        PERF.bump("lrc.decode_matrix_misses")
+        matrix = gfm.invert(self._generator[list(subset), :])
+        matrix.setflags(write=False)
+        self._decode_cache[subset] = matrix
+        if len(self._decode_cache) > DECODE_CACHE_SIZE:
+            self._decode_cache.popitem(last=False)
+        return matrix
 
     def _invertible_subset(self, indices: List[int]) -> Optional[List[int]]:
         """Find k available rows forming an invertible matrix."""

@@ -3,6 +3,14 @@
 Matrices are 2-D numpy ``uint8`` arrays interpreted element-wise as field
 elements.  Provides the multiply / invert / solve primitives that the
 Reed-Solomon and Cauchy codecs are built on.
+
+The hot kernel is :func:`apply_to_shards`, which encodes/decodes a whole
+stripe.  It is *fused*: one advanced-indexing gather through the 256x256
+multiplication table produces every (coefficient x shard-byte) product at
+once, and a single XOR-reduction folds them into the output rows — no
+Python-level loop over coefficients.  The historical per-coefficient path
+survives as :func:`apply_to_shards_scalar`, the differential-test oracle
+the batched kernel must match byte for byte.
 """
 
 from __future__ import annotations
@@ -12,6 +20,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.erasure.galois import GF256
+from repro.sim.metrics import PERF
+
+#: Cap on the (rows x coeffs x chunk) product tensor the fused kernel
+#: materialises at once; long shards are processed in column chunks.
+_FUSED_CHUNK_BYTES = 1 << 24
 
 
 class SingularMatrixError(ValueError):
@@ -37,12 +50,7 @@ def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     b = np.asarray(b, dtype=np.uint8)
     if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
         raise ValueError(f"incompatible shapes {a.shape} x {b.shape}")
-    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
-    for i in range(a.shape[0]):
-        row = out[i]
-        for j in range(a.shape[1]):
-            GF256.addmul_array(row, int(a[i, j]), b[j])
-    return out
+    return _fused_apply(a, b)
 
 
 def matvec(a: np.ndarray, x: Sequence[int]) -> np.ndarray:
@@ -51,12 +59,38 @@ def matvec(a: np.ndarray, x: Sequence[int]) -> np.ndarray:
     return matmul(a, column).reshape(-1)
 
 
+def _fused_apply(coeffs: np.ndarray, shards: np.ndarray) -> np.ndarray:
+    """The batched kernel behind :func:`apply_to_shards` and :func:`matmul`.
+
+    ``out[i, l] = XOR_j T[coeffs[i, j], shards[j, l]]`` computed as one
+    broadcast gather into an ``(r, m, L)`` product tensor followed by an
+    XOR-reduction over ``j`` — chunked over ``L`` to bound peak memory.
+    """
+    rows, m = coeffs.shape
+    length = shards.shape[1]
+    out = np.zeros((rows, length), dtype=np.uint8)
+    if length == 0 or m == 0:
+        return out
+    table = GF256.mul_table()
+    row_coeffs = coeffs[:, :, None]
+    chunk = max(1, _FUSED_CHUNK_BYTES // max(1, rows * m))
+    for start in range(0, length, chunk):
+        piece = shards[None, :, start : start + chunk]
+        products = table[row_coeffs, piece]
+        PERF.bump("gf.kernel_calls")
+        PERF.bump("gf.symbol_mults", products.size)
+        np.bitwise_xor.reduce(products, axis=1, out=out[:, start : start + chunk])
+    return out
+
+
 def apply_to_shards(coeffs: np.ndarray, shards: np.ndarray) -> np.ndarray:
-    """Apply a coefficient matrix to a stack of byte shards.
+    """Apply a coefficient matrix to a stack of byte shards (fused kernel).
 
     This is the workhorse of encoding/decoding: given ``m`` input shards of
     ``L`` bytes each (an ``(m, L)`` uint8 array) and an ``(r, m)`` coefficient
-    matrix, produce ``r`` output shards.
+    matrix, produce ``r`` output shards.  The whole stripe is encoded in one
+    vectorised pass; see :func:`apply_to_shards_scalar` for the historical
+    per-coefficient loop (retained as the differential-test oracle).
 
     Args:
         coeffs: ``(r, m)`` coefficient matrix.
@@ -64,6 +98,23 @@ def apply_to_shards(coeffs: np.ndarray, shards: np.ndarray) -> np.ndarray:
 
     Returns:
         ``(r, L)`` array, one row per output shard.
+    """
+    coeffs = np.asarray(coeffs, dtype=np.uint8)
+    shards = np.asarray(shards, dtype=np.uint8)
+    if shards.ndim != 2 or coeffs.ndim != 2 or coeffs.shape[1] != shards.shape[0]:
+        raise ValueError(
+            f"incompatible shapes: coeffs {coeffs.shape}, shards {shards.shape}"
+        )
+    return _fused_apply(coeffs, shards)
+
+
+def apply_to_shards_scalar(coeffs: np.ndarray, shards: np.ndarray) -> np.ndarray:
+    """Reference implementation of :func:`apply_to_shards`.
+
+    One Python-level ``addmul`` per (row, coefficient) pair — the code path
+    every shipped release used before the fused kernel.  The property-based
+    differential tests assert the fused kernel matches this byte for byte;
+    it is not used on any production path.
     """
     coeffs = np.asarray(coeffs, dtype=np.uint8)
     shards = np.asarray(shards, dtype=np.uint8)

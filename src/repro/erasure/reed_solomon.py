@@ -11,15 +11,21 @@ blocks intact.
 
 from __future__ import annotations
 
-from typing import Sequence
+from functools import lru_cache
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from repro.erasure import matrix as gfm
 
 
-def build_generator_matrix(n: int, k: int) -> np.ndarray:
-    """The ``n x k`` systematic generator matrix for an (n, k) RS code.
+@lru_cache(maxsize=64)
+def generator_matrix(n: int, k: int) -> np.ndarray:
+    """The cached, **read-only** systematic generator for an (n, k) RS code.
+
+    Building a generator costs a Vandermonde construction plus a ``k x k``
+    inversion, so the result is memoised per ``(n, k)`` and shared; callers
+    that need to mutate it must copy (:func:`build_generator_matrix` does).
 
     The first ``k`` rows form the identity; the remaining ``n - k`` rows are
     the parity coefficients.
@@ -37,12 +43,34 @@ def build_generator_matrix(n: int, k: int) -> np.ndarray:
     # Guard against arithmetic mistakes: the top must now be the identity.
     if not np.array_equal(generator[:k, :], gfm.identity(k)):
         raise AssertionError("generator matrix is not systematic")
+    generator.setflags(write=False)
     return generator
+
+
+def build_generator_matrix(n: int, k: int) -> np.ndarray:
+    """A fresh, writable copy of the ``n x k`` systematic generator matrix."""
+    return generator_matrix(n, k).copy()
+
+
+@lru_cache(maxsize=256)
+def decode_matrix(n: int, k: int, indices: Tuple[int, ...]) -> np.ndarray:
+    """Cached, read-only inverse of the survivors' generator rows.
+
+    Keyed by ``(n, k, erasure pattern)``: repairing many stripes that lost
+    the same shard set (the common case during a rack outage) inverts the
+    ``k x k`` system once.
+    """
+    return _freeze(gfm.invert(generator_matrix(n, k)[list(indices), :]))
+
+
+def _freeze(matrix: np.ndarray) -> np.ndarray:
+    matrix.setflags(write=False)
+    return matrix
 
 
 def parity_matrix(n: int, k: int) -> np.ndarray:
     """Just the ``(n - k) x k`` parity rows of the generator matrix."""
-    return build_generator_matrix(n, k)[k:, :]
+    return generator_matrix(n, k)[k:, :]
 
 
 def encode(data_shards: np.ndarray, n: int, k: int) -> np.ndarray:
@@ -94,9 +122,9 @@ def decode(
         raise ValueError(
             f"expected {k} shard rows, got shape {available_shards.shape}"
         )
-    generator = build_generator_matrix(n, k)
-    decode_matrix = gfm.invert(generator[indices, :])
-    return gfm.apply_to_shards(decode_matrix, available_shards)
+    return gfm.apply_to_shards(
+        decode_matrix(n, k, tuple(indices)), available_shards
+    )
 
 
 def reconstruct_shard(
@@ -114,5 +142,5 @@ def reconstruct_shard(
     data = decode(available_shards, available_indices, n, k)
     if target_index < k:
         return data[target_index].copy()
-    generator = build_generator_matrix(n, k)
+    generator = generator_matrix(n, k)
     return gfm.apply_to_shards(generator[target_index : target_index + 1, :], data)[0]

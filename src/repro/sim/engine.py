@@ -23,6 +23,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from repro.sim.metrics import PERF
+
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (double triggers, yielding non-events, ...)."""
@@ -327,6 +329,7 @@ class Simulator:
                 return
             heapq.heappop(self._heap)
             self._now = time
+            PERF.bump("sim.events")
             event._process()  # noqa: SLF001 - kernel internal
         if until is not None:
             self._now = max(self._now, until)
@@ -337,6 +340,7 @@ class Simulator:
             return False
         time, __, event = heapq.heappop(self._heap)
         self._now = time
+        PERF.bump("sim.events")
         event._process()  # noqa: SLF001 - kernel internal
         return True
 

@@ -3,13 +3,21 @@
 Small, dependency-free statistics helpers used by every experiment driver:
 response-time distributions, throughput meters, time series (for the
 "encoded stripes vs time" plots), and plain counters.
+
+Also hosts the process-wide :class:`PerfCounters` registry that the hot
+paths (Dinic's max-flow, the GF(2^8) kernels, the simulation kernel, EAR's
+redraw loop) report *counted work* into.  Counted work — level-graph
+builds, augmentations, GF multiplies, processed events — is deterministic
+for a given seed, so the benchmark harness (:mod:`repro.bench`) and the
+perf-regression tests can assert on it without wall-clock flakiness.
 """
 
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 class Counter:
@@ -29,6 +37,86 @@ class Counter:
     def as_dict(self) -> Dict[str, float]:
         """A snapshot of all counters."""
         return dict(self._counts)
+
+
+class PerfCounters:
+    """Process-wide additive counters for *counted work* on hot paths.
+
+    Instrumented code calls :meth:`bump` with a dotted counter name
+    (``"maxflow.bfs_builds"``, ``"gf.symbol_mults"``, ...).  Consumers take
+    a :meth:`snapshot` before and after a region — or use the
+    :func:`measure_ops` context manager — and read the delta.  Counts are
+    pure functions of the work performed, never of the clock, so they are
+    byte-reproducible across machines for a fixed seed.
+
+    A single module-level instance, :data:`PERF`, is shared by the whole
+    process; ``bump`` is a dict increment, cheap enough to leave enabled
+    permanently.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        counts = self._counts
+        counts[name] = counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 when never bumped)."""
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """An immutable-by-copy view of every counter."""
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        """Zero every counter (test/bench isolation)."""
+        self._counts.clear()
+
+    @staticmethod
+    def delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+        """Per-counter difference ``after - before``, dropping zero rows."""
+        names = sorted(set(before) | set(after))
+        out = {
+            name: after.get(name, 0) - before.get(name, 0) for name in names
+        }
+        return {name: value for name, value in out.items() if value}
+
+
+#: The process-wide counter registry used by every instrumented hot path.
+PERF = PerfCounters()
+
+
+class OpsDelta:
+    """Mutable holder filled in when a :func:`measure_ops` block exits."""
+
+    def __init__(self) -> None:
+        self.ops: Dict[str, int] = {}
+
+    def get(self, name: str) -> int:
+        """Counted work for ``name`` inside the measured block."""
+        return self.ops.get(name, 0)
+
+
+@contextmanager
+def measure_ops() -> Iterator[OpsDelta]:
+    """Measure the counted work performed inside a ``with`` block.
+
+    Example:
+        >>> with measure_ops() as measured:
+        ...     PERF.bump("example.widgets", 3)
+        >>> measured.get("example.widgets")
+        3
+    """
+    holder = OpsDelta()
+    before = PERF.snapshot()
+    try:
+        yield holder
+    finally:
+        holder.ops = PerfCounters.delta(before, PERF.snapshot())
 
 
 class ResponseTimeStats:

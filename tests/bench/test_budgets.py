@@ -1,0 +1,127 @@
+"""Counted-work budgets: deterministic perf regression tests.
+
+Wall time is machine noise; these tests pin the *operation counts* the
+instrumented hot paths report into :data:`repro.sim.metrics.PERF`.  If a
+change makes encode do more GF multiplies per byte, or the EAR redraw loop
+re-solve from scratch again, these fail on any machine, deterministically.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.ear import EncodingAwareReplication
+from repro.erasure import matrix as gfm
+from repro.erasure.codec import CodeParams, make_codec
+from repro.sim.engine import Simulator
+from repro.sim.metrics import measure_ops
+
+
+class TestGaloisBudgets:
+    @pytest.mark.parametrize("n,k,size", [(14, 10, 4096), (9, 6, 1000)])
+    def test_symbol_mults_per_encode_is_exactly_coeffs_times_bytes(
+        self, n, k, size
+    ):
+        codec = make_codec(n, k)
+        r = random.Random(0)
+        data = [bytes(r.randrange(256) for __ in range(size)) for __ in range(k)]
+        with measure_ops() as measured:
+            codec.encode(data)
+        # One table lookup per (parity row, data row, byte) — the fused
+        # kernel must not do more work than the math requires.
+        budget = (n - k) * k * size
+        assert 0 < measured.get("gf.symbol_mults") <= budget
+
+    def test_kernel_calls_at_least_5x_fewer_than_scalar(self):
+        n, k, size = 14, 10, 4096
+        codec = make_codec(n, k)
+        r = random.Random(1)
+        data = [bytes(r.randrange(256) for __ in range(size)) for __ in range(k)]
+        shards = codec._stack(data, expected=k)
+        with measure_ops() as batched:
+            parity = codec.encode(data)
+        with measure_ops() as scalar:
+            reference = gfm.apply_to_shards_scalar(codec._generator[k:, :], shards)
+        assert [row.tobytes() for row in reference] == parity
+        assert (
+            scalar.get("gf.kernel_calls")
+            >= 5 * batched.get("gf.kernel_calls")
+            > 0
+        )
+
+    def test_decode_matrix_cache_inverts_once_per_pattern(self):
+        codec = make_codec(14, 10)
+        r = random.Random(2)
+        alive = sorted(r.sample(range(14), 10))
+        repeats = 6
+        with measure_ops() as measured:
+            for __ in range(repeats):
+                data = [
+                    bytes(r.randrange(256) for __ in range(512))
+                    for __ in range(10)
+                ]
+                stripe = data + codec.encode(data)
+                assert codec.decode({i: stripe[i] for i in alive}) == data
+        assert measured.get("codec.decode_matrix_misses") == 1
+        assert measured.get("codec.decode_matrix_hits") == repeats - 1
+
+
+class TestMaxflowBudgets:
+    def _place(self, use_incremental, seed=5, stripes=3):
+        topology = ClusterTopology.large_scale()
+        code = CodeParams(14, 10)
+        ear = EncodingAwareReplication(
+            topology,
+            code,
+            rng=random.Random(seed),
+            use_incremental=use_incremental,
+        )
+        with measure_ops() as measured:
+            decisions = [
+                ear.place_block(block_id, writer_node=0)
+                for block_id in range(stripes * code.k)
+            ]
+        return decisions, measured
+
+    def test_one_level_graph_build_per_redraw_attempt(self):
+        decisions, measured = self._place(use_incremental=True)
+        attempts = measured.get("ear.redraw_attempts")
+        assert attempts == sum(d.attempts for d in decisions)
+        # Incremental sessions: each attempt costs exactly one BFS —
+        # accepted attempts stop at limit=1, rejected ones fail on the
+        # first (and only) unreachable-sink BFS.
+        assert 0 < measured.get("maxflow.bfs_builds") <= attempts
+
+    def test_incremental_strictly_cheaper_than_fresh_baseline(self):
+        placed_inc, ops_inc = self._place(use_incremental=True)
+        placed_fresh, ops_fresh = self._place(use_incremental=False)
+        assert placed_inc == placed_fresh  # identical placements first
+        assert (
+            ops_inc.get("maxflow.bfs_builds")
+            < ops_fresh.get("maxflow.bfs_builds")
+        )
+        # Per placed stripe the incremental path must also win (3 stripes).
+        assert (
+            ops_inc.get("maxflow.bfs_builds") / 3
+            < ops_fresh.get("maxflow.bfs_builds") / 3
+        )
+
+
+class TestSimulatorBudget:
+    def test_event_count_matches_scheduled_timeouts(self):
+        sim = Simulator()
+        timeouts = 25
+
+        def ticker():
+            for __ in range(timeouts):
+                yield sim.timeout(1.0)
+
+        processes = 4
+        for __ in range(processes):
+            sim.process(ticker())
+        with measure_ops() as measured:
+            sim.run()
+        # Per process: one start event, one event per timeout fired, and
+        # one completion event when the generator is exhausted.
+        assert measured.get("sim.events") == processes * (timeouts + 2)

@@ -1,0 +1,134 @@
+"""The bench runner and CLI: smoke runs, determinism, failure capture,
+and figure-benchmark discovery."""
+
+import json
+import random
+
+import pytest
+
+from repro.bench.discover import _StubBenchmark, discover_figure_scenarios
+from repro.bench.runner import run_bench
+from repro.bench.scenarios import Scenario, builtin_scenarios
+from repro.bench.schema import validate_file
+from repro.cli import main
+
+
+def make_scenario(name, fn, group="micro"):
+    return Scenario(name=name, group=group, params={}, fn=fn)
+
+
+class TestRunner:
+    def test_smoke_run_writes_valid_report(self, tmp_path):
+        result = run_bench("unit", smoke=True, out_dir=str(tmp_path))
+        assert result.ok
+        assert result.path == tmp_path / "BENCH_unit.json"
+        report = validate_file(str(result.path))
+        assert report["tag"] == "unit"
+        assert report["smoke"] is True
+        # The acceptance bar: >= 10 scenarios with wall time AND ops.
+        assert len(report["scenarios"]) >= 10
+        with_ops = [s for s in report["scenarios"] if s["ops"]]
+        assert len(with_ops) >= 10
+        assert all(s["error"] is None for s in report["scenarios"])
+
+    def test_ops_are_deterministic_across_runs(self, tmp_path):
+        kwargs = dict(smoke=True, seed=9, name_filter="micro.rs_")
+        first = run_bench("a", out_dir=str(tmp_path), **kwargs)
+        second = run_bench("b", out_dir=str(tmp_path), **kwargs)
+        ops_a = [s["ops"] for s in first.report["scenarios"]]
+        ops_b = [s["ops"] for s in second.report["scenarios"]]
+        assert ops_a and ops_a == ops_b
+
+    def test_failures_recorded_not_raised(self, tmp_path):
+        def boom(rng):
+            raise RuntimeError("expected failure")
+
+        scenarios = [
+            make_scenario("micro.ok", lambda rng: {"x": 1.0}),
+            make_scenario("micro.boom", boom),
+        ]
+        result = run_bench("f", out_dir=str(tmp_path), scenarios=scenarios)
+        assert result.failures == ["micro.boom"]
+        assert not result.ok
+        by_name = {s["name"]: s for s in result.report["scenarios"]}
+        assert by_name["micro.ok"]["error"] is None
+        assert by_name["micro.boom"]["error"] == "RuntimeError: expected failure"
+        validate_file(str(result.path))
+
+    def test_name_filter(self, tmp_path):
+        result = run_bench(
+            "flt", smoke=True, out_dir=str(tmp_path), name_filter="gf_mul"
+        )
+        names = [s["name"] for s in result.report["scenarios"]]
+        assert names and all("gf_mul" in n for n in names)
+
+    def test_scenario_rngs_are_independent_of_order(self, tmp_path):
+        seen = {}
+
+        def record(name):
+            def fn(rng):
+                seen.setdefault(name, []).append(rng.randrange(2**30))
+                return None
+
+            return fn
+
+        forward = [make_scenario("micro.a", record("a")),
+                   make_scenario("micro.b", record("b"))]
+        run_bench("o1", out_dir=str(tmp_path), scenarios=forward)
+        run_bench("o2", out_dir=str(tmp_path), scenarios=forward[::-1])
+        assert seen["a"][0] == seen["a"][1]
+        assert seen["b"][0] == seen["b"][1]
+
+
+class TestDiscovery:
+    def test_stub_benchmark_runs_function_once(self):
+        calls = []
+        stub = _StubBenchmark()
+        assert stub(lambda: calls.append(1) or "r") == "r"
+        assert stub.pedantic(lambda: calls.append(1) or "p",
+                             rounds=1, iterations=1, warmup_rounds=0) == "p"
+        assert calls == [1, 1]
+
+    def test_discovers_real_bench_modules(self):
+        scenarios, skipped = discover_figure_scenarios()
+        names = [s.name for s in scenarios]
+        assert len(names) == len(set(names))
+        assert any("fig3" in n for n in names)
+        assert all(s.group == "figure" for s in scenarios)
+        assert skipped == []  # every bench test takes only `benchmark`
+
+    def test_missing_bench_dir_is_empty(self, tmp_path):
+        scenarios, skipped = discover_figure_scenarios(tmp_path / "nope")
+        assert scenarios == [] and skipped == []
+
+
+class TestBenchCli:
+    def test_cli_smoke(self, tmp_path, capsys):
+        code = main([
+            "bench", "--smoke", "--tag", "cli", "--out-dir", str(tmp_path),
+        ])
+        assert code == 0
+        report = validate_file(str(tmp_path / "BENCH_cli.json"))
+        assert report["smoke"] is True
+        out = capsys.readouterr().out
+        assert "wrote" in out and "BENCH_cli.json" in out
+
+    def test_cli_help_lists_bench(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "--help"])
+        out = capsys.readouterr().out
+        assert "--smoke" in out and "--tag" in out
+
+
+class TestBuiltinRegistry:
+    def test_names_unique_and_grouped(self):
+        for smoke in (True, False):
+            scenarios = builtin_scenarios(smoke)
+            names = [s.name for s in scenarios]
+            assert len(names) == len(set(names))
+            assert len(names) >= 10
+            assert all(s.group == "micro" for s in scenarios)
+
+    def test_scenarios_accept_plain_random(self):
+        scenario = builtin_scenarios(True)[0]
+        assert scenario.fn(random.Random(0)) is not None

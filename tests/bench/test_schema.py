@@ -1,0 +1,84 @@
+"""The BENCH report schema validator: accepts the runner's output, rejects
+every class of malformed document."""
+
+import pytest
+
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    BenchSchemaError,
+    schema_errors,
+    validate_report,
+)
+
+
+def good_report():
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tag": "t",
+        "seed": 0,
+        "smoke": True,
+        "scenarios": [
+            {
+                "name": "micro.example",
+                "group": "micro",
+                "params": {"size": 8},
+                "wall_time_s": 0.25,
+                "ops": {"gf.symbol_mults": 64},
+                "metrics": {"checksum": 3.0},
+                "error": None,
+            },
+            {
+                "name": "figure.example",
+                "group": "figure",
+                "params": {},
+                "wall_time_s": 0.0,
+                "ops": {},
+                "metrics": {},
+                "error": "ValueError: boom",
+            },
+        ],
+    }
+
+
+def test_good_report_validates():
+    validate_report(good_report())
+
+
+def test_empty_scenarios_allowed():
+    report = good_report()
+    report["scenarios"] = []
+    validate_report(report)
+
+
+@pytest.mark.parametrize(
+    "mutate,needle",
+    [
+        (lambda r: r.update(schema_version=2), "schema_version"),
+        (lambda r: r.update(tag=""), "tag"),
+        (lambda r: r.update(seed="0"), "seed"),
+        (lambda r: r.update(seed=True), "seed"),
+        (lambda r: r.update(smoke="no"), "smoke"),
+        (lambda r: r.update(scenarios="none"), "scenarios"),
+        (lambda r: r["scenarios"][0].update(name=""), "name"),
+        (lambda r: r["scenarios"][1].update(name="micro.example"), "duplicated"),
+        (lambda r: r["scenarios"][0].update(group="macro"), "group"),
+        (lambda r: r["scenarios"][0].update(params=[]), "params"),
+        (lambda r: r["scenarios"][0].update(wall_time_s=-1), "wall_time_s"),
+        (lambda r: r["scenarios"][0].update(wall_time_s="fast"), "wall_time_s"),
+        (lambda r: r["scenarios"][0].update(ops={"x": "many"}), "ops"),
+        (lambda r: r["scenarios"][0].update(metrics={"x": None}), "metrics"),
+        (lambda r: r["scenarios"][0].update(error=42), "error"),
+    ],
+)
+def test_violations_are_reported(mutate, needle):
+    report = good_report()
+    mutate(report)
+    errors = schema_errors(report)
+    assert errors and any(needle in e for e in errors)
+    with pytest.raises(BenchSchemaError) as excinfo:
+        validate_report(report)
+    assert excinfo.value.errors == errors
+
+
+def test_non_dict_report():
+    assert schema_errors([]) == ["report must be an object, got list"]

@@ -76,6 +76,25 @@ class TestFlowExtraction:
         assert g.flow_on("s", "a") == 1
         assert g.flow_on("a", "t") == 1
 
+    def test_flow_on_sums_parallel_edges(self):
+        # Regression: with two parallel (u, v) edges both carrying flow,
+        # flow_on must report their sum, not just the first edge's flow.
+        g = Dinic()
+        g.add_edge("s", "a", 1)
+        g.add_edge("s", "a", 1)
+        g.add_edge("a", "t", 2)
+        assert g.max_flow("s", "t") == 2
+        assert g.flow_on("s", "a") == 2
+        assert g.flow_on("a", "t") == 2
+
+    def test_flow_on_parallel_edges_partial_use(self):
+        g = Dinic()
+        g.add_edge("s", "a", 3)
+        g.add_edge("s", "a", 3)
+        g.add_edge("a", "t", 4)
+        assert g.max_flow("s", "t") == 4
+        assert g.flow_on("s", "a") == 4
+
     def test_flow_on_unknown_edge(self):
         g = Dinic()
         g.add_edge("s", "t", 1)
