@@ -343,6 +343,96 @@ def _ear_identity(stripes: int):
 
 
 # ----------------------------------------------------------------------
+# Metadata journal
+# ----------------------------------------------------------------------
+def _journal_append(records: int, segment_records: int):
+    def run(rng: random.Random) -> Dict[str, float]:
+        import os
+        import tempfile
+
+        from repro.journal import MetadataJournal
+        from repro.journal.records import AddBlock
+
+        with tempfile.TemporaryDirectory() as directory:
+            journal = MetadataJournal(
+                directory, segment_records=segment_records
+            )
+            with measure_ops() as measured:
+                for index in range(records):
+                    journal.append(AddBlock(
+                        block_id=index,
+                        size=1 + rng.randrange(1 << 20),
+                        kind="data",
+                        stripe_id=None,
+                    ))
+                journal.flush()
+            journal.close()
+            segment_bytes = sum(
+                os.path.getsize(os.path.join(directory, name))
+                for name in os.listdir(directory)
+            )
+        appended = measured.get("journal.records_appended")
+        return {
+            "records": float(appended),
+            "bytes_per_record": float(segment_bytes) / max(1.0, appended),
+            "segments_rotated": float(
+                measured.get("journal.segments_rotated")
+            ),
+        }
+
+    return run
+
+
+def _journal_replay():
+    def run(rng: random.Random) -> Dict[str, float]:
+        import tempfile
+
+        from repro.faults.crash import run_crash_workload
+        from repro.journal import recover
+
+        with tempfile.TemporaryDirectory() as directory:
+            golden = run_crash_workload(directory, seed=rng.randrange(2**31))
+            fingerprint = golden.journal.current_fingerprint()
+            golden.journal.close()
+            with measure_ops() as measured:
+                recovered = recover(
+                    directory, golden.topology, k=golden.code.k
+                )
+            assert recovered.fingerprint() == fingerprint
+        return {
+            "log_records": float(golden.last_seq),
+            "replayed_ops": float(measured.get("journal.replayed_ops")),
+        }
+
+    return run
+
+
+def _journal_checkpoint():
+    def run(rng: random.Random) -> Dict[str, float]:
+        import os
+        import tempfile
+
+        from repro.faults.crash import run_crash_workload
+        from repro.journal.wal import list_segments
+
+        with tempfile.TemporaryDirectory() as directory:
+            golden = run_crash_workload(directory, seed=rng.randrange(2**31))
+            segments_before = len(list_segments(directory))
+            with measure_ops() as measured:
+                path = golden.journal.checkpoint(prune=True)
+            checkpoint_bytes = os.path.getsize(path)
+            segments_after = len(list_segments(directory))
+            golden.journal.close()
+        return {
+            "checkpoint_bytes": float(checkpoint_bytes),
+            "segments_pruned": float(segments_before - segments_after),
+            "checkpoints": float(measured.get("journal.checkpoints")),
+        }
+
+    return run
+
+
+# ----------------------------------------------------------------------
 # Simulation kernel
 # ----------------------------------------------------------------------
 def _sim_events(processes: int, timeouts: int):
@@ -377,6 +467,7 @@ def builtin_scenarios(smoke: bool = False) -> List[Scenario]:
     ear_stripes = 2 if smoke else 12
     processes = 20 if smoke else 100
     timeouts = 50 if smoke else 500
+    journal_records = 200 if smoke else 2000
 
     def scenario(name: str, params: Dict[str, object], fn) -> Scenario:
         return Scenario(name=f"micro.{name}", group="micro", params=params, fn=fn)
@@ -457,5 +548,20 @@ def builtin_scenarios(smoke: bool = False) -> List[Scenario]:
             "sim_event_throughput",
             {"processes": processes, "timeouts": timeouts},
             _sim_events(processes, timeouts),
+        ),
+        scenario(
+            "journal_append_throughput",
+            {"records": journal_records, "segment_records": 256},
+            _journal_append(journal_records, 256),
+        ),
+        scenario(
+            "journal_replay",
+            {"workload": "crash-drill"},
+            _journal_replay(),
+        ),
+        scenario(
+            "journal_checkpoint",
+            {"workload": "crash-drill", "prune": True},
+            _journal_checkpoint(),
         ),
     ]

@@ -253,6 +253,13 @@ def cmd_bench(args) -> int:
     return run(args)
 
 
+def cmd_journal(args) -> int:
+    """Inspect and verify write-ahead metadata journals."""
+    from repro.journal.cli import cmd_journal as run
+
+    return run(args)
+
+
 def cmd_fig14(args) -> None:
     """Figure 14: storage load balance."""
     from repro.experiments.loadbalance import storage_balance
@@ -351,6 +358,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(p)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("journal", help=cmd_journal.__doc__)
+    from repro.journal.cli import add_journal_arguments
+
+    add_journal_arguments(p)
+    p.set_defaults(func=cmd_journal)
 
     p = sub.add_parser("fig14", help=cmd_fig14.__doc__)
     p.add_argument("--blocks", type=int, default=10_000)

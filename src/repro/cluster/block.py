@@ -10,11 +10,20 @@ accounting, etc.).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.topology import ClusterTopology, NodeId, RackId
+from repro.journal.records import (
+    AddBlock,
+    AssignStripe,
+    ClearCorrupted,
+    DeleteReplica,
+    MarkCorrupted,
+    ParityAdd,
+    PlaceReplica,
+    Relocate,
+)
 
 BlockId = int
 
@@ -77,21 +86,33 @@ class BlockStore:
     Raises:
         ValueError: On attempts to violate structural invariants, e.g.
             placing two replicas of one block on the same node.
+
+    When a :class:`~repro.journal.journal.MetadataJournal` is attached
+    (``self.journal``), every mutator appends its typed record *before*
+    touching in-memory state — the write-ahead invariant the recovery
+    path relies on.  The ``restore_*`` / ``resume_ids`` entry points are
+    for recovery and checkpoint loading only and never journal.
     """
 
     def __init__(self, topology: ClusterTopology) -> None:
         self.topology = topology
+        self.journal = None
         self._blocks: Dict[BlockId, Block] = {}
         self._replicas: Dict[BlockId, List[Replica]] = {}
         self._node_blocks: Dict[NodeId, Set[BlockId]] = {
             node_id: set() for node_id in topology.node_ids()
         }
-        self._id_counter = itertools.count()
+        self._next_id = 0
         self._corrupted: Set[Tuple[BlockId, NodeId]] = set()
 
     # ------------------------------------------------------------------
     # Block lifecycle
     # ------------------------------------------------------------------
+    @property
+    def next_block_id(self) -> BlockId:
+        """The id the next created block will receive."""
+        return self._next_id
+
     def create_block(
         self,
         size: int,
@@ -101,14 +122,64 @@ class BlockStore:
         """Allocate a fresh block id and register the block."""
         if size <= 0:
             raise ValueError("block size must be positive")
-        block = Block(next(self._id_counter), size, kind, stripe_id)
+        block = Block(self._next_id, size, kind, stripe_id)
+        if self.journal is not None:
+            self.journal.append(AddBlock(
+                block_id=block.block_id, size=size, kind=kind,
+                stripe_id=stripe_id,
+            ))
+        self._next_id = block.block_id + 1
         self._blocks[block.block_id] = block
         self._replicas[block.block_id] = []
         return block
 
+    def add_parity_block(
+        self, size: int, stripe_id: int, node_id: NodeId
+    ) -> Block:
+        """Create a parity block already placed on ``node_id``.
+
+        Journals a single :class:`~repro.journal.records.ParityAdd`
+        (the commit bracket's interior record) instead of separate
+        add-block/place-replica records, then applies both steps.
+        """
+        if size <= 0:
+            raise ValueError("block size must be positive")
+        self.topology.node(node_id)
+        if self.journal is not None:
+            self.journal.append(ParityAdd(
+                stripe_id=stripe_id, block_id=self._next_id,
+                node_id=node_id, size=size,
+            ))
+        saved, self.journal = self.journal, None
+        try:
+            block = self.create_block(
+                size, kind=BlockKind.PARITY, stripe_id=stripe_id
+            )
+            self.add_replica(block.block_id, node_id, is_primary=True)
+        finally:
+            self.journal = saved
+        return block
+
+    def restore_block(self, block: Block) -> Block:
+        """Re-register a block with its original id (recovery only)."""
+        if block.block_id in self._blocks:
+            raise ValueError(f"block {block.block_id} already registered")
+        self._blocks[block.block_id] = block
+        self._replicas[block.block_id] = []
+        self._next_id = max(self._next_id, block.block_id + 1)
+        return block
+
+    def resume_ids(self, next_id: BlockId) -> None:
+        """Fast-forward the id counter (recovery/checkpoint load only)."""
+        self._next_id = max(self._next_id, next_id)
+
     def assign_stripe(self, block_id: BlockId, stripe_id: int) -> Block:
         """Bind a block to a stripe (done when the core rack seals k blocks)."""
         old = self._get_block(block_id)
+        if self.journal is not None and old.stripe_id != stripe_id:
+            self.journal.append(AssignStripe(
+                block_id=block_id, stripe_id=stripe_id
+            ))
         updated = Block(old.block_id, old.size, old.kind, stripe_id)
         self._blocks[block_id] = updated
         return updated
@@ -144,6 +215,10 @@ class BlockStore:
             raise ValueError(
                 f"node {node_id} already stores a replica of block {block_id}"
             )
+        if self.journal is not None:
+            self.journal.append(PlaceReplica(
+                block_id=block_id, node_id=node_id, is_primary=is_primary
+            ))
         replica = Replica(block_id, node_id, is_primary)
         self._replicas[block_id].append(replica)
         self._node_blocks[node_id].add(block_id)
@@ -165,6 +240,10 @@ class BlockStore:
         replicas = self._replicas[self._get_block(block_id).block_id]
         for index, replica in enumerate(replicas):
             if replica.node_id == node_id:
+                if self.journal is not None:
+                    self.journal.append(DeleteReplica(
+                        block_id=block_id, node_id=node_id
+                    ))
                 del replicas[index]
                 self._node_blocks[node_id].discard(block_id)
                 self._corrupted.discard((block_id, node_id))
@@ -184,9 +263,31 @@ class BlockStore:
                 self.remove_replica(block_id, other)
 
     def move_replica(self, block_id: BlockId, src: NodeId, dst: NodeId) -> None:
-        """Relocate one copy from ``src`` to ``dst`` (BlockMover behaviour)."""
-        self.remove_replica(block_id, src)
-        self.add_replica(block_id, dst)
+        """Relocate one copy from ``src`` to ``dst`` (BlockMover behaviour).
+
+        Journaled as one semantic :class:`~repro.journal.records.Relocate`
+        record; the remove/add sub-steps run with the journal detached.
+        """
+        nodes = self.replica_nodes(block_id)
+        if src not in nodes:
+            raise KeyError(
+                f"node {src} stores no replica of block {block_id}"
+            )
+        self.topology.node(dst)
+        if dst in nodes:
+            raise ValueError(
+                f"node {dst} already stores a replica of block {block_id}"
+            )
+        if self.journal is not None:
+            self.journal.append(Relocate(
+                block_id=block_id, src_node=src, dst_node=dst
+            ))
+        saved, self.journal = self.journal, None
+        try:
+            self.remove_replica(block_id, src)
+            self.add_replica(block_id, dst)
+        finally:
+            self.journal = saved
 
     # ------------------------------------------------------------------
     # Corruption (bit-rot) markers
@@ -205,10 +306,22 @@ class BlockStore:
             raise KeyError(
                 f"node {node_id} stores no replica of block {block_id}"
             )
+        if (block_id, node_id) in self._corrupted:
+            return
+        if self.journal is not None:
+            self.journal.append(MarkCorrupted(
+                block_id=block_id, node_id=node_id
+            ))
         self._corrupted.add((block_id, node_id))
 
     def clear_corrupted(self, block_id: BlockId, node_id: NodeId) -> None:
         """Unflag a replica (e.g. after it was rewritten from a good copy)."""
+        if (block_id, node_id) not in self._corrupted:
+            return
+        if self.journal is not None:
+            self.journal.append(ClearCorrupted(
+                block_id=block_id, node_id=node_id
+            ))
         self._corrupted.discard((block_id, node_id))
 
     def is_corrupted(self, block_id: BlockId, node_id: NodeId) -> bool:

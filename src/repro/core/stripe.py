@@ -9,12 +9,12 @@ RaidNode simply groups every ``k`` data blocks in metadata order.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cluster.block import BlockId
 from repro.cluster.topology import RackId
+from repro.journal.records import NewStripe, StripeAddBlock
 
 
 class StripeState:
@@ -105,11 +105,17 @@ class PreEncodingStore:
         if k < 1:
             raise ValueError("k must be positive")
         self.k = k
+        self.journal = None
         self._stripes: Dict[int, Stripe] = {}
-        self._ids = itertools.count()
+        self._next_id = 0
         self._block_to_stripe: Dict[BlockId, int] = {}
 
     # ------------------------------------------------------------------
+    @property
+    def next_stripe_id(self) -> int:
+        """The id the next opened stripe will receive."""
+        return self._next_id
+
     def new_stripe(
         self,
         core_rack: Optional[RackId] = None,
@@ -117,17 +123,58 @@ class PreEncodingStore:
     ) -> Stripe:
         """Open a fresh stripe."""
         stripe = Stripe(
-            stripe_id=next(self._ids),
+            stripe_id=self._next_id,
             k=self.k,
             core_rack=core_rack,
             target_racks=None if target_racks is None else tuple(target_racks),
         )
+        if self.journal is not None:
+            self.journal.append(NewStripe(
+                stripe_id=stripe.stripe_id,
+                k=self.k,
+                core_rack=core_rack,
+                target_racks=stripe.target_racks,
+            ))
+        self._next_id = stripe.stripe_id + 1
         self._stripes[stripe.stripe_id] = stripe
         return stripe
+
+    def restore_stripe(self, stripe: Stripe) -> Stripe:
+        """Re-register a stripe with its original id (recovery only)."""
+        if stripe.stripe_id in self._stripes:
+            raise ValueError(f"stripe {stripe.stripe_id} already registered")
+        self._stripes[stripe.stripe_id] = stripe
+        for block_id in stripe.block_ids:
+            self._block_to_stripe[block_id] = stripe.stripe_id
+        self._next_id = max(self._next_id, stripe.stripe_id + 1)
+        return stripe
+
+    def resume_ids(self, next_id: int) -> None:
+        """Fast-forward the id counter (recovery/checkpoint load only)."""
+        self._next_id = max(self._next_id, next_id)
 
     def add_block(self, stripe_id: int, block_id: BlockId, seal_when_full: bool = True) -> Stripe:
         """Add a block to a stripe; seal automatically when it reaches k."""
         stripe = self.stripe(stripe_id)
+        if self.journal is not None:
+            # Pre-validate so the record is journaled only for a
+            # mutation that will actually apply (write-ahead invariant).
+            if stripe.state != StripeState.OPEN:
+                raise ValueError(
+                    f"stripe {stripe_id} is {stripe.state}, not open"
+                )
+            if stripe.is_full():
+                raise ValueError(
+                    f"stripe {stripe_id} already holds k={stripe.k} blocks"
+                )
+            if block_id in stripe.block_ids:
+                raise ValueError(
+                    f"block {block_id} already in stripe {stripe_id}"
+                )
+            self.journal.append(StripeAddBlock(
+                stripe_id=stripe_id, block_id=block_id,
+                seal_when_full=seal_when_full,
+            ))
         stripe.add_block(block_id)
         self._block_to_stripe[block_id] = stripe_id
         if seal_when_full and stripe.is_full():

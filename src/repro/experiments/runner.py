@@ -95,6 +95,7 @@ def build_cluster(
     retry: Optional[RetryPolicy] = None,
     resilience: Optional[ResilienceMetrics] = None,
     max_task_attempts: Optional[int] = None,
+    journal=None,
 ) -> ClusterSetup:
     """Assemble a ready-to-run simulated cluster for one policy and seed.
 
@@ -103,6 +104,11 @@ def build_cluster(
     JobTracker schedules health-aware (skipping down endpoints, retrying
     crashed maps — 3 attempts unless ``max_task_attempts`` overrides).
     Without it the stack behaves exactly as before — fail-fast.
+
+    With a ``journal`` (a :class:`~repro.journal.journal.MetadataJournal`)
+    every NameNode-side metadata mutation is write-ahead logged and the
+    cluster can be rebuilt crash-consistently via
+    :func:`repro.journal.recovery.recover`.
     """
     rng = random.Random(seed)
     sim = Simulator()
@@ -111,7 +117,7 @@ def build_cluster(
         policy_name, topology, code, scheme, rng,
         ear_c=ear_c, ear_target_racks=ear_target_racks,
     )
-    namenode = NameNode(topology, policy, block_size=block_size)
+    namenode = NameNode(topology, policy, block_size=block_size, journal=journal)
     write_stats = ResponseTimeStats()
     client = CFSClient(sim, network, namenode, stats=write_stats)
     encode_meter = ThroughputMeter()

@@ -1,0 +1,377 @@
+"""Crash drills: seeded process-death injection + restart-from-journal.
+
+Extends the chaos layer to the one fault class PR 1 could not model: the
+NameNode process itself dying mid-commit.  A deterministic, synchronous
+metadata workload (:func:`run_crash_workload`) drives every journal
+record type — file creation, block allocation, corruption marks, node
+death, relocation, and full stripe-commit brackets — against a real
+:class:`~repro.journal.journal.MetadataJournal`.  The crash matrix
+(:func:`run_crash_matrix`) then re-runs that workload once per injected
+:class:`~repro.journal.crashpoints.CrashPoint` (each commit stage ×
+before/torn/after flush), recovers each crashed journal, and checks the
+differential contract:
+
+* the recovered ``state_fingerprint()`` equals the fingerprint the
+  golden (crash-free) run had at the same durable prefix — with
+  crashes *inside* a commit bracket mapping to the post-bracket state,
+  because recovery rolls open brackets forward;
+* no stripe is observably half-committed
+  (:func:`~repro.journal.recovery.verify_stripe_consistency`);
+* ``repro journal verify`` reports zero errors on the crashed log.
+
+Everything derives from one master seed; two matrix runs with the same
+seed produce identical reports.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.ear import EncodingAwareReplication
+from repro.erasure.codec import CodeParams
+from repro.hdfs.files import FileNamespace
+from repro.hdfs.namenode import NameNode
+from repro.journal.crashpoints import CRASH_PHASES, CrashPoint, SimulatedCrash
+from repro.journal.journal import MetadataJournal
+from repro.journal.recovery import recover, verify_stripe_consistency
+from repro.journal.verify import verify_journal
+from repro.journal.wal import scan_journal
+
+#: Stripe geometry of the drill cluster (n=6, k=4 — two parity blocks).
+DRILL_CODE = CodeParams(6, 4)
+#: Small segments so every drill exercises rotation.
+DRILL_SEGMENT_RECORDS = 64
+_DRILL_BLOCK_SIZE = 1 << 20
+
+
+def drill_topology() -> ClusterTopology:
+    """The fixed small cluster every crash drill runs on."""
+    return ClusterTopology(
+        nodes_per_rack=4,
+        num_racks=6,
+        intra_rack_bandwidth=1e9,
+        cross_rack_bandwidth=1e9,
+    )
+
+
+@dataclass
+class CrashWorkloadResult:
+    """One completed (crash-free) workload run and its artifacts."""
+
+    directory: str
+    seed: int
+    journal: MetadataJournal
+    namenode: NameNode
+    namespace: FileNamespace
+    topology: ClusterTopology
+    code: CodeParams
+    final_fingerprint: str
+    last_seq: int
+    brackets: List[Tuple[int, int]] = field(default_factory=list)
+
+
+def run_crash_workload(
+    directory: str,
+    seed: int,
+    crash_at: Optional[CrashPoint] = None,
+    track_fingerprints: bool = False,
+    checkpoint_midway: bool = False,
+) -> CrashWorkloadResult:
+    """Drive the deterministic metadata workload against a journal.
+
+    The op sequence is a pure function of ``seed``: a crashed re-run of
+    the same seed performs exactly the same mutations up to the armed
+    crash point, which is what makes the golden run's per-prefix
+    fingerprints valid expectations for every crashed run.
+
+    Raises:
+        SimulatedCrash: When ``crash_at`` fires (the journal directory
+            is left exactly as the dead process would leave it).
+    """
+    rng = random.Random(seed)
+    topology = drill_topology()
+    journal = MetadataJournal(
+        directory,
+        segment_records=DRILL_SEGMENT_RECORDS,
+        crash_at=crash_at,
+        track_fingerprints=track_fingerprints,
+    )
+    policy = EncodingAwareReplication(
+        topology, DRILL_CODE, rng=random.Random(rng.randrange(2**32))
+    )
+    namenode = NameNode(
+        topology, policy, block_size=_DRILL_BLOCK_SIZE, journal=journal
+    )
+    namespace = FileNamespace()
+    journal.attach(namespace=namespace)
+    planner = namenode.make_planner(
+        DRILL_CODE, rng=random.Random(rng.randrange(2**32))
+    )
+    writers = sorted(topology.node_ids())
+
+    # Phase 1: files + enough blocks to seal several stripes.
+    namespace.create("/drill/a")
+    namespace.create("/drill/b")
+    for index in range(8 * DRILL_CODE.k):
+        block, _decision = namenode.allocate_block(
+            writer_node=rng.choice(writers)
+        )
+        name = "/drill/a" if index % 2 == 0 else "/drill/b"
+        namespace.append_block(name, block.block_id, block.size)
+
+    # Phase 2: corruption on an open-stripe block, plus a node flap.
+    store = namenode.block_store
+    open_blocks = sorted(
+        b.block_id for b in store.blocks()
+        if not b.is_parity() and len(store.replica_nodes(b.block_id)) > 1
+    )
+    victim = rng.choice(open_blocks)
+    victim_node = rng.choice(sorted(store.replica_nodes(victim)))
+    store.mark_corrupted(victim, victim_node)
+    journal.node_dead(rng.choice(writers))
+    store.clear_corrupted(victim, victim_node)
+
+    if checkpoint_midway:
+        journal.checkpoint()
+
+    # Phase 3: encode every sealed stripe — the commit brackets.
+    for stripe in sorted(
+        namenode.sealed_stripes(), key=lambda s: s.stripe_id
+    ):
+        plan = planner.plan(stripe)
+        namenode.record_encoding(stripe, plan)
+
+    # Phase 4: post-encode churn — relocation, corruption, deletion.
+    encoded_blocks = sorted(
+        b.block_id for b in store.blocks()
+        if not b.is_parity() and len(store.replica_nodes(b.block_id)) == 1
+    )
+    if encoded_blocks:
+        mover = rng.choice(encoded_blocks)
+        src = store.replica_nodes(mover)[0]
+        free_nodes = [
+            n for n in writers if n not in store.replica_nodes(mover)
+        ]
+        store.move_replica(mover, src, rng.choice(free_nodes))
+    dead = sorted(journal.dead_nodes)
+    for node_id in dead:
+        journal.node_alive(node_id)
+    namespace.delete("/drill/b")
+    for _extra in range(2):
+        block, _decision = namenode.allocate_block(
+            writer_node=rng.choice(writers)
+        )
+        namespace.append_block("/drill/a", block.block_id, block.size)
+
+    journal.flush()
+    return CrashWorkloadResult(
+        directory=directory,
+        seed=seed,
+        journal=journal,
+        namenode=namenode,
+        namespace=namespace,
+        topology=topology,
+        code=DRILL_CODE,
+        final_fingerprint=journal.current_fingerprint(),
+        last_seq=journal.last_seq,
+        brackets=find_brackets(directory),
+    )
+
+
+def find_brackets(directory: str) -> List[Tuple[int, int]]:
+    """``(begin_seq, end_seq)`` of every commit bracket in a journal."""
+    opens: Dict[int, int] = {}
+    brackets: List[Tuple[int, int]] = []
+    for envelope in scan_journal(directory).envelopes:
+        seq = int(envelope["seq"])  # type: ignore[arg-type]
+        type_tag = envelope.get("type")
+        data = envelope.get("data") or {}
+        if type_tag == "begin_stripe_commit":
+            opens[int(data["stripe_id"])] = seq
+        elif type_tag == "end_stripe_commit":
+            begin = opens.pop(int(data["stripe_id"]), None)
+            if begin is not None:
+                brackets.append((begin, seq))
+    return sorted(brackets)
+
+
+def golden_fingerprints(golden: CrashWorkloadResult) -> Dict[int, str]:
+    """Per-prefix fingerprints of the golden run.
+
+    ``fps[s]`` is the state fingerprint *before* record ``s`` applied —
+    i.e. the state a recovery of durable prefix ``s - 1`` must
+    reproduce.  ``fps[last_seq + 1]`` is the final state.
+    """
+    fps = dict(golden.journal.fingerprints)
+    fps[golden.last_seq + 1] = golden.final_fingerprint
+    return fps
+
+
+def expected_fingerprint(
+    fps: Dict[int, str],
+    brackets: List[Tuple[int, int]],
+    durable_seq: int,
+) -> str:
+    """The fingerprint recovery must reproduce for a durable prefix.
+
+    Normally that is the golden state after applying records
+    ``1..durable_seq``.  When the prefix ends *inside* a commit bracket
+    ``[begin, end)``, recovery rolls the bracket forward, so the
+    expectation jumps to the golden post-bracket state.
+    """
+    target = durable_seq + 1
+    for begin, end in brackets:
+        if begin <= durable_seq < end:
+            target = end + 1
+            break
+    return fps[target]
+
+
+def commit_stage_points(
+    golden: CrashWorkloadResult,
+    phases: Tuple[str, ...] = CRASH_PHASES,
+) -> List[CrashPoint]:
+    """Every crash point the matrix injects for one golden run.
+
+    Covers each commit bracket at four stages — the intent record, the
+    first interior record (a ``parity_add``), a mid-bracket record (a
+    retention ``delete_replica``), and the commit record — plus three
+    non-bracket controls (an early record, a pre-encode record, and the
+    final record), each at every requested flush phase.
+    """
+    seqs: List[int] = [2]
+    if golden.brackets:
+        seqs.append(golden.brackets[0][0] - 1)
+    for begin, end in golden.brackets:
+        seqs.extend([begin, begin + 1, (begin + end) // 2, end])
+    seqs.append(golden.last_seq)
+    unique = sorted({s for s in seqs if 1 <= s <= golden.last_seq})
+    return [
+        CrashPoint(seq=seq, phase=phase)
+        for seq in unique
+        for phase in phases
+    ]
+
+
+@dataclass
+class CrashCaseResult:
+    """One injected crash, recovered and checked."""
+
+    point: CrashPoint
+    durable_seq: int
+    expected: str
+    recovered: str
+    fingerprint_match: bool
+    half_commit_problems: Tuple[str, ...]
+    verify_errors: Tuple[str, ...]
+    recovery_errors: Tuple[str, ...]
+    rolled_forward: Tuple[int, ...]
+
+    @property
+    def clean(self) -> bool:
+        """True when every differential and structural check passed."""
+        return (
+            self.fingerprint_match
+            and not self.half_commit_problems
+            and not self.verify_errors
+            and not self.recovery_errors
+        )
+
+
+@dataclass
+class CrashMatrixReport:
+    """Every crash case of one seed, plus the golden run's shape."""
+
+    seed: int
+    golden_fingerprint: str
+    golden_records: int
+    brackets: List[Tuple[int, int]]
+    cases: List[CrashCaseResult] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when every injected crash recovered consistently."""
+        return bool(self.cases) and all(case.clean for case in self.cases)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat printable snapshot (example/CI output source)."""
+        return {
+            "seed": self.seed,
+            "golden_records": self.golden_records,
+            "commit_brackets": len(self.brackets),
+            "crash_cases": len(self.cases),
+            "fingerprint_matches": sum(
+                1 for case in self.cases if case.fingerprint_match
+            ),
+            "rolled_forward_cases": sum(
+                1 for case in self.cases if case.rolled_forward
+            ),
+            "clean": self.clean,
+            "golden_fingerprint": self.golden_fingerprint[:16],
+        }
+
+
+def run_crash_matrix(
+    seed: int,
+    base_dir: str,
+    phases: Tuple[str, ...] = CRASH_PHASES,
+    checkpoint_midway: bool = False,
+) -> CrashMatrixReport:
+    """Golden run + one crashed run per commit-stage crash point.
+
+    ``base_dir`` receives one journal directory per run (``golden`` plus
+    ``case-NNN``), all of which ``repro journal verify`` must pass.
+    """
+    golden = run_crash_workload(
+        os.path.join(base_dir, "golden"),
+        seed,
+        track_fingerprints=True,
+        checkpoint_midway=checkpoint_midway,
+    )
+    golden.journal.close()
+    fps = golden_fingerprints(golden)
+    report = CrashMatrixReport(
+        seed=seed,
+        golden_fingerprint=golden.final_fingerprint,
+        golden_records=golden.last_seq,
+        brackets=list(golden.brackets),
+    )
+    for index, point in enumerate(commit_stage_points(golden, phases)):
+        case_dir = os.path.join(base_dir, f"case-{index:03d}")
+        crashed = False
+        try:
+            result = run_crash_workload(
+                case_dir, seed,
+                crash_at=point,
+                checkpoint_midway=checkpoint_midway,
+            )
+            result.journal.close()
+        except SimulatedCrash:
+            crashed = True
+        recovered = recover(case_dir, golden.topology, k=golden.code.k)
+        expected = expected_fingerprint(fps, golden.brackets, point.durable_seq)
+        actual = recovered.fingerprint()
+        verify_report = verify_journal(case_dir)
+        recovery_errors = list(recovered.stats.errors)
+        if not crashed:
+            recovery_errors.append(
+                f"crash point seq {point.seq} ({point.phase}) never fired"
+            )
+        report.cases.append(CrashCaseResult(
+            point=point,
+            durable_seq=point.durable_seq,
+            expected=expected,
+            recovered=actual,
+            fingerprint_match=(expected == actual),
+            half_commit_problems=tuple(verify_stripe_consistency(
+                recovered.block_store, recovered.stripe_store
+            )),
+            verify_errors=tuple(verify_report.errors),
+            recovery_errors=tuple(recovery_errors),
+            rolled_forward=tuple(recovered.stats.rolled_forward),
+        ))
+    return report

@@ -19,10 +19,16 @@ from typing import Dict, Generator, List, Optional
 from repro.cluster.block import BlockId
 from repro.cluster.topology import NodeId
 from repro.hdfs.client import CFSClient
+from repro.journal.records import FileAppendBlock, FileCreate, FileDelete
 
 
-class FileExistsError_(KeyError):
+class DuplicateFileError(KeyError):
     """Raised when creating a file whose name is taken."""
+
+
+#: Deprecated alias — the old name shadowed the ``FileExistsError``
+#: builtin (reprolint HYG002); use :class:`DuplicateFileError` instead.
+FileExistsError_ = DuplicateFileError
 
 
 @dataclass
@@ -46,9 +52,15 @@ class FileMetadata:
 
 
 class FileNamespace:
-    """The file table: name -> metadata, block -> owning file."""
+    """The file table: name -> metadata, block -> owning file.
+
+    With a :class:`~repro.journal.journal.MetadataJournal` attached
+    (``self.journal``), every namespace mutation is journaled before it
+    is applied; ``restore_file`` is the recovery-only entry point.
+    """
 
     def __init__(self) -> None:
+        self.journal = None
         self._files: Dict[str, FileMetadata] = {}
         self._owner: Dict[BlockId, str] = {}
 
@@ -56,12 +68,14 @@ class FileNamespace:
         """Create an empty file.
 
         Raises:
-            FileExistsError_: If the name is already taken.
+            DuplicateFileError: If the name is already taken.
         """
         if not name:
             raise ValueError("file name cannot be empty")
         if name in self._files:
-            raise FileExistsError_(f"file {name!r} already exists")
+            raise DuplicateFileError(f"file {name!r} already exists")
+        if self.journal is not None:
+            self.journal.append(FileCreate(name=name))
         meta = FileMetadata(name)
         self._files[name] = meta
         return meta
@@ -71,9 +85,25 @@ class FileNamespace:
         meta = self.lookup(name)
         if block_id in self._owner:
             raise ValueError(f"block {block_id} already belongs to a file")
+        if self.journal is not None:
+            self.journal.append(FileAppendBlock(
+                name=name, block_id=block_id, size=size
+            ))
         meta.block_ids.append(block_id)
         meta.size += size
         self._owner[block_id] = name
+
+    def restore_file(
+        self, name: str, block_ids: List[BlockId], size: int
+    ) -> FileMetadata:
+        """Re-register a file from a checkpoint (recovery only)."""
+        if name in self._files:
+            raise DuplicateFileError(f"file {name!r} already exists")
+        meta = FileMetadata(name, list(block_ids), size)
+        self._files[name] = meta
+        for block_id in meta.block_ids:
+            self._owner[block_id] = name
+        return meta
 
     def lookup(self, name: str) -> FileMetadata:
         """Metadata of a file.
@@ -102,6 +132,8 @@ class FileNamespace:
         """Remove a file from the namespace (blocks are the caller's to
         clean up, mirroring HDFS's asynchronous block deletion)."""
         meta = self.lookup(name)
+        if self.journal is not None:
+            self.journal.append(FileDelete(name=name))
         del self._files[name]
         for block_id in meta.block_ids:
             self._owner.pop(block_id, None)

@@ -50,11 +50,18 @@ class NameNode:
         topology: ClusterTopology,
         policy: PlacementPolicy,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        journal=None,
     ) -> None:
         self.topology = topology
         self.policy = policy
         self.block_size = block_size
         self.block_store = BlockStore(topology)
+        self.journal = journal
+        if journal is not None:
+            journal.attach(
+                block_store=self.block_store,
+                stripe_store=self.pre_encoding_store,
+            )
 
     # ------------------------------------------------------------------
     # Write path
@@ -132,18 +139,29 @@ class NameNode:
         resulting layout may violate rack fault tolerance, which the
         PlacementMonitor then flags, exactly as in real HDFS.
 
+        When a journal is attached the whole commit is bracketed as an
+        atomic intent/commit pair: ``begin_stripe_commit`` (carrying the
+        full plan) is durable before any mutation, the per-step effects
+        journal as ``parity_add`` / ``delete_replica`` records, and
+        ``end_stripe_commit`` seals the bracket.  A crash anywhere
+        inside is rolled forward by recovery from the intent record.
+
         Returns:
             The created parity blocks, in stripe order.
         """
-        from repro.cluster.block import BlockKind
-
+        journal = self.block_store.journal
+        if journal is not None:
+            journal.begin_stripe_commit(
+                stripe.stripe_id,
+                tuple(plan.parity_nodes),
+                self.block_size,
+                tuple(plan.retained.items()),
+            )
         parity_blocks: List[Block] = []
         for node_id in plan.parity_nodes:
-            parity = self.block_store.create_block(
-                self.block_size, kind=BlockKind.PARITY, stripe_id=stripe.stripe_id
-            )
-            self.block_store.add_replica(parity.block_id, node_id, is_primary=True)
-            parity_blocks.append(parity)
+            parity_blocks.append(self.block_store.add_parity_block(
+                self.block_size, stripe.stripe_id, node_id
+            ))
         for block_id, node_id in plan.retained.items():
             survivors = self.block_store.replica_nodes(block_id)
             if not survivors:
@@ -152,5 +170,9 @@ class NameNode:
                 continue
             keeper = node_id if node_id in survivors else survivors[0]
             self.block_store.retain_only(block_id, keeper)
+        if journal is not None:
+            journal.end_stripe_commit(
+                stripe.stripe_id, tuple(b.block_id for b in parity_blocks)
+            )
         stripe.mark_encoded([b.block_id for b in parity_blocks])
         return parity_blocks

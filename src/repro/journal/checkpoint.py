@@ -1,0 +1,180 @@
+"""fsimage-style checkpoints: CRC'd snapshots of the metadata state.
+
+A checkpoint file ``checkpoint-<seq>.json`` freezes the canonical state
+dict (see :mod:`repro.journal.state`) as of journal sequence number
+``seq``.  Recovery loads the newest *valid* checkpoint and replays only
+the log records with ``seq`` greater than the checkpoint's — the same
+contract as HDFS's fsimage + edit-log tail.  A checkpoint that fails its
+CRC is skipped (recovery falls back to the next older one, or to a full
+replay from sequence 1), so a torn checkpoint write can never poison
+recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.journal.wal import decode_line, JournalFormatError, list_segments
+
+CHECKPOINT_PREFIX = "checkpoint-"
+CHECKPOINT_SUFFIX = ".json"
+_CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{8})\.json$")
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is structurally invalid (bad JSON or CRC)."""
+
+
+def checkpoint_path(directory: str, last_seq: int) -> str:
+    """The path of the checkpoint covering sequence numbers <= last_seq."""
+    return os.path.join(
+        directory, f"{CHECKPOINT_PREFIX}{last_seq:08d}{CHECKPOINT_SUFFIX}"
+    )
+
+
+def list_checkpoints(directory: str) -> List[Tuple[int, str]]:
+    """``(last_seq, path)`` of every checkpoint file, oldest first."""
+    found: List[Tuple[int, str]] = []
+    if not os.path.isdir(directory):
+        return found
+    for name in sorted(os.listdir(directory)):
+        match = _CHECKPOINT_RE.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    return found
+
+
+def write_checkpoint(
+    directory: str,
+    last_seq: int,
+    state: Dict[str, object],
+    meta: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write a checkpoint of ``state`` as of ``last_seq``; return its path.
+
+    The file holds ``{"payload": ..., "crc": ...}`` where the CRC covers
+    the canonical encoding of the payload, so load-time validation can
+    detect any torn or bit-rotted snapshot.
+    """
+    payload: Dict[str, object] = {
+        "version": 1,
+        "last_seq": last_seq,
+        "state": state,
+        "meta": dict(meta) if meta else {},
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+    os.makedirs(directory, exist_ok=True)
+    path = checkpoint_path(directory, last_seq)
+    tmp_path = path + ".tmp"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump({"payload": payload, "crc": f"{crc:08x}"}, handle)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
+    return path
+
+
+@dataclass
+class CheckpointData:
+    """One successfully loaded and CRC-verified checkpoint."""
+
+    last_seq: int
+    state: Dict[str, object]
+    meta: Dict[str, object]
+    path: str
+
+
+def load_checkpoint(path: str) -> CheckpointData:
+    """Load and CRC-verify one checkpoint file.
+
+    Raises:
+        CheckpointError: On unreadable JSON, a missing payload/crc pair,
+            or a CRC mismatch.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            blob = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"{path}: unreadable checkpoint: {exc}") from None
+    if not isinstance(blob, dict) or "payload" not in blob or "crc" not in blob:
+        raise CheckpointError(f"{path}: checkpoint lacks payload/crc fields")
+    payload = blob["payload"]
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    actual = zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+    try:
+        expected = int(str(blob["crc"]), 16)
+    except ValueError:
+        raise CheckpointError(f"{path}: checkpoint CRC is not hexadecimal") from None
+    if actual != expected:
+        raise CheckpointError(
+            f"{path}: checkpoint CRC mismatch "
+            f"(stored {blob['crc']}, computed {actual:08x})"
+        )
+    if not isinstance(payload, dict) or "last_seq" not in payload:
+        raise CheckpointError(f"{path}: checkpoint payload lacks last_seq")
+    return CheckpointData(
+        last_seq=int(payload["last_seq"]),
+        state=payload.get("state") or {},
+        meta=payload.get("meta") or {},
+        path=path,
+    )
+
+
+def load_latest_checkpoint(
+    directory: str,
+) -> Tuple[Optional[CheckpointData], List[str]]:
+    """The newest valid checkpoint plus warnings about any skipped ones.
+
+    Invalid checkpoints are skipped newest-first until a valid one is
+    found; recovery then replays the log tail after it.
+    """
+    warnings: List[str] = []
+    for last_seq, path in reversed(list_checkpoints(directory)):
+        try:
+            return load_checkpoint(path), warnings
+        except CheckpointError as exc:
+            warnings.append(str(exc))
+    return None, warnings
+
+
+def prune_segments(
+    directory: str, upto_seq: int, keep: Tuple[str, ...] = ()
+) -> List[str]:
+    """Delete segments fully covered by a checkpoint at ``upto_seq``.
+
+    A segment is removable only when *every* record in it has
+    ``seq <= upto_seq`` (undecodable lines make a segment unremovable)
+    and its path is not in ``keep`` (the writer's active segment).
+    Returns the paths removed.
+    """
+    removed: List[str] = []
+    protected = {os.path.abspath(path) for path in keep}
+    for _index, path in list_segments(directory):
+        if os.path.abspath(path) in protected:
+            continue
+        covered = True
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                try:
+                    payload = decode_line(line)
+                except JournalFormatError:
+                    covered = False
+                    break
+                if int(payload["seq"]) > upto_seq:
+                    covered = False
+                    break
+        if covered:
+            os.remove(path)
+            removed.append(path)
+    return removed

@@ -1,0 +1,272 @@
+"""The ``MetadataJournal`` façade: journal-before-apply for the stores.
+
+This is the one object the NameNode-side stores talk to.  Each mutator
+in :class:`~repro.cluster.block.BlockStore`,
+:class:`~repro.core.stripe.PreEncodingStore` and
+:class:`~repro.hdfs.files.FileNamespace` calls
+:meth:`MetadataJournal.append` with its typed record *before* touching
+in-memory state, which gives the classic write-ahead invariant: any
+state the process could have observed is reconstructible from the
+durable log prefix.
+
+The journal also owns the pieces of durable state that do not live in a
+store: the permanent dead-node set, checkpoint writing, and the armed
+:class:`~repro.journal.crashpoints.CrashPoint` used by the crash drills.
+When ``track_fingerprints`` is on, the journal snapshots
+``state_fingerprint()`` at the *entry* of every append — the golden
+per-prefix fingerprints the differential crash checks compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.journal import records as rec
+from repro.journal.checkpoint import prune_segments, write_checkpoint
+from repro.journal.crashpoints import CrashPoint, SimulatedCrash
+from repro.journal.state import capture_state, state_fingerprint
+from repro.journal.wal import (
+    DEFAULT_SEGMENT_RECORDS,
+    JournalWriter,
+    ScanResult,
+    encode_line,
+    scan_journal,
+)
+from repro.sim.metrics import PERF
+
+
+class MetadataJournal:
+    """Append-only write-ahead journal for NameNode-side metadata.
+
+    Args:
+        directory: Journal directory; an existing one is resumed (the
+            writer starts a fresh segment and sequence numbers continue
+            from the durable tail).
+        segment_records: Records per segment before rotation.
+        flush_each: Flush (make durable) after every append.  On by
+            default; bench scenarios turn it off to measure batched
+            throughput.
+        fsync: Also fsync on flush (off by default — tests model
+            durability at the flush boundary).
+        crash_at: Optional armed crash point; the journal raises
+            :class:`SimulatedCrash` when its sequence number comes up.
+        track_fingerprints: Record ``state_fingerprint()`` at the entry
+            of every append (golden data for the crash differential).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+        flush_each: bool = True,
+        fsync: bool = False,
+        crash_at: Optional[CrashPoint] = None,
+        track_fingerprints: bool = False,
+    ) -> None:
+        self.directory = directory
+        existing = scan_journal(directory)
+        self._seq = existing.last_seq
+        self.writer = JournalWriter(
+            directory, segment_records=segment_records, fsync=fsync
+        )
+        self.flush_each = flush_each
+        self.crash_at = crash_at
+        self.track_fingerprints = track_fingerprints
+        self.fingerprints: Dict[int, str] = {}
+        self.flushed_seq = self._seq
+        self.dead_nodes: set = set()
+        self.records_appended = 0
+        self.checkpoints_written = 0
+        self._block_store = None
+        self._stripe_store = None
+        self._namespace = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        block_store=None,
+        stripe_store=None,
+        namespace=None,
+    ) -> None:
+        """Point the stores at this journal (and remember them).
+
+        Each attached store journals its own mutations from then on; the
+        journal remembers them so :meth:`checkpoint` and
+        :meth:`current_fingerprint` can see the whole state.
+        """
+        if block_store is not None:
+            self._block_store = block_store
+            block_store.journal = self
+        if stripe_store is not None:
+            self._stripe_store = stripe_store
+            stripe_store.journal = self
+        if namespace is not None:
+            self._namespace = namespace
+            namespace.journal = self
+
+    @property
+    def last_seq(self) -> int:
+        """The sequence number of the most recently appended record."""
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # The write-ahead append
+    # ------------------------------------------------------------------
+    def append(self, record: rec.JournalRecord) -> int:
+        """Journal one record; returns its sequence number.
+
+        This is the crash-injection point: an armed :class:`CrashPoint`
+        whose sequence number comes up raises :class:`SimulatedCrash`
+        before (``"before"``), during (``"torn"``) or after
+        (``"after"``) the record becomes durable — the caller's
+        in-memory mutation never happens in any of the three phases,
+        matching a process that died inside the commit path.
+        """
+        seq = self._seq + 1
+        if self.track_fingerprints:
+            self.fingerprints[seq] = self.current_fingerprint()
+        point = self.crash_at
+        if point is not None and seq == point.seq:
+            self.crash_at = None
+            if point.phase == "before":
+                raise SimulatedCrash(point)
+            line = encode_line(seq, rec.encode_record(record))
+            if point.phase == "torn":
+                self.writer.write_torn(line)
+            else:
+                self.writer.append(line)
+                self.writer.flush()
+            raise SimulatedCrash(point)
+        line = encode_line(seq, rec.encode_record(record))
+        self.writer.append(line)
+        self._seq = seq
+        self.records_appended += 1
+        PERF.bump("journal.records_appended")
+        PERF.bump("journal.bytes_appended", len(line.encode("utf-8")) + 1)
+        if self.flush_each:
+            self.flush()
+        return seq
+
+    def flush(self) -> None:
+        """Make every appended record durable."""
+        self.writer.flush()
+        self.flushed_seq = self._seq
+
+    # ------------------------------------------------------------------
+    # Journal-owned state: node liveness
+    # ------------------------------------------------------------------
+    def node_dead(self, node_id: int) -> None:
+        """Record a permanent (metadata-visible) node death."""
+        if node_id in self.dead_nodes:
+            return
+        self.append(rec.NodeDead(node_id=node_id))
+        self.dead_nodes.add(node_id)
+
+    def node_alive(self, node_id: int) -> None:
+        """Record a dead node rejoining the cluster."""
+        if node_id not in self.dead_nodes:
+            return
+        self.append(rec.NodeAlive(node_id=node_id))
+        self.dead_nodes.discard(node_id)
+
+    # ------------------------------------------------------------------
+    # Stripe-commit bracket helpers
+    # ------------------------------------------------------------------
+    def begin_stripe_commit(
+        self,
+        stripe_id: int,
+        parity_nodes: Iterable[int],
+        parity_size: int,
+        retained: Iterable[Tuple[int, int]],
+    ) -> int:
+        """Open the atomic intent/commit bracket for a stripe commit."""
+        return self.append(rec.BeginStripeCommit(
+            stripe_id=stripe_id,
+            parity_nodes=tuple(parity_nodes),
+            parity_size=parity_size,
+            retained=tuple(tuple(pair) for pair in retained),
+        ))
+
+    def end_stripe_commit(
+        self, stripe_id: int, parity_block_ids: Iterable[int]
+    ) -> int:
+        """Close the bracket: the stripe commit is now atomic-visible."""
+        return self.append(rec.EndStripeCommit(
+            stripe_id=stripe_id,
+            parity_block_ids=tuple(parity_block_ids),
+        ))
+
+    # ------------------------------------------------------------------
+    # Checkpoints and fingerprints
+    # ------------------------------------------------------------------
+    def current_state(self) -> Dict[str, object]:
+        """The canonical state dict of every attached store."""
+        if self._block_store is None:
+            raise ValueError(
+                "no block store attached; call journal.attach(...) first"
+            )
+        return capture_state(
+            self._block_store,
+            self._stripe_store,
+            self._namespace,
+            self.dead_nodes,
+        )
+
+    def current_fingerprint(self) -> str:
+        """``state_fingerprint()`` over every attached store."""
+        if self._block_store is None:
+            raise ValueError(
+                "no block store attached; call journal.attach(...) first"
+            )
+        return state_fingerprint(
+            self._block_store,
+            self._stripe_store,
+            self._namespace,
+            self.dead_nodes,
+        )
+
+    def checkpoint(self, prune: bool = False) -> str:
+        """Write an fsimage-style snapshot as of the current sequence.
+
+        With ``prune=True``, segments fully covered by the checkpoint
+        are deleted (the writer's active segment is always kept).
+        """
+        self.flush()
+        path = write_checkpoint(
+            self.directory, self._seq, self.current_state()
+        )
+        self.checkpoints_written += 1
+        PERF.bump("journal.checkpoints")
+        if prune:
+            prune_segments(
+                self.directory,
+                self._seq,
+                keep=(self.writer.current_segment_path,),
+            )
+        return path
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def scan(self) -> ScanResult:
+        """A full structural scan of the on-disk journal."""
+        self.flush()
+        return scan_journal(self.directory)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for ``repro journal stats`` and the bench layer."""
+        return {
+            "last_seq": self._seq,
+            "flushed_seq": self.flushed_seq,
+            "records_appended": self.records_appended,
+            "bytes_written": self.writer.bytes_written,
+            "checkpoints_written": self.checkpoints_written,
+            "dead_nodes": len(self.dead_nodes),
+        }
+
+    def close(self) -> None:
+        """Flush and release the underlying writer."""
+        self.flush()
+        self.writer.close()

@@ -1,0 +1,320 @@
+"""Typed, frozen journal records — the write-ahead log's vocabulary.
+
+Every metadata mutation the NameNode-side stores can perform has exactly
+one record type here.  Records are immutable dataclasses whose fields are
+restricted to JSON-serializable types (ints, strings, bools, optionals
+and tuples thereof — enforced statically by reprolint rule ``JRN001``),
+so a record round-trips losslessly through the on-disk envelope and two
+encodes of the same record are byte-identical.
+
+The stripe *commit* is bracketed by an intent/commit pair:
+:class:`BeginStripeCommit` carries the full plan (parity nodes and the
+retained-replica map), the per-step effects are journaled as
+:class:`ParityAdd` / :class:`DeleteReplica` records, and
+:class:`EndStripeCommit` seals the bracket.  Recovery rolls an open
+bracket forward from the intent, so no crash point can leave a stripe
+observably half-committed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar, Dict, Optional, Tuple, Type
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """Base class for all journal records.
+
+    Subclasses set ``record_type`` (the stable on-disk type tag) and are
+    frozen dataclasses with JSON-serializable fields only (rule JRN001).
+    """
+
+    record_type: ClassVar[str] = ""
+
+    def to_payload(self) -> Dict[str, object]:
+        """The record's fields as a JSON-ready dict."""
+        out: Dict[str, object] = {}
+        for spec in fields(self):
+            out[spec.name] = _jsonify(getattr(self, spec.name))
+        return out
+
+
+def _jsonify(value: object) -> object:
+    if isinstance(value, tuple):
+        return [_jsonify(item) for item in value]
+    return value
+
+
+def _tupleize(value: object) -> object:
+    if isinstance(value, list):
+        return tuple(_tupleize(item) for item in value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# Block lifecycle
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AddBlock(JournalRecord):
+    """A data block was allocated (id, size, kind, optional stripe)."""
+
+    record_type: ClassVar[str] = "add_block"
+
+    block_id: int
+    size: int
+    kind: str
+    stripe_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PlaceReplica(JournalRecord):
+    """One replica of a block was recorded on a node."""
+
+    record_type: ClassVar[str] = "place_replica"
+
+    block_id: int
+    node_id: int
+    is_primary: bool = False
+
+
+@dataclass(frozen=True)
+class DeleteReplica(JournalRecord):
+    """One replica of a block was deleted from a node."""
+
+    record_type: ClassVar[str] = "delete_replica"
+
+    block_id: int
+    node_id: int
+
+
+@dataclass(frozen=True)
+class AssignStripe(JournalRecord):
+    """A block was bound to a stripe in the block store."""
+
+    record_type: ClassVar[str] = "assign_stripe"
+
+    block_id: int
+    stripe_id: int
+
+
+@dataclass(frozen=True)
+class Relocate(JournalRecord):
+    """A replica moved between nodes (BlockMover / repair relocation)."""
+
+    record_type: ClassVar[str] = "relocate"
+
+    block_id: int
+    src_node: int
+    dst_node: int
+
+
+@dataclass(frozen=True)
+class MarkCorrupted(JournalRecord):
+    """A replica's checksum no longer matches (bit-rot detected)."""
+
+    record_type: ClassVar[str] = "mark_corrupted"
+
+    block_id: int
+    node_id: int
+
+
+@dataclass(frozen=True)
+class ClearCorrupted(JournalRecord):
+    """A previously corrupted replica was rewritten from a good copy."""
+
+    record_type: ClassVar[str] = "clear_corrupted"
+
+    block_id: int
+    node_id: int
+
+
+# ----------------------------------------------------------------------
+# Stripe lifecycle and the commit bracket
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NewStripe(JournalRecord):
+    """A fresh stripe was opened in the pre-encoding store."""
+
+    record_type: ClassVar[str] = "new_stripe"
+
+    stripe_id: int
+    k: int
+    core_rack: Optional[int] = None
+    target_racks: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.target_racks is not None:
+            object.__setattr__(
+                self, "target_racks", tuple(self.target_racks)
+            )
+
+
+@dataclass(frozen=True)
+class StripeAddBlock(JournalRecord):
+    """A data block joined an open stripe (sealing when it reaches k)."""
+
+    record_type: ClassVar[str] = "stripe_add_block"
+
+    stripe_id: int
+    block_id: int
+    seal_when_full: bool = True
+
+
+@dataclass(frozen=True)
+class SealStripe(JournalRecord):
+    """A stripe was explicitly sealed (eligible for encoding)."""
+
+    record_type: ClassVar[str] = "seal_stripe"
+
+    stripe_id: int
+
+
+@dataclass(frozen=True)
+class BeginStripeCommit(JournalRecord):
+    """Intent record opening a stripe-commit bracket.
+
+    Carries everything recovery needs to roll the commit forward:
+    the parity nodes in creation order, the parity block size, and the
+    planned ``(block_id, node_id)`` retention pairs.
+    """
+
+    record_type: ClassVar[str] = "begin_stripe_commit"
+
+    stripe_id: int
+    parity_nodes: Tuple[int, ...]
+    parity_size: int
+    retained: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parity_nodes", tuple(self.parity_nodes))
+        object.__setattr__(
+            self, "retained", tuple(tuple(pair) for pair in self.retained)
+        )
+
+
+@dataclass(frozen=True)
+class ParityAdd(JournalRecord):
+    """One parity block was created and placed on its node."""
+
+    record_type: ClassVar[str] = "parity_add"
+
+    stripe_id: int
+    block_id: int
+    node_id: int
+    size: int
+
+
+@dataclass(frozen=True)
+class EndStripeCommit(JournalRecord):
+    """Commit record closing a stripe-commit bracket."""
+
+    record_type: ClassVar[str] = "end_stripe_commit"
+
+    stripe_id: int
+    parity_block_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "parity_block_ids", tuple(self.parity_block_ids)
+        )
+
+
+# ----------------------------------------------------------------------
+# Node liveness (permanent membership changes)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NodeDead(JournalRecord):
+    """A node left the cluster permanently (metadata-visible death)."""
+
+    record_type: ClassVar[str] = "node_dead"
+
+    node_id: int
+
+
+@dataclass(frozen=True)
+class NodeAlive(JournalRecord):
+    """A previously dead node rejoined the cluster."""
+
+    record_type: ClassVar[str] = "node_alive"
+
+    node_id: int
+
+
+# ----------------------------------------------------------------------
+# File namespace
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FileCreate(JournalRecord):
+    """A file name was created in the namespace."""
+
+    record_type: ClassVar[str] = "file_create"
+
+    name: str
+
+
+@dataclass(frozen=True)
+class FileAppendBlock(JournalRecord):
+    """A block was appended to a file."""
+
+    record_type: ClassVar[str] = "file_append_block"
+
+    name: str
+    block_id: int
+    size: int
+
+
+@dataclass(frozen=True)
+class FileDelete(JournalRecord):
+    """A file was removed from the namespace."""
+
+    record_type: ClassVar[str] = "file_delete"
+
+    name: str
+
+
+# ----------------------------------------------------------------------
+# Registry and (de)serialization
+# ----------------------------------------------------------------------
+RECORD_TYPES: Dict[str, Type[JournalRecord]] = {
+    cls.record_type: cls
+    for cls in (
+        AddBlock, PlaceReplica, DeleteReplica, AssignStripe, Relocate,
+        MarkCorrupted, ClearCorrupted,
+        NewStripe, StripeAddBlock, SealStripe,
+        BeginStripeCommit, ParityAdd, EndStripeCommit,
+        NodeDead, NodeAlive,
+        FileCreate, FileAppendBlock, FileDelete,
+    )
+}
+
+
+class UnknownRecordError(ValueError):
+    """Raised when decoding a record whose type tag is not registered."""
+
+
+def encode_record(record: JournalRecord) -> Dict[str, object]:
+    """``record`` as its on-disk envelope payload (type tag + fields)."""
+    if type(record).record_type not in RECORD_TYPES:
+        raise UnknownRecordError(
+            f"record class {type(record).__name__} is not registered"
+        )
+    return {"type": type(record).record_type, "data": record.to_payload()}
+
+
+def decode_record(payload: Dict[str, object]) -> JournalRecord:
+    """Rebuild a record from its envelope payload.
+
+    Raises:
+        UnknownRecordError: For unregistered type tags.
+        TypeError / ValueError: For malformed field sets.
+    """
+    type_tag = payload.get("type")
+    cls = RECORD_TYPES.get(type_tag)  # type: ignore[arg-type]
+    if cls is None:
+        raise UnknownRecordError(f"unknown journal record type {type_tag!r}")
+    data = payload.get("data")
+    if not isinstance(data, dict):
+        raise ValueError(f"record {type_tag!r} has no data object")
+    kwargs = {str(key): _tupleize(value) for key, value in data.items()}
+    return cls(**kwargs)

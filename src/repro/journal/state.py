@@ -1,0 +1,163 @@
+"""Canonical metadata state: capture, fingerprint, restore.
+
+``capture_state`` flattens the NameNode-side metadata — block store,
+pre-encoding store, file namespace, dead-node set — into one canonical,
+JSON-serializable dict; ``state_fingerprint`` hashes that dict.  The
+fingerprint is the durability layer's correctness oracle: for any crash
+point, the fingerprint of the recovered metadata must equal the
+fingerprint the pre-crash process would have produced at the same
+consistency point (see :mod:`repro.faults.crash`).
+
+Replica lists are kept in *insertion order* (not sorted): journal replay
+reproduces the exact insertion history, so the stricter ordered
+comparison is both achievable and more sensitive — it catches replay
+reorderings that a set-compare would mask.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+
+def capture_state(
+    block_store,
+    stripe_store=None,
+    namespace=None,
+    dead_nodes: Iterable[int] = (),
+) -> Dict[str, object]:
+    """The full metadata state as one canonical JSON-serializable dict."""
+    blocks: List[List[object]] = []
+    replicas: Dict[str, List[List[object]]] = {}
+    for block in sorted(block_store.blocks(), key=lambda b: b.block_id):
+        blocks.append(
+            [block.block_id, block.size, block.kind, block.stripe_id]
+        )
+        replicas[str(block.block_id)] = [
+            [replica.node_id, bool(replica.is_primary)]
+            for replica in block_store.replicas(block.block_id)
+        ]
+    state: Dict[str, object] = {
+        "blocks": blocks,
+        "replicas": replicas,
+        "corrupted": [list(pair) for pair in block_store.corrupted_replicas()],
+        "next_block_id": block_store.next_block_id,
+        "dead_nodes": sorted(dead_nodes),
+        "stripes": None,
+        "files": [],
+    }
+    if stripe_store is not None:
+        items = []
+        for stripe in sorted(stripe_store, key=lambda s: s.stripe_id):
+            items.append([
+                stripe.stripe_id,
+                stripe.k,
+                list(stripe.block_ids),
+                stripe.core_rack,
+                None if stripe.target_racks is None
+                else list(stripe.target_racks),
+                stripe.state,
+                list(stripe.parity_block_ids),
+            ])
+        state["stripes"] = {
+            "k": stripe_store.k,
+            "next_stripe_id": stripe_store.next_stripe_id,
+            "items": items,
+        }
+    if namespace is not None:
+        state["files"] = [
+            [meta.name, list(meta.block_ids), meta.size]
+            for meta in namespace.files()
+        ]
+    return state
+
+
+def canonical_json(state: Dict[str, object]) -> str:
+    """The canonical (sorted-keys, tight-separator) encoding of a state."""
+    return json.dumps(state, sort_keys=True, separators=(",", ":"))
+
+
+def state_fingerprint(
+    block_store,
+    stripe_store=None,
+    namespace=None,
+    dead_nodes: Iterable[int] = (),
+) -> str:
+    """sha256 over the canonical metadata state.
+
+    Deterministic for identical metadata regardless of host, hash seed,
+    or the path (live mutation vs journal replay) that produced it.
+    """
+    blob = canonical_json(
+        capture_state(block_store, stripe_store, namespace, dead_nodes)
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class RestoredStores:
+    """Fresh store objects rebuilt from a captured state."""
+
+    block_store: object
+    stripe_store: Optional[object]
+    namespace: object
+    dead_nodes: set
+
+
+def restore_state(state: Dict[str, object], topology) -> RestoredStores:
+    """Rebuild live stores from a captured (or checkpointed) state dict.
+
+    The restored stores are detached (``journal is None``); recovery
+    attaches a journal only after replay completes, so rebuilding never
+    re-journals history.
+    """
+    from repro.cluster.block import Block, BlockStore
+    from repro.core.stripe import PreEncodingStore, Stripe
+    from repro.hdfs.files import FileNamespace
+
+    block_store = BlockStore(topology)
+    for block_id, size, kind, stripe_id in state.get("blocks", []):
+        block_store.restore_block(Block(block_id, size, kind, stripe_id))
+    for key, entries in state.get("replicas", {}).items():
+        for node_id, is_primary in entries:
+            block_store.add_replica(int(key), node_id, is_primary=is_primary)
+    for block_id, node_id in state.get("corrupted", []):
+        block_store.mark_corrupted(block_id, node_id)
+    next_block_id = state.get("next_block_id")
+    if isinstance(next_block_id, int):
+        block_store.resume_ids(next_block_id)
+
+    stripe_store: Optional[PreEncodingStore] = None
+    stripes_blob = state.get("stripes")
+    if isinstance(stripes_blob, dict):
+        stripe_store = PreEncodingStore(int(stripes_blob["k"]))
+        for item in stripes_blob.get("items", []):
+            (stripe_id, k, block_ids, core_rack,
+             target_racks, stripe_state, parity_ids) = item
+            stripe = Stripe(
+                stripe_id=stripe_id,
+                k=k,
+                block_ids=list(block_ids),
+                core_rack=core_rack,
+                target_racks=None if target_racks is None
+                else tuple(target_racks),
+                state=stripe_state,
+                parity_block_ids=list(parity_ids),
+            )
+            stripe_store.restore_stripe(stripe)
+        next_stripe_id = stripes_blob.get("next_stripe_id")
+        if isinstance(next_stripe_id, int):
+            stripe_store.resume_ids(next_stripe_id)
+
+    namespace = FileNamespace()
+    for name, block_ids, size in state.get("files", []):
+        namespace.restore_file(name, block_ids, size)
+
+    return RestoredStores(
+        block_store=block_store,
+        stripe_store=stripe_store,
+        namespace=namespace,
+        dead_nodes=set(state.get("dead_nodes", [])),
+    )

@@ -1,0 +1,284 @@
+"""The append-only segmented write-ahead log (on-disk format + scanner).
+
+One journal directory holds::
+
+    segment-00000001.wal      # newline-delimited record envelopes
+    segment-00000002.wal
+    checkpoint-00000042.json  # fsimage-style snapshots (see checkpoint.py)
+
+Each envelope line is ``<json>\\t<crc32 hex>`` where the CRC covers the
+JSON bytes and the JSON is the canonical (sorted-keys, tight-separator)
+encoding of ``{"seq": n, "type": tag, "data": {...}}``.  Appends go
+through an explicit in-memory buffer: a record is *durable* only after
+:meth:`JournalWriter.flush`, which is exactly the boundary the crash
+drills exercise.  The scanner tolerates a torn or truncated final
+record — the signature a crash between write and flush leaves behind —
+but reports any mid-log corruption as an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.metrics import PERF
+
+SEGMENT_PREFIX = "segment-"
+SEGMENT_SUFFIX = ".wal"
+_SEGMENT_RE = re.compile(r"^segment-(\d{8})\.wal$")
+
+#: Records per segment before the writer rotates to a fresh file.
+DEFAULT_SEGMENT_RECORDS = 1024
+
+
+class JournalFormatError(ValueError):
+    """A structurally invalid line somewhere other than the log's tail."""
+
+
+def encode_line(seq: int, envelope: Dict[str, object]) -> str:
+    """One record as its on-disk line (canonical JSON + CRC, no newline)."""
+    payload = dict(envelope)
+    payload["seq"] = seq
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+    return f"{text}\t{crc:08x}"
+
+
+def decode_line(line: str) -> Dict[str, object]:
+    """Parse and CRC-check one line.
+
+    Raises:
+        JournalFormatError: On a missing CRC field, CRC mismatch, or
+            undecodable JSON — the caller decides whether the position
+            (tail or mid-log) makes that torn or corrupt.
+    """
+    stripped = line.rstrip("\n")
+    text, sep, crc_hex = stripped.rpartition("\t")
+    if not sep:
+        raise JournalFormatError("record line has no CRC field")
+    try:
+        expected = int(crc_hex, 16)
+    except ValueError:
+        raise JournalFormatError(
+            f"record CRC {crc_hex!r} is not hexadecimal"
+        ) from None
+    actual = zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+    if actual != expected:
+        raise JournalFormatError(
+            f"record CRC mismatch (stored {crc_hex}, computed {actual:08x})"
+        )
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise JournalFormatError(f"record JSON undecodable: {exc}") from None
+    if not isinstance(payload, dict) or "seq" not in payload:
+        raise JournalFormatError("record envelope lacks a seq field")
+    return payload
+
+
+def segment_path(directory: str, index: int) -> str:
+    """The path of segment ``index`` inside ``directory``."""
+    return os.path.join(directory, f"{SEGMENT_PREFIX}{index:08d}{SEGMENT_SUFFIX}")
+
+
+def list_segments(directory: str) -> List[Tuple[int, str]]:
+    """``(index, path)`` of every segment file, in index order."""
+    found: List[Tuple[int, str]] = []
+    if not os.path.isdir(directory):
+        return found
+    for name in sorted(os.listdir(directory)):
+        match = _SEGMENT_RE.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    return found
+
+
+class JournalWriter:
+    """Appends envelope lines to rotating segment files.
+
+    Args:
+        directory: Journal directory (created if missing).
+        segment_records: Records per segment before rotation.
+        fsync: Whether :meth:`flush` also fsyncs the file descriptor
+            (off by default; the tests model durability at flush level).
+
+    A resumed writer (an existing journal directory) always starts a
+    *new* segment, so a previous process's possibly-torn tail is never
+    appended to.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+        fsync: bool = False,
+    ) -> None:
+        if segment_records < 1:
+            raise ValueError("segment_records must be positive")
+        self.directory = directory
+        self.segment_records = segment_records
+        self.fsync = fsync
+        os.makedirs(directory, exist_ok=True)
+        existing = list_segments(directory)
+        self._segment_index = (existing[-1][0] + 1) if existing else 1
+        self._records_in_segment = 0
+        self._buffer: List[str] = []
+        self._handle = None
+        self.bytes_written = 0
+
+    @property
+    def current_segment_path(self) -> str:
+        """The path the next flushed record will land in."""
+        return segment_path(self.directory, self._segment_index)
+
+    # ------------------------------------------------------------------
+    def append(self, line: str) -> None:
+        """Buffer one encoded line (durable only after :meth:`flush`)."""
+        self._buffer.append(line + "\n")
+
+    def flush(self) -> None:
+        """Write every buffered line to disk and make it durable.
+
+        Rotation happens mid-flush the moment a segment fills, so
+        ``segment_records`` bounds segment size even when many records
+        are flushed in one batch.
+        """
+        if not self._buffer:
+            return
+        pending, self._buffer = self._buffer, []
+        for text in pending:
+            handle = self._ensure_handle()
+            handle.write(text)
+            self.bytes_written += len(text.encode("utf-8"))
+            self._records_in_segment += 1
+            if self._records_in_segment >= self.segment_records:
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+                self._rotate()
+        if self._handle is not None:
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+
+    def write_torn(self, line: str, keep_bytes: Optional[int] = None) -> None:
+        """Write a deliberately truncated record (crash-drill helper).
+
+        Flushes any buffered records first, then writes only the first
+        ``keep_bytes`` bytes of ``line`` (half of it by default) with no
+        trailing newline — the exact artifact a crash mid-write leaves.
+        """
+        self.flush()
+        encoded = line.encode("utf-8")
+        cut = len(encoded) // 2 if keep_bytes is None else keep_bytes
+        handle = self._ensure_handle()
+        handle.write(encoded[:cut].decode("utf-8", errors="ignore"))
+        handle.flush()
+        self.bytes_written += cut
+
+    def close(self) -> None:
+        """Flush and release the current segment handle."""
+        self.flush()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    def _ensure_handle(self):
+        if self._handle is None:
+            self._handle = open(
+                segment_path(self.directory, self._segment_index),
+                "a",
+                encoding="utf-8",
+            )
+        return self._handle
+
+    def _rotate(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._segment_index += 1
+        self._records_in_segment = 0
+        PERF.bump("journal.segments_rotated")
+
+
+# ----------------------------------------------------------------------
+# Scanning
+# ----------------------------------------------------------------------
+@dataclass
+class ScanResult:
+    """Everything a full journal scan found.
+
+    Attributes:
+        envelopes: Decoded record envelopes in log order (each carries
+            ``seq``, ``type`` and ``data``).
+        torn_tail: Description of a tolerated torn/truncated final
+            record, or ``None`` when the log ends cleanly.
+        errors: Mid-log structural problems (corrupt CRC, bad JSON,
+            out-of-order sequence numbers).  A healthy journal has none.
+        segments: ``(index, path, records)`` per scanned segment.
+    """
+
+    envelopes: List[Dict[str, object]] = field(default_factory=list)
+    torn_tail: Optional[str] = None
+    errors: List[str] = field(default_factory=list)
+    segments: List[Tuple[int, str, int]] = field(default_factory=list)
+
+    @property
+    def last_seq(self) -> int:
+        """Highest durable sequence number (0 for an empty log)."""
+        return int(self.envelopes[-1]["seq"]) if self.envelopes else 0
+
+
+def scan_journal(directory: str) -> ScanResult:
+    """Read every segment, tolerating only a torn final record.
+
+    A line that fails CRC or JSON checks is a *torn tail* when it is the
+    last line of the last segment (a crash between write and flush);
+    anywhere else it is an error.  Sequence numbers must be strictly
+    increasing across the whole log.
+    """
+    result = ScanResult()
+    segments = list_segments(directory)
+    last_seq: Optional[int] = None
+    for position, (index, path) in enumerate(segments):
+        is_last_segment = position == len(segments) - 1
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        count = 0
+        for line_no, line in enumerate(lines, start=1):
+            is_tail = is_last_segment and line_no == len(lines)
+            if not line.strip():
+                continue
+            try:
+                payload = decode_line(line)
+            except JournalFormatError as exc:
+                if is_tail:
+                    result.torn_tail = (
+                        f"{os.path.basename(path)}:{line_no}: {exc}"
+                    )
+                else:
+                    result.errors.append(
+                        f"{os.path.basename(path)}:{line_no}: {exc}"
+                    )
+                continue
+            if is_tail and not line.endswith("\n"):
+                # A record without its newline survived the crash whole;
+                # accept it — the CRC proves it is intact.
+                pass
+            seq = int(payload["seq"])  # type: ignore[arg-type]
+            if last_seq is not None and seq <= last_seq:
+                result.errors.append(
+                    f"{os.path.basename(path)}:{line_no}: sequence number "
+                    f"{seq} does not increase (previous {last_seq})"
+                )
+                continue
+            last_seq = seq
+            result.envelopes.append(payload)
+            count += 1
+        result.segments.append((index, path, count))
+    return result

@@ -30,7 +30,7 @@ except ImportError:  # pragma: no cover - 3.9/3.10 fallback
     tomllib = None  # type: ignore[assignment]
 
 #: Packages in which DET002 (wall-clock reads) applies by default.
-DEFAULT_WALL_CLOCK_PATHS: Tuple[str, ...] = ("sim", "core", "faults")
+DEFAULT_WALL_CLOCK_PATHS: Tuple[str, ...] = ("sim", "core", "faults", "journal")
 
 
 @dataclass(frozen=True)

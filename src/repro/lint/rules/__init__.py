@@ -1,5 +1,19 @@
 """The builtin rule pack; importing this package registers every rule."""
 
-from repro.lint.rules import determinism, exceptions, floats, hygiene, resources
+from repro.lint.rules import (
+    determinism,
+    exceptions,
+    floats,
+    hygiene,
+    journal,
+    resources,
+)
 
-__all__ = ["determinism", "exceptions", "floats", "hygiene", "resources"]
+__all__ = [
+    "determinism",
+    "exceptions",
+    "floats",
+    "hygiene",
+    "journal",
+    "resources",
+]

@@ -1,0 +1,190 @@
+"""JRN001: journal records must be frozen, JSON-serializable dataclasses.
+
+The durability layer's correctness rests on two properties of every
+record in :mod:`repro.journal.records`: immutability (a record appended
+to the write-ahead log must not be mutable afterwards — replay must see
+exactly what was applied) and lossless JSON round-tripping (the on-disk
+envelope is canonical JSON, so a ``dict``/``list``/object-typed field
+would either fail to encode or come back as a different type).  This
+rule enforces both statically, on any dataclass that declares itself a
+journal record (a ``JournalRecord`` base or a ``record_type`` class
+variable).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.lint.model import FileContext, Finding, Rule, Severity, register
+
+#: Scalar annotation names that round-trip through canonical JSON.
+_SCALAR_TYPES = frozenset({"int", "str", "bool", "float"})
+#: Container heads allowed to wrap other allowed annotations.
+_TUPLE_HEADS = frozenset({"Tuple", "tuple"})
+_OPTIONAL_HEADS = frozenset({"Optional"})
+_CLASSVAR_HEADS = frozenset({"ClassVar"})
+
+
+def _head_name(node: ast.AST) -> Optional[str]:
+    """The unqualified name of an annotation head (``typing.Tuple`` → Tuple)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_json_annotation(node: ast.AST) -> bool:
+    """True when an annotation denotes a JSON-round-trippable field type."""
+    head = _head_name(node)
+    if head is not None and not isinstance(node, ast.Subscript):
+        return head in _SCALAR_TYPES
+    if isinstance(node, ast.Constant):
+        if node.value is None:  # the None in Optional[...] unions
+            return True
+        if isinstance(node.value, str):  # string annotation: parse and recurse
+            try:
+                parsed = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return False
+            return _is_json_annotation(parsed)
+        return False
+    if isinstance(node, ast.Subscript):
+        head = _head_name(node.value)
+        inner = node.slice
+        if head in _OPTIONAL_HEADS:
+            return _is_json_annotation(inner)
+        if head in _TUPLE_HEADS:
+            elements = (
+                inner.elts if isinstance(inner, ast.Tuple) else [inner]
+            )
+            return all(
+                _is_json_annotation(element)
+                for element in elements
+                if not (
+                    isinstance(element, ast.Constant)
+                    and element.value is Ellipsis
+                )
+            )
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # PEP 604 unions: every arm must be allowed (None arms included).
+        return _is_json_annotation(node.left) and _is_json_annotation(node.right)
+    return False
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> Optional[ast.AST]:
+    """The ``@dataclass``/``@dataclass(...)`` decorator, if present."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = _head_name(target)
+        if name == "dataclass":
+            return decorator
+    return None
+
+
+def _is_frozen(decorator: ast.AST) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen":
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            )
+    return False
+
+
+def _is_journal_record(node: ast.ClassDef) -> bool:
+    """A class opts into the rule via its base or a record_type ClassVar."""
+    for base in node.bases:
+        if _head_name(base) == "JournalRecord":
+            return True
+    for statement in node.body:
+        if (
+            isinstance(statement, ast.AnnAssign)
+            and isinstance(statement.target, ast.Name)
+            and statement.target.id == "record_type"
+            and _head_name_of_annotation_head(statement.annotation)
+            in _CLASSVAR_HEADS
+        ):
+            return True
+    return False
+
+
+def _head_name_of_annotation_head(annotation: ast.AST) -> Optional[str]:
+    if isinstance(annotation, ast.Subscript):
+        return _head_name(annotation.value)
+    return _head_name(annotation)
+
+
+@register
+class JournalRecordRule(Rule):
+    """JRN001: journal record dataclasses must be frozen and JSON-typed.
+
+    Flags a journal-record class (one with a ``JournalRecord`` base or a
+    ``record_type`` ``ClassVar``) that is not a ``frozen=True``
+    dataclass, and every field whose annotation is not built from
+    ``int``/``str``/``bool``/``float``, ``Optional[...]`` and
+    ``Tuple[...]`` — the only shapes that survive the canonical-JSON
+    envelope losslessly.  ``ClassVar`` declarations are not fields and
+    are ignored.
+    """
+
+    rule_id = "JRN001"
+    name = "journal-record-shape"
+    description = (
+        "Journal records must be frozen dataclasses with only "
+        "JSON-serializable field types (int/str/bool/float, "
+        "Optional/Tuple thereof) so the write-ahead log round-trips "
+        "losslessly."
+    )
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_journal_record(node):
+                continue
+            yield from self._check_record(ctx, node)
+
+    def _check_record(
+        self, ctx: FileContext, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        decorator = _dataclass_decorator(node)
+        if decorator is None:
+            yield self.finding(
+                ctx,
+                node,
+                f"journal record {node.name} must be a "
+                "@dataclass(frozen=True)",
+            )
+        elif not _is_frozen(decorator):
+            yield self.finding(
+                ctx,
+                node,
+                f"journal record {node.name} must be declared "
+                "frozen=True; appended records may not mutate",
+            )
+        for statement in node.body:
+            if not isinstance(statement, ast.AnnAssign):
+                continue
+            if not isinstance(statement.target, ast.Name):
+                continue
+            if (
+                _head_name_of_annotation_head(statement.annotation)
+                in _CLASSVAR_HEADS
+            ):
+                continue
+            if not _is_json_annotation(statement.annotation):
+                source = ast.unparse(statement.annotation)
+                yield self.finding(
+                    ctx,
+                    statement,
+                    f"journal record field {node.name}."
+                    f"{statement.target.id} has non-JSON-serializable "
+                    f"type {source!r}; use int/str/bool/float, "
+                    "Optional[...] or Tuple[...] of those",
+                )

@@ -129,6 +129,24 @@ CASES = {
             "        return 'x'\n"
         ),
     ),
+    "JRN001": Case(
+        bad=(
+            "from dataclasses import dataclass\n"
+            "\n"
+            "@dataclass\n"
+            "class AddBlock(JournalRecord):\n"
+            "    block_id: int\n"
+        ),
+        bad_line=4,
+        good=(
+            "from dataclasses import dataclass\n"
+            "\n"
+            "@dataclass(frozen=True)\n"
+            "class AddBlock(JournalRecord):\n"
+            "    block_id: int\n"
+        ),
+        path="src/repro/journal/records.py",
+    ),
 }
 
 
@@ -322,3 +340,63 @@ class TestFlt001Details:
     def test_non_time_names_ok(self):
         src = "def f(count, total):\n    return count == total\n"
         assert not findings_for("FLT001", src, "x.py")
+
+
+class TestJrn001Details:
+    HEAD = (
+        "from dataclasses import dataclass\n"
+        "from typing import ClassVar, Dict, List, Optional, Tuple\n"
+        "\n"
+    )
+
+    def test_dict_field_flagged(self):
+        src = self.HEAD + (
+            "@dataclass(frozen=True)\n"
+            "class Bad(JournalRecord):\n"
+            "    retained: Dict[int, int]\n"
+        )
+        found = findings_for("JRN001", src, "src/repro/journal/records.py")
+        assert found and "retained" in found[0].message
+
+    def test_list_field_flagged(self):
+        src = self.HEAD + (
+            "@dataclass(frozen=True)\n"
+            "class Bad(JournalRecord):\n"
+            "    parity: List[int]\n"
+        )
+        assert findings_for("JRN001", src, "src/repro/journal/records.py")
+
+    def test_tuple_and_optional_ok(self):
+        src = self.HEAD + (
+            "@dataclass(frozen=True)\n"
+            "class Good(JournalRecord):\n"
+            "    record_type: ClassVar[str] = 'good'\n"
+            "    stripe_id: Optional[int] = None\n"
+            "    pairs: Tuple[Tuple[int, int], ...] = ()\n"
+        )
+        assert not findings_for("JRN001", src, "src/repro/journal/records.py")
+
+    def test_record_type_classvar_opts_in_without_base(self):
+        src = self.HEAD + (
+            "class Bad:\n"
+            "    record_type: ClassVar[str] = 'bad'\n"
+            "    payload: int = 0\n"
+        )
+        found = findings_for("JRN001", src, "src/repro/journal/records.py")
+        assert found and "dataclass(frozen=True)" in found[0].message
+
+    def test_plain_dataclass_not_a_record_ignored(self):
+        src = self.HEAD + (
+            "@dataclass\n"
+            "class Config:\n"
+            "    options: Dict[str, int]\n"
+        )
+        assert not findings_for("JRN001", src, "src/repro/journal/x.py")
+
+    def test_pep604_optional_ok(self):
+        src = self.HEAD + (
+            "@dataclass(frozen=True)\n"
+            "class Good(JournalRecord):\n"
+            "    stripe_id: int | None = None\n"
+        )
+        assert not findings_for("JRN001", src, "src/repro/journal/records.py")
