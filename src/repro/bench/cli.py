@@ -49,6 +49,41 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_false",
         help="skip the discovered figure benchmarks",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard scenarios across N worker processes (default: 0, "
+        "in-process; results identical modulo wall_time_s)",
+    )
+    sub = parser.add_subparsers(dest="bench_command", metavar="")
+    compare = sub.add_parser(
+        "compare",
+        help="gate a new BENCH_<tag>.json against a baseline report",
+    )
+    compare.add_argument("old", help="baseline BENCH_<tag>.json")
+    compare.add_argument("new", help="candidate BENCH_<tag>.json")
+    compare.add_argument(
+        "--max-regress",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="allowed wall-time regression in percent (default: 10)",
+    )
+    compare.add_argument(
+        "--ops-only",
+        action="store_true",
+        help="compare op counts only; ignore wall times (cross-machine CI)",
+    )
+    compare.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="exclude scenario NAME from the comparison (repeatable; for "
+        "documented op-attribution changes)",
+    )
+    compare.set_defaults(func=cmd_bench_compare)
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -63,5 +98,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
         name_filter=args.name_filter,
         include_figures=args.include_figures,
         echo=print,
+        workers=args.workers,
+    )
+    return 0 if result.ok else 1
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Compare two bench reports; non-zero exit on regression."""
+    from repro.bench.compare import compare_reports, load_report
+
+    result = compare_reports(
+        load_report(args.old),
+        load_report(args.new),
+        max_regress=args.max_regress,
+        ops_only=args.ops_only,
+        ignore=args.ignore,
+    )
+    for note in result.notes:
+        print(f"note {note}")
+    for failure in result.failures:
+        print(f"FAIL {failure}")
+    verdict = "ok" if result.ok else "REGRESSED"
+    print(
+        f"{verdict}: {result.compared} scenarios compared, "
+        f"{len(result.failures)} failures, {len(result.notes)} notes"
     )
     return 0 if result.ok else 1

@@ -1,0 +1,117 @@
+"""``repro bench compare``: gate a new bench report against a baseline.
+
+Counted work (the ``ops`` maps) is deterministic for a fixed seed, so it
+is compared **exactly** — any divergence on a common scenario fails the
+gate.  Wall times are machine noise; they only fail when the new report
+regresses beyond ``--max-regress`` percent.  Scenarios present only in
+the new report are informational (no baseline to hold them to); scenarios
+*missing* from the new report fail — losing coverage is a regression too.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+
+@dataclass
+class CompareResult:
+    """Outcome of one report comparison."""
+
+    failures: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no common scenario regressed or went missing."""
+        return not self.failures
+
+
+def _ops_divergence(old_ops: Dict, new_ops: Dict) -> str:
+    """First differing counter, as ``counter: old -> new`` detail."""
+    for key in sorted(set(old_ops) | set(new_ops)):
+        old_value = old_ops.get(key, 0)
+        new_value = new_ops.get(key, 0)
+        if old_value != new_value:
+            return f"{key}: {old_value} -> {new_value}"
+    return "ops maps differ"
+
+
+def compare_reports(
+    old: Dict,
+    new: Dict,
+    max_regress: float = 10.0,
+    ops_only: bool = False,
+    ignore: Sequence[str] = (),
+) -> CompareResult:
+    """Compare two bench reports scenario by scenario.
+
+    Args:
+        old: Baseline report (parsed ``BENCH_<tag>.json``).
+        new: Candidate report.
+        max_regress: Allowed wall-time regression in percent.
+        ops_only: Skip wall-time thresholds entirely — the mode CI uses
+            across machines, where wall times are not comparable.
+        ignore: Scenario names excluded from the comparison — for
+            *documented* op-attribution changes (the invocation should
+            say why each name is listed).  Ignored scenarios surface as
+            notes so they cannot disappear silently.
+    """
+    result = CompareResult()
+    ignored = set(ignore)
+    old_map = {entry["name"]: entry for entry in old["scenarios"]}
+    new_map = {entry["name"]: entry for entry in new["scenarios"]}
+    if old.get("seed") != new.get("seed"):
+        result.failures.append(
+            f"seed mismatch: old {old.get('seed')} vs new {new.get('seed')} "
+            "(ops are only comparable for identical seeds)"
+        )
+        return result
+    for name in sorted(old_map):
+        if name in ignored:
+            result.notes.append(f"{name}: ignored by request")
+            continue
+        if name not in new_map:
+            result.failures.append(f"{name}: missing from the new report")
+            continue
+        old_entry, new_entry = old_map[name], new_map[name]
+        result.compared += 1
+        if new_entry.get("error"):
+            result.failures.append(f"{name}: failed ({new_entry['error']})")
+            continue
+        if old_entry.get("error"):
+            result.notes.append(f"{name}: baseline had failed; now passes")
+            continue
+        if old_entry["ops"] != new_entry["ops"]:
+            result.failures.append(
+                f"{name}: ops diverged "
+                f"({_ops_divergence(old_entry['ops'], new_entry['ops'])})"
+            )
+            continue
+        if ops_only:
+            continue
+        old_wall = float(old_entry["wall_time_s"])
+        new_wall = float(new_entry["wall_time_s"])
+        limit = old_wall * (1.0 + max_regress / 100.0)
+        if old_wall > 0 and new_wall > limit:
+            change = 100.0 * (new_wall / old_wall - 1.0)
+            result.failures.append(
+                f"{name}: wall time regressed {change:+.1f}% "
+                f"(old {old_wall:.4f}s, new {new_wall:.4f}s, "
+                f"limit +{max_regress:.1f}%)"
+            )
+    for name in sorted(set(new_map) - set(old_map)):
+        result.notes.append(f"{name}: new scenario (no baseline)")
+    return result
+
+
+def load_report(path: Union[str, Path]) -> Dict:
+    """Read and minimally validate a bench report file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if not isinstance(report, dict) or "scenarios" not in report:
+        raise ValueError(f"{path} is not a bench report (no 'scenarios' key)")
+    return report

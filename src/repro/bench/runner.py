@@ -45,7 +45,57 @@ def _scenario_seed(master_seed: int, name: str) -> int:
     return zlib.crc32(name.encode("utf-8")) ^ (master_seed & 0xFFFFFFFF)
 
 
+def _strip_wall(entry: Dict) -> Dict:
+    """Drop machine-dependent fields before differential comparison.
+
+    ``wall_time_s`` is always volatile; scenario metrics prefixed
+    ``wall_`` (timings and ratios of timings) are volatile by convention.
+    """
+    trimmed = dict(entry)
+    trimmed.pop("wall_time_s", None)
+    metrics = trimmed.get("metrics")
+    if isinstance(metrics, dict):
+        trimmed["metrics"] = {
+            key: value
+            for key, value in metrics.items()
+            if not key.startswith("wall_")
+        }
+    return trimmed
+
+
+def run_scenario_by_name(
+    name: str,
+    smoke: bool = False,
+    bench_dir: Optional[str] = None,
+    seed: int = 0,
+) -> Dict:
+    """Rebuild the scenario registry in this process and run one scenario.
+
+    Scenario callables are closures and cannot cross a process boundary;
+    workers receive only the scenario *name* plus the registry inputs
+    (``smoke``, ``bench_dir``) and reconstruct the identical scenario
+    locally.  ``seed`` is the master seed — the per-scenario RNG derivation
+    matches :func:`_run_scenario` exactly.
+    """
+    for scenario in builtin_scenarios(smoke):
+        if scenario.name == name:
+            return _run_scenario(scenario, seed)
+    discovered, __ = discover_figure_scenarios(
+        Path(bench_dir) if bench_dir is not None else None
+    )
+    for scenario in discovered:
+        if scenario.name == name:
+            return _run_scenario(scenario, seed)
+    raise KeyError(f"no such scenario: {name!r}")
+
+
 def _run_scenario(scenario: Scenario, master_seed: int) -> Dict:
+    from repro.erasure import reset_memo_caches
+
+    # Hermetic measurement: without this, a scenario's op counts depend on
+    # whether an earlier scenario in the same process already built the
+    # GF matrices it uses — and therefore on worker placement.
+    reset_memo_caches()
     rng = random.Random(_scenario_seed(master_seed, scenario.name))
     error: Optional[str] = None
     metrics: Dict[str, float] = {}
@@ -80,6 +130,7 @@ def run_bench(
     bench_dir: Optional[Path] = None,
     scenarios: Optional[Sequence[Scenario]] = None,
     echo: Optional[Callable[[str], None]] = None,
+    workers: int = 0,
 ) -> BenchResult:
     """Run the benchmark suite and write ``BENCH_<tag>.json``.
 
@@ -95,7 +146,13 @@ def run_bench(
             default is ``not smoke``.
         bench_dir: Override the ``benchmarks/`` directory (tests).
         scenarios: Explicit scenario list, replacing registry + discovery.
+            Explicit scenarios always run sequentially — their callables
+            are closures and cannot cross a process boundary.
         echo: Per-scenario progress sink (e.g. ``print``); quiet when None.
+        workers: Shard scenarios across this many worker processes; ``0``
+            runs in-process.  Every entry except ``wall_time_s`` is
+            identical either way (scenario RNGs derive from the master
+            seed and the scenario name, never from run order).
 
     Returns:
         A :class:`BenchResult`; ``failures`` lists scenarios whose ``error``
@@ -115,18 +172,40 @@ def run_bench(
     if name_filter:
         selected = [s for s in selected if name_filter in s.name]
 
-    entries: List[Dict] = []
+    if workers > 0 and scenarios is None:
+        from repro.parallel.executor import SweepExecutor
+        from repro.parallel.spec import TrialSpec
+
+        specs = [
+            TrialSpec(
+                fn=run_scenario_by_name,
+                config={
+                    "name": scenario.name,
+                    "smoke": smoke,
+                    "bench_dir": (
+                        str(bench_dir) if bench_dir is not None else None
+                    ),
+                },
+                seed=seed,
+                tag=f"bench.{scenario.name}",
+                cacheable=False,  # wall times go stale; never cache these
+                normalize=_strip_wall,
+            )
+            for scenario in selected
+        ]
+        entries = SweepExecutor(workers=workers).map_trials(specs)
+    else:
+        entries = [_run_scenario(scenario, seed) for scenario in selected]
+
     failures: List[str] = []
-    for scenario in selected:
-        entry = _run_scenario(scenario, seed)
-        entries.append(entry)
+    for entry in entries:
         if entry["error"] is not None:
-            failures.append(scenario.name)
-            say(f"FAIL {scenario.name}: {entry['error']}")
+            failures.append(entry["name"])
+            say(f"FAIL {entry['name']}: {entry['error']}")
         else:
             ops = sum(entry["ops"].values())
             say(
-                f"ok   {scenario.name}  "
+                f"ok   {entry['name']}  "
                 f"wall={entry['wall_time_s']:.4f}s ops={ops:.0f}"
             )
     for name in skipped:

@@ -435,6 +435,97 @@ def _journal_checkpoint():
 # ----------------------------------------------------------------------
 # Simulation kernel
 # ----------------------------------------------------------------------
+def _sim_event_churn(events: int, processes: int, timeouts: int):
+    def run(rng: random.Random) -> Dict[str, float]:
+        import sys
+
+        from repro.sim.engine import Event, Simulator
+        from repro.sim.metrics import measure_ops as measure
+
+        class DictEvent(Event):
+            """The pre-__slots__ layout: same event plus an instance dict."""
+
+        sim = Simulator()
+        # sys.getsizeof is deterministic per interpreter build, unlike a
+        # tracemalloc trace, so the reduction can be asserted and recorded.
+        slotted = sys.getsizeof(Event(sim))
+        dict_probe = DictEvent(sim)
+        dictful = sys.getsizeof(dict_probe) + sys.getsizeof(dict_probe.__dict__)
+        if slotted >= dictful:
+            raise AssertionError(
+                "slotted events are not smaller than dict-bearing events"
+            )
+
+        churn_sim = Simulator()
+        delays = [rng.random() for __ in range(processes)]
+
+        def ticker(delay: float):
+            for __ in range(timeouts):
+                yield churn_sim.timeout(delay)
+
+        for delay in delays:
+            churn_sim.process(ticker(delay))
+        with measure() as measured:
+            churn_sim.run()
+        return {
+            "bytes_per_event_slots": float(slotted),
+            "bytes_per_event_dict": float(dictful),
+            "alloc_reduction": 1.0 - slotted / dictful,
+            "events_churned": float(measured.get("sim.events")),
+        }
+
+    return run
+
+
+def _parallel_sweep_speedup(trials: int, blocks: int, workers: int):
+    def run(rng: random.Random) -> Dict[str, float]:
+        import time
+
+        from repro.erasure.codec import CodeParams
+        from repro.experiments.loadbalance import (
+            LoadBalanceConfig,
+            _storage_trial,
+        )
+        from repro.parallel import SweepExecutor, TrialSpec
+
+        config = LoadBalanceConfig(
+            num_racks=8, nodes_per_rack=4, code=CodeParams(6, 4)
+        )
+        seed = rng.randrange(2**31)
+        specs = [
+            TrialSpec(
+                fn=_storage_trial,
+                config={
+                    "policy_name": "rr",
+                    "config": config,
+                    "num_blocks": blocks,
+                },
+                seed=seed + index,
+                tag="bench.sweep_speedup",
+            )
+            for index in range(trials)
+        ]
+        start = time.perf_counter()
+        sequential = SweepExecutor(workers=0).map_trials(specs)
+        wall_sequential = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = SweepExecutor(workers=workers).map_trials(specs)
+        wall_parallel = time.perf_counter() - start
+        if sequential != parallel:
+            raise AssertionError("parallel sweep diverged from sequential")
+        # "wall_"-prefixed metrics are machine noise by convention; the
+        # runner's differential comparison strips them (see _strip_wall).
+        return {
+            "trials": float(trials),
+            "workers": float(workers),
+            "wall_sequential_s": wall_sequential,
+            "wall_parallel_s": wall_parallel,
+            "wall_speedup": wall_sequential / max(wall_parallel, 1e-9),
+        }
+
+    return run
+
+
 def _sim_events(processes: int, timeouts: int):
     def run(rng: random.Random) -> Dict[str, float]:
         from repro.sim.engine import Simulator
@@ -548,6 +639,26 @@ def builtin_scenarios(smoke: bool = False) -> List[Scenario]:
             "sim_event_throughput",
             {"processes": processes, "timeouts": timeouts},
             _sim_events(processes, timeouts),
+        ),
+        scenario(
+            "sim_event_churn",
+            {
+                "events": processes * timeouts,
+                "processes": processes,
+                "timeouts": timeouts,
+            },
+            _sim_event_churn(processes * timeouts, processes, timeouts),
+        ),
+        scenario(
+            "parallel_sweep_speedup",
+            {
+                "trials": 2 if smoke else 8,
+                "blocks": 200 if smoke else 2000,
+                "workers": 2,
+            },
+            _parallel_sweep_speedup(
+                2 if smoke else 8, 200 if smoke else 2000, 2
+            ),
         ),
         scenario(
             "journal_append_throughput",

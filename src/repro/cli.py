@@ -167,14 +167,34 @@ def cmd_fig12(args) -> None:
     ))
 
 
+def _executor_from_args(args):
+    """Build a SweepExecutor from ``--workers``/``--no-cache`` (or None)."""
+    from repro.parallel.executor import make_executor
+
+    workers = getattr(args, "workers", None)
+    cache_dir = None
+    if workers is not None and not getattr(args, "no_cache", False):
+        from repro.parallel.cache import DEFAULT_CACHE_DIR
+
+        cache_dir = DEFAULT_CACHE_DIR
+    return make_executor(workers, cache_dir=cache_dir)
+
+
+def _report_sweep(executor) -> None:
+    if executor is not None and executor.last_report is not None:
+        print(f"[sweep] {executor.last_report.summary()}")
+
+
 def _largescale_sweep(sweep, args, header: str, formatter) -> None:
     base = LargeScaleConfig().scaled(args.stripes_per_process)
-    points = sweep(base=base, seeds=range(args.seeds))
+    executor = _executor_from_args(args)
+    points = sweep(base=base, seeds=range(args.seeds), executor=executor)
     rows = [
         [formatter(p.parameter), _pct(p.encode_gain), _pct(p.write_gain)]
         for p in points
     ]
     print(format_table([header, "encode gain", "write gain"], rows))
+    _report_sweep(executor)
 
 
 def cmd_fig13a(args) -> None:
@@ -264,31 +284,59 @@ def cmd_fig14(args) -> None:
     """Figure 14: storage load balance."""
     from repro.experiments.loadbalance import storage_balance
 
-    shares = storage_balance(num_blocks=args.blocks, runs=args.runs)
+    executor = _executor_from_args(args)
+    shares = storage_balance(
+        num_blocks=args.blocks, runs=args.runs, executor=executor
+    )
     ranks = (0, 4, 9, 14, 19)
     rows = [
         [p.upper()] + [f"{100 * shares[p][r]:.3f}%" for r in ranks]
         for p in ("rr", "ear")
     ]
     print(format_table(["policy"] + [f"rank {r + 1}" for r in ranks], rows))
+    _report_sweep(executor)
 
 
 def cmd_fig15(args) -> None:
     """Figure 15: read load balance (hotness index)."""
     from repro.experiments.loadbalance import read_balance
 
+    executor = _executor_from_args(args)
     sizes = (1, 10, 100, 1000, 10_000)
-    result = read_balance(file_sizes=sizes, runs=args.runs)
+    result = read_balance(file_sizes=sizes, runs=args.runs, executor=executor)
     rows = [
         [p.upper()] + [f"{100 * result[p][s]:.2f}%" for s in sizes]
         for p in ("rr", "ear")
     ]
     print(format_table(["policy"] + [f"F={s}" for s in sizes], rows))
+    _report_sweep(executor)
+
+
+def cmd_cache(args) -> int:
+    """Inspect or clear the parallel sweep result cache."""
+    from repro.parallel.cli import cmd_cache as run
+
+    return run(args)
 
 
 # ----------------------------------------------------------------------
 # Parser assembly
 # ----------------------------------------------------------------------
+def _add_workers_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run sweep trials through the parallel executor with N worker "
+        "processes (0 = in-process executor; results are identical)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="with --workers: skip the on-disk result cache",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -336,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=func.__doc__)
         p.add_argument("--stripes-per-process", type=int, default=10)
         p.add_argument("--seeds", type=int, default=2)
+        _add_workers_arguments(p)
         p.set_defaults(func=func)
 
     p = sub.add_parser("chaos", help=cmd_chaos.__doc__)
@@ -368,11 +417,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig14", help=cmd_fig14.__doc__)
     p.add_argument("--blocks", type=int, default=10_000)
     p.add_argument("--runs", type=int, default=10)
+    _add_workers_arguments(p)
     p.set_defaults(func=cmd_fig14)
 
     p = sub.add_parser("fig15", help=cmd_fig15.__doc__)
     p.add_argument("--runs", type=int, default=10)
+    _add_workers_arguments(p)
     p.set_defaults(func=cmd_fig15)
+
+    p = sub.add_parser("cache", help=cmd_cache.__doc__)
+    from repro.parallel.cli import add_cache_arguments
+
+    add_cache_arguments(p)
+    p.set_defaults(func=cmd_cache)
 
     return parser
 

@@ -23,6 +23,26 @@ from repro.erasure.codec import (
 )
 from repro.erasure.galois import GF256
 
+
+def reset_memo_caches() -> None:
+    """Clear the process-local generator/decode matrix memo caches.
+
+    Matrix construction is counted work (``gf.kernel_calls`` etc.), so a
+    measured region's op counts depend on whether an *earlier* computation
+    in the same process already built the matrices it needs.  Harnesses
+    that promise location-independent op accounting (the bench runner, the
+    parallel sweep executor) call this before each measured trial so every
+    trial sees the same cold-cache state regardless of the process — or
+    the order — it runs in.
+    """
+    from repro.erasure import cauchy, reed_solomon
+
+    reed_solomon.generator_matrix.cache_clear()
+    reed_solomon.decode_matrix.cache_clear()
+    cauchy.generator_matrix.cache_clear()
+    cauchy.decode_matrix.cache_clear()
+
+
 __all__ = [
     "CauchyRSCodec",
     "CodeParams",
@@ -30,4 +50,5 @@ __all__ = [
     "GF256",
     "ReedSolomonCodec",
     "make_codec",
+    "reset_memo_caches",
 ]

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Generator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Generator, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # avoid importing the executor machinery at module load
+    from repro.parallel.executor import SweepExecutor
 
 from repro.cluster.topology import ClusterTopology
 from repro.core.stripe import Stripe
@@ -232,7 +235,43 @@ def _normalised_sweep(
     parameters: Sequence[float],
     make_config,
     seeds: Sequence[int],
+    executor: Optional["SweepExecutor"] = None,
 ) -> List[NormalisedPoint]:
+    """Run ``compare_policies`` over the ``parameters x seeds`` grid.
+
+    With an executor, every (parameter, seed) cell becomes one
+    :class:`~repro.parallel.spec.TrialSpec`; specs are built in the exact
+    sequential iteration order and the executor reassembles results in
+    spec order, so the regrouped points are identical to the plain loop.
+    """
+    if executor is not None:
+        from repro.parallel.spec import TrialSpec
+
+        seed_list = list(seeds)
+        configs = [make_config(value) for value in parameters]
+        specs = [
+            TrialSpec(
+                fn=compare_policies,
+                config={"config": config},
+                seed=seed,
+                tag="largescale.compare",
+            )
+            for config in configs
+            for seed in seed_list
+        ]
+        flat = executor.map_trials(specs)
+        per_value = [
+            flat[i * len(seed_list) : (i + 1) * len(seed_list)]
+            for i in range(len(configs))
+        ]
+        return [
+            NormalisedPoint(
+                parameter=value,
+                encode_ratios=tuple(r[0] for r in ratios),
+                write_ratios=tuple(r[1] for r in ratios),
+            )
+            for value, ratios in zip(parameters, per_value)
+        ]
     points = []
     for value in parameters:
         config = make_config(value)
@@ -255,6 +294,7 @@ def sweep_k(
     parity: int = 4,
     base: Optional[LargeScaleConfig] = None,
     seeds: Sequence[int] = range(3),
+    executor: Optional["SweepExecutor"] = None,
 ) -> List[NormalisedPoint]:
     """Figure 13(a): vary ``k`` with ``n - k`` fixed at 4."""
     base = base if base is not None else LargeScaleConfig()
@@ -262,6 +302,7 @@ def sweep_k(
         ks,
         lambda k: replace(base, code=CodeParams(int(k) + parity, int(k))),
         seeds,
+        executor=executor,
     )
 
 
@@ -270,6 +311,7 @@ def sweep_m(
     k: int = 10,
     base: Optional[LargeScaleConfig] = None,
     seeds: Sequence[int] = range(3),
+    executor: Optional["SweepExecutor"] = None,
 ) -> List[NormalisedPoint]:
     """Figure 13(b): vary ``n - k`` with ``k`` fixed at 10."""
     base = base if base is not None else LargeScaleConfig()
@@ -277,6 +319,7 @@ def sweep_m(
         ms,
         lambda m: replace(base, code=CodeParams(k + int(m), k)),
         seeds,
+        executor=executor,
     )
 
 
@@ -284,6 +327,7 @@ def sweep_bandwidth(
     gbps: Sequence[float] = (0.2, 0.5, 1.0, 2.0),
     base: Optional[LargeScaleConfig] = None,
     seeds: Sequence[int] = range(3),
+    executor: Optional["SweepExecutor"] = None,
 ) -> List[NormalisedPoint]:
     """Figure 13(c): vary the top-of-rack and core link bandwidth."""
     base = base if base is not None else LargeScaleConfig()
@@ -291,6 +335,7 @@ def sweep_bandwidth(
         gbps,
         lambda g: replace(base, bandwidth=g * 1e9 / 8),
         seeds,
+        executor=executor,
     )
 
 
@@ -298,6 +343,7 @@ def sweep_write_rate(
     rates: Sequence[float] = (1.0, 2.0, 3.0, 4.0),
     base: Optional[LargeScaleConfig] = None,
     seeds: Sequence[int] = range(3),
+    executor: Optional["SweepExecutor"] = None,
 ) -> List[NormalisedPoint]:
     """Figure 13(d): vary the write request arrival rate."""
     base = base if base is not None else LargeScaleConfig()
@@ -305,6 +351,7 @@ def sweep_write_rate(
         rates,
         lambda r: replace(base, write_rate=float(r)),
         seeds,
+        executor=executor,
     )
 
 
@@ -312,6 +359,7 @@ def sweep_rack_tolerance(
     tolerances: Sequence[int] = (1, 2, 3, 4),
     base: Optional[LargeScaleConfig] = None,
     seeds: Sequence[int] = range(3),
+    executor: Optional["SweepExecutor"] = None,
 ) -> List[NormalisedPoint]:
     """Figure 13(e): vary EAR's tolerable rack failures (via ``c``).
 
@@ -328,13 +376,14 @@ def sweep_rack_tolerance(
             base, ear_c=c, ear_target_racks=base.code.min_racks(c)
         )
 
-    return _normalised_sweep(tolerances, make_config, seeds)
+    return _normalised_sweep(tolerances, make_config, seeds, executor=executor)
 
 
 def sweep_oversubscription(
     ratios: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
     base: Optional[LargeScaleConfig] = None,
     seeds: Sequence[int] = range(3),
+    executor: Optional["SweepExecutor"] = None,
 ) -> List[NormalisedPoint]:
     """Extension sweep: vary the rack uplink over-subscription ratio.
 
@@ -350,6 +399,7 @@ def sweep_oversubscription(
         ratios,
         lambda r: replace(base, oversubscription=float(r)),
         seeds,
+        executor=executor,
     )
 
 
@@ -357,6 +407,7 @@ def sweep_replicas(
     replica_counts: Sequence[int] = (2, 3, 4, 6, 8),
     base: Optional[LargeScaleConfig] = None,
     seeds: Sequence[int] = range(3),
+    executor: Optional["SweepExecutor"] = None,
 ) -> List[NormalisedPoint]:
     """Figure 13(f): vary the replication factor, one rack per replica."""
     base = base if base is not None else LargeScaleConfig()
@@ -364,4 +415,5 @@ def sweep_replicas(
         replica_counts,
         lambda r: replace(base, replicas=int(r), replica_racks=int(r)),
         seeds,
+        executor=executor,
     )

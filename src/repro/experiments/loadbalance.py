@@ -9,9 +9,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.analysis.load_balance import read_balance_study, storage_balance_study
+from repro.analysis.load_balance import (
+    hotness_index,
+    rack_replica_shares,
+    read_balance_study,
+    storage_balance_study,
+)
+
+if TYPE_CHECKING:  # avoid importing the executor machinery at module load
+    from repro.parallel.executor import SweepExecutor
 from repro.cluster.topology import ClusterTopology
 from repro.core.policy import PlacementPolicy, ReplicationScheme
 from repro.erasure.codec import CodeParams
@@ -47,19 +55,77 @@ def _factory(policy_name: str, config: LoadBalanceConfig):
     return make
 
 
+def _storage_trial(
+    policy_name: str,
+    config: LoadBalanceConfig,
+    num_blocks: int,
+    seed: int,
+) -> List[float]:
+    """One Monte-Carlo storage run — the parallel unit of Figure 14."""
+    policy = _factory(policy_name, config)(random.Random(seed))
+    return rack_replica_shares(policy, num_blocks)
+
+
+def _read_trial(
+    policy_name: str,
+    config: LoadBalanceConfig,
+    file_blocks: int,
+    seed: int,
+) -> float:
+    """One hotness-index run — the parallel unit of Figure 15."""
+    policy = _factory(policy_name, config)(random.Random(seed))
+    return hotness_index(policy, file_blocks)
+
+
 def storage_balance(
     num_blocks: int = 10_000,
     runs: int = 20,
     config: Optional[LoadBalanceConfig] = None,
     seed: int = 0,
+    executor: Optional["SweepExecutor"] = None,
 ) -> Dict[str, List[float]]:
     """Figure 14: mean sorted per-rack replica shares per policy.
 
     The paper uses 10,000 blocks and 10,000 runs; shares land between 4.9%
     and 5.1% for both policies on 20 racks.  ``runs`` trades precision for
     wall-clock and is recorded in EXPERIMENTS.md.
+
+    With an ``executor`` each (policy, run) pair becomes one trial; the
+    per-run shares are then averaged in the same run order and with the
+    same float arithmetic as the sequential study, so the result is
+    byte-identical.
     """
     config = config if config is not None else LoadBalanceConfig()
+    if executor is not None:
+        from repro.parallel.spec import TrialSpec
+
+        specs = [
+            TrialSpec(
+                fn=_storage_trial,
+                config={
+                    "policy_name": policy,
+                    "config": config,
+                    "num_blocks": num_blocks,
+                },
+                seed=seed + run,
+                tag=f"loadbalance.storage.{policy}",
+            )
+            for policy in PolicyName.ALL
+            for run in range(runs)
+        ]
+        flat = iter(executor.map_trials(specs))
+        out: Dict[str, List[float]] = {}
+        for policy in PolicyName.ALL:
+            accumulated: Optional[List[float]] = None
+            for __ in range(runs):
+                shares = next(flat)
+                if accumulated is None:
+                    accumulated = shares
+                else:
+                    accumulated = [a + s for a, s in zip(accumulated, shares)]
+            assert accumulated is not None
+            out[policy] = [a / runs for a in accumulated]
+        return out
     return {
         policy: storage_balance_study(
             _factory(policy, config), num_blocks, runs, seed=seed
@@ -73,9 +139,44 @@ def read_balance(
     runs: int = 20,
     config: Optional[LoadBalanceConfig] = None,
     seed: int = 0,
+    executor: Optional["SweepExecutor"] = None,
 ) -> Dict[str, Dict[int, float]]:
-    """Figure 15: mean hotness index H per file size per policy."""
+    """Figure 15: mean hotness index H per file size per policy.
+
+    With an ``executor`` each (policy, size, run) cell becomes one trial,
+    seeded exactly as the sequential study seeds it; per-size means are
+    re-accumulated in run order so the result is byte-identical.
+    """
     config = config if config is not None else LoadBalanceConfig()
+    if executor is not None:
+        from repro.parallel.spec import TrialSpec
+
+        specs = [
+            TrialSpec(
+                fn=_read_trial,
+                config={
+                    "policy_name": policy,
+                    "config": config,
+                    "file_blocks": size,
+                },
+                seed=seed + 1000 * size + run,
+                tag=f"loadbalance.read.{policy}",
+            )
+            for policy in PolicyName.ALL
+            for size in file_sizes
+            for run in range(runs)
+        ]
+        flat = iter(executor.map_trials(specs))
+        result: Dict[str, Dict[int, float]] = {}
+        for policy in PolicyName.ALL:
+            means: Dict[int, float] = {}
+            for size in file_sizes:
+                total = 0.0
+                for __ in range(runs):
+                    total += next(flat)
+                means[size] = total / runs
+            result[policy] = means
+        return result
     return {
         policy: read_balance_study(
             _factory(policy, config), file_sizes, runs, seed=seed

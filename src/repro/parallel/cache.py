@@ -1,0 +1,271 @@
+"""On-disk, CRC-checked result cache keyed by trial fingerprint.
+
+Layout (``.repro-cache/`` by default)::
+
+    <fingerprint>.json   one cached trial result (typed JSON + CRC32)
+    cache-meta.json      insertion counter + cumulative hit/miss stats
+
+Every entry carries a CRC32 over the canonical payload text; a torn or
+bit-rotted entry fails the check and is treated as a miss (and removed),
+so a poisoned cache degrades to recomputation, never to wrong results.
+Entries beyond ``max_entries`` are evicted oldest-insertion-first — the
+insertion sequence is persisted, so eviction order is deterministic and
+independent of filesystem timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.parallel.codec import CacheCodecError, decode_value, encode_value
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: On-disk entry format version.
+ENTRY_VERSION = 1
+
+_META_NAME = "cache-meta.json"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of the cache directory and its cumulative counters."""
+
+    directory: str
+    entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+    corrupt: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups since the cache was created (0.0 when none)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def lines(self) -> List[str]:
+        """Human-readable summary for the ``repro cache stats`` CLI."""
+        return [
+            f"directory:  {self.directory}",
+            f"entries:    {self.entries}",
+            f"size:       {self.total_bytes} bytes",
+            f"hits:       {self.hits}",
+            f"misses:     {self.misses}",
+            f"hit rate:   {100.0 * self.hit_rate:.1f}%",
+            f"corrupt:    {self.corrupt}",
+            f"evictions:  {self.evictions}",
+        ]
+
+
+def _payload_crc(payload: Any) -> int:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+class ResultCache:
+    """Fingerprint-keyed store of trial results.
+
+    Args:
+        directory: Cache root; created lazily on the first ``put``.
+        max_entries: Eviction cap — after a put pushes the entry count
+            beyond this, oldest-inserted entries are removed.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path] = DEFAULT_CACHE_DIR,
+        max_entries: int = 4096,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.directory = Path(directory)
+        self.max_entries = max_entries
+        self._meta = self._load_meta()
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    def _meta_path(self) -> Path:
+        return self.directory / _META_NAME
+
+    def _load_meta(self) -> Dict[str, int]:
+        meta = {"seq": 0, "hits": 0, "misses": 0, "corrupt": 0, "evictions": 0}
+        try:
+            raw = json.loads(self._meta_path().read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return meta
+        for key in meta:
+            value = raw.get(key)
+            if isinstance(value, int) and value >= 0:
+                meta[key] = value
+        return meta
+
+    def _flush_meta(self) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(
+            self._meta_path(), json.dumps(self._meta, sort_keys=True)
+        )
+
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Entries
+    # ------------------------------------------------------------------
+    def _entry_path(self, fingerprint: str) -> Path:
+        if not fingerprint or any(c in fingerprint for c in "/\\."):
+            raise ValueError(f"malformed fingerprint {fingerprint!r}")
+        return self.directory / f"{fingerprint}.json"
+
+    def _entry_paths(self) -> List[Path]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            p for p in self.directory.glob("*.json") if p.name != _META_NAME
+        )
+
+    def get(self, fingerprint: str) -> Tuple[bool, Any]:
+        """Look up a fingerprint.
+
+        Returns:
+            ``(True, value)`` on a verified hit; ``(False, None)`` on a
+            miss.  Entries failing the CRC or decoding are deleted and
+            counted as corrupt misses.
+        """
+        path = self._entry_path(fingerprint)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            self._meta["misses"] += 1
+            self._flush_meta()
+            return False, None
+        except (OSError, ValueError):
+            return self._corrupt_miss(path)
+        try:
+            payload = document["payload"]
+            valid = (
+                document.get("version") == ENTRY_VERSION
+                and document.get("fingerprint") == fingerprint
+                and document.get("crc") == _payload_crc(payload)
+            )
+        except (TypeError, KeyError):
+            return self._corrupt_miss(path)
+        if not valid:
+            return self._corrupt_miss(path)
+        try:
+            value = decode_value(payload)
+        except CacheCodecError:
+            return self._corrupt_miss(path)
+        self._meta["hits"] += 1
+        self._flush_meta()
+        return True, value
+
+    def _corrupt_miss(self, path: Path) -> Tuple[bool, Any]:
+        try:
+            path.unlink()
+        except OSError:
+            pass  # already gone; the recompute will overwrite it
+        self._meta["corrupt"] += 1
+        self._meta["misses"] += 1
+        self._flush_meta()
+        return False, None
+
+    def put(self, fingerprint: str, value: Any, tag: str = "") -> bool:
+        """Store a trial result.
+
+        Returns:
+            True when stored; False when the value is not losslessly
+            encodable (the trial simply stays uncached).
+        """
+        try:
+            payload = encode_value(value)
+        except CacheCodecError:
+            return False
+        self._meta["seq"] += 1
+        document = {
+            "version": ENTRY_VERSION,
+            "fingerprint": fingerprint,
+            "tag": tag,
+            "seq": self._meta["seq"],
+            "payload": payload,
+            "crc": _payload_crc(payload),
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(
+            self._entry_path(fingerprint), json.dumps(document, sort_keys=True)
+        )
+        self._evict_over_cap()
+        self._flush_meta()
+        return True
+
+    def _evict_over_cap(self) -> None:
+        paths = self._entry_paths()
+        if len(paths) <= self.max_entries:
+            return
+        ordered: List[Tuple[int, Path]] = []
+        for path in paths:
+            try:
+                seq = json.loads(path.read_text(encoding="utf-8")).get("seq", 0)
+            except (OSError, ValueError):
+                seq = -1  # unreadable entries go first
+            ordered.append((int(seq), path))
+        ordered.sort(key=lambda pair: (pair[0], pair[1].name))
+        for __, path in ordered[: len(paths) - self.max_entries]:
+            try:
+                path.unlink()
+                self._meta["evictions"] += 1
+            except OSError:
+                pass  # racing unlink; nothing to evict anymore
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        """Current entry count, byte size, and cumulative counters."""
+        paths = self._entry_paths()
+        total = 0
+        for path in paths:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass  # entry vanished between listing and stat
+        return CacheStats(
+            directory=str(self.directory),
+            entries=len(paths),
+            total_bytes=total,
+            hits=self._meta["hits"],
+            misses=self._meta["misses"],
+            corrupt=self._meta["corrupt"],
+            evictions=self._meta["evictions"],
+        )
+
+    def clear(self) -> int:
+        """Delete every entry and reset the counters.
+
+        Returns:
+            The number of entries removed.
+        """
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass  # already gone
+        self._meta = {
+            "seq": 0, "hits": 0, "misses": 0, "corrupt": 0, "evictions": 0,
+        }
+        if self.directory.is_dir():
+            self._flush_meta()
+        return removed

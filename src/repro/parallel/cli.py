@@ -1,0 +1,34 @@
+"""``repro cache`` subcommand: inspect and clear the sweep result cache."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.parallel.cache import DEFAULT_CACHE_DIR, ResultCache
+
+
+def add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach ``repro cache`` arguments to an argparse parser."""
+    parser.add_argument(
+        "action",
+        choices=("stats", "clear"),
+        help="stats: show entry counts and hit rates; clear: delete all entries",
+    )
+    parser.add_argument(
+        "--dir",
+        dest="cache_dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Run the ``repro cache`` subcommand; returns a process exit code."""
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.directory}")
+        return 0
+    for line in cache.stats().lines():
+        print(line)
+    return 0

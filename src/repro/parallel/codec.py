@@ -1,0 +1,121 @@
+"""Typed JSON encoding for cached trial results.
+
+JSON alone cannot round-trip the result types sweeps return — tuples
+collapse to lists, integer dict keys to strings, dataclasses to nothing.
+The cache therefore stores a *typed* encoding that decodes back to an
+object equal to the original, so a cache hit is indistinguishable from a
+recomputation.
+
+Scope is deliberately small: plain data, containers, and dataclasses.
+Anything else raises :class:`CacheCodecError` and the executor simply
+skips caching that trial rather than storing a lossy representation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+from typing import Any
+
+
+class CacheCodecError(TypeError):
+    """A result value cannot be losslessly encoded (or decoded)."""
+
+
+_DATACLASS_KEY = "__dataclass__"
+_TUPLE_KEY = "__tuple__"
+_DICT_KEY = "__dict__"
+_BYTES_KEY = "__bytes__"
+_MARKERS = (_DATACLASS_KEY, _TUPLE_KEY, _DICT_KEY, _BYTES_KEY)
+
+
+def encode_value(value: Any) -> Any:
+    """Encode ``value`` into a JSON-able structure.
+
+    Raises:
+        CacheCodecError: For types outside the supported vocabulary.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return {_BYTES_KEY: value.hex()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return {
+            _DATACLASS_KEY: f"{cls.__module__}:{cls.__qualname__}",
+            "fields": {
+                field.name: encode_value(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, tuple):
+        return {_TUPLE_KEY: [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        # Pair list keeps non-string keys (int parameters) and order.
+        return {
+            _DICT_KEY: [
+                [encode_value(k), encode_value(v)] for k, v in value.items()
+            ]
+        }
+    raise CacheCodecError(
+        f"cannot cache a {type(value).__name__} result: {value!r}"
+    )
+
+
+def _resolve_dataclass(ref: str) -> type:
+    module_name, _, qualname = ref.partition(":")
+    if not module_name or not qualname:
+        raise CacheCodecError(f"malformed dataclass reference {ref!r}")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise CacheCodecError(f"cannot import {module_name!r}: {exc}") from exc
+    target: Any = module
+    for part in qualname.split("."):
+        target = getattr(target, part, None)
+        if target is None:
+            raise CacheCodecError(f"no such dataclass: {ref!r}")
+    if not (isinstance(target, type) and dataclasses.is_dataclass(target)):
+        raise CacheCodecError(f"{ref!r} is not a dataclass")
+    return target
+
+
+def decode_value(encoded: Any) -> Any:
+    """Invert :func:`encode_value`.
+
+    Raises:
+        CacheCodecError: On malformed or stale encodings (e.g. a cached
+            dataclass whose fields no longer match the class).
+    """
+    if encoded is None or isinstance(encoded, (bool, int, float, str)):
+        return encoded
+    if isinstance(encoded, list):
+        return [decode_value(item) for item in encoded]
+    if isinstance(encoded, dict):
+        markers = [key for key in _MARKERS if key in encoded]
+        if len(markers) != 1:
+            raise CacheCodecError(f"ambiguous cache encoding: {encoded!r}")
+        marker = markers[0]
+        if marker == _BYTES_KEY:
+            return bytes.fromhex(encoded[_BYTES_KEY])
+        if marker == _TUPLE_KEY:
+            return tuple(decode_value(item) for item in encoded[_TUPLE_KEY])
+        if marker == _DICT_KEY:
+            return {
+                decode_value(k): decode_value(v)
+                for k, v in encoded[_DICT_KEY]
+            }
+        cls = _resolve_dataclass(encoded[_DATACLASS_KEY])
+        fields = {
+            name: decode_value(item)
+            for name, item in encoded.get("fields", {}).items()
+        }
+        try:
+            return cls(**fields)
+        except TypeError as exc:
+            raise CacheCodecError(
+                f"stale cached {cls.__name__}: {exc}"
+            ) from exc
+    raise CacheCodecError(f"undecodable cache payload: {encoded!r}")

@@ -1,0 +1,323 @@
+"""Deterministic sweep executor: shard trials across a process pool.
+
+The contract is byte-identity with the sequential order: ``map_trials``
+returns results in spec order, every trial seeds itself from its spec, and
+trials share nothing — so where (and in what order) they physically run
+cannot change the numbers.  Three guard rails keep that contract honest:
+
+* ``workers=0`` is the **oracle path** — a plain in-process loop, the
+  exact code a pool worker runs;
+* setting ``REPRO_PARALLEL_CHECK=1`` (or ``check=True``) makes every
+  parallel map re-run the whole sweep through the oracle and assert the
+  results are equal, raising :class:`ParallelMismatch` otherwise;
+* a per-trial timeout degrades a wedged worker into an in-process
+  fallback execution instead of hanging the sweep, and failed trials are
+  retried before the sweep gives up.
+
+With a :class:`~repro.parallel.cache.ResultCache` attached, fingerprints
+are consulted before any execution and only dirty trials run; cache hits
+and fresh results are indistinguishable by construction (the differential
+check covers the cached path too).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.parallel.cache import ResultCache
+from repro.parallel.spec import TrialSpec
+from repro.parallel.worker import TrialOutcome, execute_trial, merge_ops
+from repro.sim.metrics import PERF, measure_ops
+
+#: Environment variable enabling the inline differential mode.
+CHECK_ENV = "REPRO_PARALLEL_CHECK"
+
+
+class TrialError(RuntimeError):
+    """A trial failed (after exhausting the executor's retries)."""
+
+    def __init__(self, spec: TrialSpec, message: str) -> None:
+        super().__init__(f"trial {spec.label} failed: {message}")
+        self.spec = spec
+
+
+class ParallelMismatch(AssertionError):
+    """The parallel path diverged from the sequential oracle."""
+
+
+@dataclass
+class SweepReport:
+    """Accounting for one :meth:`SweepExecutor.map_trials` call."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    fallbacks: int = 0
+    uncached: int = 0
+    check_passed: Optional[bool] = None
+
+    def summary(self) -> str:
+        """One-line progress summary for CLI echo."""
+        parts = [
+            f"{self.total} trials",
+            f"{self.cache_hits} cached",
+            f"{self.executed} executed",
+        ]
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timed out (ran in-process)")
+        if self.retries:
+            parts.append(f"{self.retries} retried")
+        if self.check_passed is not None:
+            parts.append(
+                "differential check ok"
+                if self.check_passed
+                else "differential check FAILED"
+            )
+        return ", ".join(parts)
+
+
+def _values_equal(got: Any, want: Any) -> bool:
+    if got == want:
+        return True
+    # Equal-by-construction objects without __eq__ still match by pickle.
+    try:
+        return pickle.dumps(got) == pickle.dumps(want)
+    except (pickle.PicklingError, TypeError, AttributeError):
+        return False  # unpicklable and not == — genuinely unequal
+
+
+def _pool_context(preferred: Optional[str]) -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    if preferred is not None:
+        return multiprocessing.get_context(preferred)
+    # fork reuses the parent's imported modules — far cheaper per worker
+    # and the parent has already imported every experiment module.
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class SweepExecutor:
+    """Maps independent trials, optionally across a process pool.
+
+    Args:
+        workers: Pool size; ``0`` runs everything in-process (the oracle).
+        cache: Optional :class:`ResultCache`; hits skip execution.
+        timeout_s: Per-trial cap on waiting for a worker's result.  On
+            expiry the trial reruns in-process and the worker's eventual
+            result is discarded — the sweep degrades, it never hangs.
+        retries: Extra attempts for a trial whose worker *failed* (raised
+            or died).  Deterministic failures fail again and surface as
+            :class:`TrialError`; the budget exists for environmental
+            casualties (OOM-killed worker, broken pipe).
+        check: Force the differential mode on/off; ``None`` defers to the
+            ``REPRO_PARALLEL_CHECK`` environment variable.
+        start_method: multiprocessing start method override (tests).
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        cache: Optional[ResultCache] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        check: Optional[bool] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers cannot be negative")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if retries < 0:
+            raise ValueError("retries cannot be negative")
+        self.workers = workers
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self._check = check
+        self._start_method = start_method
+        #: Accounting of the most recent :meth:`map_trials` call.
+        self.last_report: Optional[SweepReport] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def check_enabled(self) -> bool:
+        """Whether the inline differential mode is active."""
+        if self._check is not None:
+            return self._check
+        return os.environ.get(CHECK_ENV, "") == "1"
+
+    def map_trials(self, specs: Sequence[TrialSpec]) -> List[Any]:
+        """Run every trial; return results in spec order.
+
+        Raises:
+            TrialError: When a trial fails after retries/fallback.
+            ParallelMismatch: In differential mode, when the parallel
+                results (cache hits included) differ from a fresh
+                sequential run.
+        """
+        specs = list(specs)
+        report = SweepReport(total=len(specs))
+        self.last_report = report
+        results: List[Any] = [None] * len(specs)
+        fingerprints: Dict[int, str] = {}
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            if self.cache is not None and spec.cacheable:
+                fingerprint = spec.fingerprint()
+                fingerprints[index] = fingerprint
+                hit, value = self.cache.get(fingerprint)
+                if hit:
+                    results[index] = value
+                    report.cache_hits += 1
+                    continue
+            pending.append(index)
+
+        if pending:
+            pending_specs = [specs[i] for i in pending]
+            # Daemonic pool workers cannot spawn children; a nested sweep
+            # degrades to the in-process path (results are identical by
+            # contract, only the wall time changes).
+            nested = multiprocessing.current_process().daemon
+            if self.workers == 0 or nested:
+                values = self._map_sequential(pending_specs, report)
+            else:
+                values = self._map_parallel(pending_specs, report)
+            for index, value in zip(pending, values):
+                results[index] = value
+                if index in fingerprints:
+                    stored = self.cache.put(
+                        fingerprints[index], value, tag=specs[index].tag
+                    )
+                    if not stored:
+                        report.uncached += 1
+
+        if self.workers > 0 and self.check_enabled:
+            self._differential_check(specs, results, report)
+        return results
+
+    # ------------------------------------------------------------------
+    # Execution paths
+    # ------------------------------------------------------------------
+    def _map_sequential(
+        self, specs: Sequence[TrialSpec], report: SweepReport
+    ) -> List[Any]:
+        values = []
+        for spec in specs:
+            outcome = execute_trial(spec)  # bumps PERF directly
+            if not outcome.ok:
+                raise TrialError(spec, outcome.error or "unknown error")
+            report.executed += 1
+            values.append(outcome.value)
+        return values
+
+    def _map_parallel(
+        self, specs: Sequence[TrialSpec], report: SweepReport
+    ) -> List[Any]:
+        context = _pool_context(self._start_method)
+        processes = min(self.workers, len(specs))
+        pool = context.Pool(processes=processes)
+        try:
+            handles = [
+                pool.apply_async(execute_trial, (spec,)) for spec in specs
+            ]
+            values = []
+            # Collected in spec order: completions may land out of order,
+            # but reassembly (and PERF merging) is order-stable.
+            for spec, handle in zip(specs, handles):
+                values.append(self._collect(pool, spec, handle, report))
+            return values
+        finally:
+            # terminate (not close): a wedged worker must not block exit.
+            pool.terminate()
+            pool.join()
+
+    def _collect(
+        self,
+        pool: Any,
+        spec: TrialSpec,
+        handle: Any,
+        report: SweepReport,
+    ) -> Any:
+        attempts = 1 + self.retries
+        last_error = "unknown error"
+        for attempt in range(attempts):
+            if attempt > 0:
+                report.retries += 1
+                handle = pool.apply_async(execute_trial, (spec,))
+            try:
+                outcome: TrialOutcome = handle.get(timeout=self.timeout_s)
+            except multiprocessing.TimeoutError:
+                report.timeouts += 1
+                return self._fallback(spec, report)
+            except Exception as exc:  # worker died / result unpicklable
+                last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            if outcome.ok:
+                merge_ops(outcome.ops)
+                report.executed += 1
+                return outcome.value
+            last_error = outcome.error or last_error
+        raise TrialError(spec, last_error)
+
+    def _fallback(self, spec: TrialSpec, report: SweepReport) -> Any:
+        """A worker exceeded the timeout: degrade to in-process execution."""
+        report.fallbacks += 1
+        outcome = execute_trial(spec)  # bumps PERF directly
+        if not outcome.ok:
+            raise TrialError(spec, outcome.error or "unknown error")
+        report.executed += 1
+        return outcome.value
+
+    # ------------------------------------------------------------------
+    # Differential mode
+    # ------------------------------------------------------------------
+    def _differential_check(
+        self,
+        specs: Sequence[TrialSpec],
+        results: Sequence[Any],
+        report: SweepReport,
+    ) -> None:
+        with measure_ops() as measured:
+            oracle: List[Any] = []
+            for spec in specs:
+                outcome = execute_trial(spec)
+                if not outcome.ok:
+                    raise TrialError(spec, outcome.error or "unknown error")
+                oracle.append(outcome.value)
+        # The oracle re-run is a shadow computation: cancel its counted
+        # work so op accounting matches a plain parallel run.
+        for name in sorted(measured.ops):
+            PERF.bump(name, -measured.ops[name])
+        for spec, got, want in zip(specs, results, oracle):
+            if spec.normalize is not None:
+                got, want = spec.normalize(got), spec.normalize(want)
+            if not _values_equal(got, want):
+                report.check_passed = False
+                raise ParallelMismatch(
+                    f"trial {spec.label}: parallel result diverged from "
+                    f"the sequential oracle\n  parallel:   {got!r}\n"
+                    f"  sequential: {want!r}"
+                )
+        report.check_passed = True
+
+
+def make_executor(
+    workers: Optional[int],
+    cache_dir: Optional[str] = None,
+    timeout_s: Optional[float] = None,
+) -> Optional[SweepExecutor]:
+    """CLI helper: build an executor from a ``--workers`` value.
+
+    ``None`` (flag absent) returns ``None`` — callers keep their legacy
+    sequential path.  ``0`` returns an in-process executor (cache still
+    active), larger values a pooled one.
+    """
+    if workers is None:
+        return None
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    return SweepExecutor(workers=workers, cache=cache, timeout_s=timeout_s)

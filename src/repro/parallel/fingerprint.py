@@ -1,0 +1,123 @@
+"""Content-addressing for sweep trials: canonical JSON + code-version salt.
+
+A trial's fingerprint must be a pure function of *what would run*: the
+callable, its configuration, the seed, and the source code the trial
+depends on.  Two helpers provide that:
+
+* :func:`canonical` / :func:`canonical_json` turn configuration objects
+  (dataclasses, dicts with non-string keys, tuples, sets) into a single
+  deterministic JSON text, independent of dict insertion order and
+  ``PYTHONHASHSEED``;
+* :func:`code_salt` hashes the source files of the named modules (or every
+  ``*.py`` file of a named package), so editing any relevant source
+  invalidates previously cached results instead of silently serving stale
+  numbers.
+
+Both are deliberately conservative: an unsupported configuration type
+raises :class:`FingerprintError` rather than fingerprinting an ambiguous
+representation, and the default salt covers a whole package rather than
+guessing a minimal dependency set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib.util
+import json
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Tuple
+
+
+class FingerprintError(TypeError):
+    """A configuration value has no canonical representation."""
+
+
+def canonical(value: Any) -> Any:
+    """A JSON-able structure that uniquely represents ``value``.
+
+    Supported inputs: ``None``, ``bool``, ``int``, ``float``, ``str``,
+    ``bytes``, lists, tuples, sets/frozensets, mappings (any canonical
+    key type), and dataclass instances.  Containers are tagged so that
+    e.g. a tuple and a list of the same items fingerprint differently.
+
+    Raises:
+        FingerprintError: For values outside that vocabulary.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return {
+            "__dataclass__": f"{cls.__module__}:{cls.__qualname__}",
+            "fields": {
+                field.name: canonical(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, (list, tuple)):
+        items = [canonical(item) for item in value]
+        return items if isinstance(value, list) else {"__tuple__": items}
+    if isinstance(value, (set, frozenset)):
+        items = sorted(
+            (canonical(item) for item in value), key=_stable_json
+        )
+        return {"__set__": items}
+    if isinstance(value, dict):
+        pairs = [[canonical(k), canonical(v)] for k, v in value.items()]
+        pairs.sort(key=lambda pair: _stable_json(pair[0]))
+        return {"__map__": pairs}
+    raise FingerprintError(
+        f"cannot fingerprint a {type(value).__name__}: {value!r}"
+    )
+
+
+def _stable_json(value: Any) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON text of ``value`` (see :func:`canonical`)."""
+    return _stable_json(canonical(value))
+
+
+def _module_source_files(name: str) -> Tuple[Path, ...]:
+    spec = importlib.util.find_spec(name)
+    if spec is None or spec.origin is None:
+        raise FingerprintError(f"cannot locate source for module {name!r}")
+    origin = Path(spec.origin)
+    if spec.submodule_search_locations:
+        files: list = []
+        for location in spec.submodule_search_locations:
+            files.extend(Path(location).rglob("*.py"))
+        return tuple(sorted(set(files)))
+    return (origin,)
+
+
+@lru_cache(maxsize=None)
+def code_salt(module_names: Tuple[str, ...]) -> str:
+    """A hex digest over the source text of the named modules.
+
+    Package names cover every ``*.py`` file under the package directory
+    (recursively); plain modules cover their single source file.  The
+    digest folds in each file's path relative to its package root, so
+    renames change the salt too.
+
+    Raises:
+        FingerprintError: When a module's source cannot be located.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(set(module_names)):
+        for path in _module_source_files(name):
+            digest.update(name.encode("utf-8"))
+            digest.update(path.name.encode("utf-8"))
+            digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def fingerprint_document(document: Any) -> str:
+    """SHA-256 hex digest of a document's canonical JSON."""
+    return hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()

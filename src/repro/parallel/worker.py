@@ -1,0 +1,69 @@
+"""Trial execution shared by the in-process oracle and pool workers.
+
+:func:`execute_trial` is the single function both paths run, so a worker
+process and the sequential fallback perform byte-identical work.  It is
+module-level (picklable) and returns a :class:`TrialOutcome` that carries
+the result *and* the trial's counted-work delta, letting the parent merge
+worker-side :data:`repro.sim.metrics.PERF` bumps back into its own
+registry — op-count accounting stays exact regardless of where a trial
+ran.
+
+Failures are returned as data rather than raised: exception instances are
+not always picklable, and the executor owns the retry policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.parallel.spec import TrialSpec
+from repro.sim.metrics import PERF, measure_ops
+
+
+@dataclass
+class TrialOutcome:
+    """What one trial execution produced.
+
+    Attributes:
+        value: The trial's return value (``None`` on failure).
+        ops: Counted-work delta the trial performed (``PERF`` names).
+        error: ``"Type: message"`` when the trial raised, else ``None``.
+    """
+
+    value: Any = None
+    ops: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the trial completed without raising."""
+        return self.error is None
+
+
+def execute_trial(spec: TrialSpec) -> TrialOutcome:
+    """Run one trial in the current process, capturing its counted work.
+
+    Process-local memo caches are cleared first, so the counted work of a
+    trial is a function of the trial alone — not of which trials happened
+    to run earlier in the same process.
+    """
+    from repro.erasure import reset_memo_caches
+
+    reset_memo_caches()
+    value: Any = None
+    error: Optional[str] = None
+    with measure_ops() as measured:
+        try:
+            value = spec.run()
+        except Exception as exc:  # returned as data; executor decides
+            error = f"{type(exc).__name__}: {exc}"
+    if error is not None:
+        return TrialOutcome(ops=measured.ops, error=error)
+    return TrialOutcome(value=value, ops=measured.ops)
+
+
+def merge_ops(ops: Dict[str, int]) -> None:
+    """Fold a worker-side counted-work delta into this process's PERF."""
+    for name in sorted(ops):
+        PERF.bump(name, ops[name])

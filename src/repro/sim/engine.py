@@ -51,6 +51,20 @@ class Event:
     event resumes the process immediately (at the current simulation time).
     """
 
+    # Simulations allocate one Event per scheduled occurrence, so the
+    # per-instance dict is the kernel's dominant allocation; slots keep
+    # events small and attribute access direct.  Subclasses outside the
+    # kernel may omit __slots__ and regain a dict at their own cost.
+    __slots__ = (
+        "sim",
+        "callbacks",
+        "value",
+        "_exception",
+        "_triggered",
+        "_processed",
+        "defused",
+    )
+
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.callbacks: List[Callable[["Event"], None]] = []
@@ -58,8 +72,8 @@ class Event:
         self._exception: Optional[BaseException] = None
         self._triggered = False
         self._processed = False
-        #: Set True to acknowledge a failure nobody waits on (suppresses the
-        #: kernel's unhandled-failure propagation for this event).
+        # Set True to acknowledge a failure nobody waits on (suppresses the
+        # kernel's unhandled-failure propagation for this event).
         self.defused = False
 
     @property
@@ -121,6 +135,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed delay."""
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         super().__init__(sim)
         if delay < 0:
@@ -136,6 +152,8 @@ class Condition(Event):
     The value is a list of the children's values, in the order given.
     A failing child fails the condition immediately.
     """
+
+    __slots__ = ("_children", "_remaining")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
@@ -160,6 +178,8 @@ class Condition(Event):
 
 class AnyOf(Event):
     """Triggers when the first of its child events is processed."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
@@ -186,15 +206,21 @@ class Process(Event):
     to ``Simulator.run`` if nothing waits on it).
     """
 
+    __slots__ = ("_generator", "_waiting_on", "_resume_callback")
+
     def __init__(self, sim: "Simulator", generator: Generator) -> None:
         super().__init__(sim)
         if not hasattr(generator, "send"):
             raise SimulationError("process() requires a generator")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        # One bound method for the process's lifetime: _expect subscribes
+        # it on every yield, and building a fresh bound method per yield
+        # was the kernel's busiest allocation site after events themselves.
+        self._resume_callback = self._resume
         # Kick off on the next queue drain at the current time.
         bootstrap = Event(sim)
-        bootstrap.callbacks.append(self._resume)
+        bootstrap.callbacks.append(self._resume_callback)
         bootstrap.succeed()
 
     @property
@@ -261,7 +287,7 @@ class Process(Event):
         if target.sim is not self.sim:
             raise SimulationError("event belongs to a different simulator")
         self._waiting_on = target
-        target.add_callback(self._resume)
+        target.add_callback(self._resume_callback)
 
 
 class Simulator:
@@ -322,14 +348,20 @@ class Simulator:
         Events scheduled exactly at ``until`` still run; the clock never
         exceeds ``until`` when it is given.
         """
-        while self._heap:
-            time, __, event = self._heap[0]
+        # Hot loop: hoist the heap, the pop, and the counter bump out of
+        # the attribute-lookup path — this loop runs once per simulated
+        # event across every experiment.
+        heap = self._heap
+        pop = heapq.heappop
+        bump = PERF.bump
+        while heap:
+            time, __, event = heap[0]
             if until is not None and time > until:
                 self._now = until
                 return
-            heapq.heappop(self._heap)
+            pop(heap)
             self._now = time
-            PERF.bump("sim.events")
+            bump("sim.events")
             event._process()  # noqa: SLF001 - kernel internal
         if until is not None:
             self._now = max(self._now, until)

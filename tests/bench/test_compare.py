@@ -1,0 +1,173 @@
+"""``repro bench compare``: op-exact, wall-thresholded report diffing."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.compare import compare_reports, load_report
+from repro.cli import main
+
+
+def report(tag="old", seed=0, scenarios=None):
+    return {
+        "schema_version": 1,
+        "tag": tag,
+        "seed": seed,
+        "smoke": True,
+        "scenarios": scenarios
+        if scenarios is not None
+        else [
+            {
+                "name": "micro.alpha",
+                "group": "micro",
+                "params": {},
+                "wall_time_s": 1.0,
+                "ops": {"gf.symbol_mults": 100, "sim.events": 7},
+                "metrics": {"throughput": 5.0},
+                "error": None,
+            },
+            {
+                "name": "micro.beta",
+                "group": "micro",
+                "params": {},
+                "wall_time_s": 2.0,
+                "ops": {"sim.events": 50},
+                "metrics": {},
+                "error": None,
+            },
+        ],
+    }
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        result = compare_reports(report(), report(tag="new"))
+        assert result.ok
+        assert result.compared == 2
+
+    def test_ops_divergence_is_exact(self):
+        new = report(tag="new")
+        new["scenarios"][0]["ops"]["gf.symbol_mults"] = 101
+        result = compare_reports(report(), new)
+        assert not result.ok
+        assert any("gf.symbol_mults" in f for f in result.failures)
+
+    def test_wall_regression_beyond_threshold_fails(self):
+        new = report(tag="new")
+        new["scenarios"][1]["wall_time_s"] = 2.5  # +25%
+        result = compare_reports(report(), new, max_regress=10.0)
+        assert not result.ok
+        assert any("micro.beta" in f for f in result.failures)
+
+    def test_wall_regression_within_threshold_passes(self):
+        new = report(tag="new")
+        new["scenarios"][1]["wall_time_s"] = 2.1  # +5%
+        assert compare_reports(report(), new, max_regress=10.0).ok
+
+    def test_wall_improvement_passes(self):
+        new = report(tag="new")
+        new["scenarios"][1]["wall_time_s"] = 0.5
+        assert compare_reports(report(), new).ok
+
+    def test_ops_only_ignores_wall(self):
+        new = report(tag="new")
+        new["scenarios"][1]["wall_time_s"] = 40.0
+        assert compare_reports(report(), new, ops_only=True).ok
+
+    def test_missing_scenario_fails(self):
+        new = report(tag="new")
+        del new["scenarios"][1]
+        result = compare_reports(report(), new)
+        assert not result.ok
+        assert any("micro.beta" in f for f in result.failures)
+
+    def test_new_scenario_is_a_note_not_a_failure(self):
+        new = report(tag="new")
+        new["scenarios"].append(
+            copy.deepcopy(new["scenarios"][0]) | {"name": "micro.gamma"}
+        )
+        result = compare_reports(report(), new)
+        assert result.ok
+        assert any("micro.gamma" in n for n in result.notes)
+
+    def test_ignored_scenario_is_excluded_but_noted(self):
+        new = report(tag="new")
+        new["scenarios"][0]["ops"]["sim.events"] = 999
+        result = compare_reports(report(), new, ignore=["micro.alpha"])
+        assert result.ok
+        assert any("micro.alpha" in n for n in result.notes)
+        assert result.compared == 1
+
+    def test_seed_mismatch_short_circuits(self):
+        result = compare_reports(report(seed=0), report(seed=1))
+        assert not result.ok
+        assert result.compared == 0
+
+    def test_new_error_fails_and_fixed_error_notes(self):
+        old = report()
+        old["scenarios"][0]["error"] = "ValueError: was broken"
+        new = report(tag="new")
+        new["scenarios"][1]["error"] = "ValueError: now broken"
+        result = compare_reports(old, new)
+        assert any("micro.beta" in f for f in result.failures)
+        assert any("micro.alpha" in n for n in result.notes)
+
+
+class TestLoadReport:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(report()))
+        assert load_report(path)["seed"] == 0
+
+    def test_malformed_report_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a report"}')
+        with pytest.raises(ValueError):
+            load_report(path)
+
+
+class TestCompareCLI:
+    def write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_identical_exits_zero(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json", report())
+        new = self.write(tmp_path, "new.json", report(tag="new"))
+        assert main(["bench", "compare", old, new]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        changed = report(tag="new")
+        changed["scenarios"][0]["ops"]["sim.events"] = 8
+        old = self.write(tmp_path, "old.json", report())
+        new = self.write(tmp_path, "new.json", changed)
+        assert main(["bench", "compare", new, old]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_max_regress_flag(self, tmp_path):
+        slower = report(tag="new")
+        slower["scenarios"][0]["wall_time_s"] = 1.15  # +15%
+        old = self.write(tmp_path, "old.json", report())
+        new = self.write(tmp_path, "new.json", slower)
+        assert main(["bench", "compare", old, new, "--max-regress", "10"]) == 1
+        assert main(["bench", "compare", old, new, "--max-regress", "20"]) == 0
+
+    def test_ignore_flag(self, tmp_path):
+        changed = report(tag="new")
+        changed["scenarios"][0]["ops"]["sim.events"] = 999
+        old = self.write(tmp_path, "old.json", report())
+        new = self.write(tmp_path, "new.json", changed)
+        assert main(["bench", "compare", old, new]) == 1
+        assert main(
+            ["bench", "compare", old, new, "--ignore", "micro.alpha"]
+        ) == 0
+
+    def test_ops_only_flag(self, tmp_path):
+        slower = report(tag="new")
+        slower["scenarios"][0]["wall_time_s"] = 9.0
+        old = self.write(tmp_path, "old.json", report())
+        new = self.write(tmp_path, "new.json", slower)
+        assert main(["bench", "compare", old, new, "--ops-only"]) == 0

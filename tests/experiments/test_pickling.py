@@ -1,0 +1,128 @@
+"""Every sweep result type must survive a process boundary.
+
+The parallel executor ships results back from pool workers via pickle;
+these tests lock in that contract for each result/record type a sweep can
+return, so adding an unpicklable field breaks loudly here instead of
+deep inside a worker traceback.
+"""
+
+import pickle
+
+import pytest
+
+from repro.erasure.codec import CodeParams
+from repro.experiments.config import (
+    LargeScaleConfig,
+    PolicyName,
+    TestbedConfig,
+)
+from repro.experiments.largescale import (
+    LargeScaleResult,
+    NormalisedPoint,
+    run_largescale,
+    sweep_k,
+)
+from repro.experiments.loadbalance import LoadBalanceConfig
+from repro.experiments.runner import build_cluster
+from repro.experiments.stats import FiveNumberSummary
+from repro.experiments.testbed import EncodingRunResult, WriteImpactResult
+from repro.experiments.validation import AnalyticCheck, ConsistencyCheck
+
+
+def round_trip(value):
+    return pickle.loads(pickle.dumps(value))
+
+
+SAMPLES = [
+    LargeScaleResult(
+        policy="ear",
+        encoding_time=10.0,
+        encode_throughput_mb_s=120.0,
+        write_throughput_mb_s=30.0,
+        mean_write_rt=0.05,
+        cross_rack_downloads=0,
+        cross_rack_uploads=12,
+        stripes_encoded=80,
+    ),
+    NormalisedPoint(
+        parameter=10.0, encode_ratios=(1.4, 1.6), write_ratios=(1.1, 1.2)
+    ),
+    EncodingRunResult(
+        policy="rr",
+        code=CodeParams(14, 10),
+        num_stripes=5,
+        encoding_time=3.0,
+        throughput_mb_s=90.0,
+        cross_rack_downloads=45,
+        cross_rack_uploads=20,
+        timeline=((0.0, 0), (3.0, 5)),
+    ),
+    WriteImpactResult(
+        policy="ear",
+        write_rt_before=0.04,
+        write_rt_during=0.09,
+        encoding_time=2.0,
+        write_series=((0.0, 0.04), (1.0, 0.09)),
+    ),
+    FiveNumberSummary(
+        minimum=0.9, q1=1.1, median=1.3, q3=1.5, maximum=1.8, outliers=(2.4,)
+    ),
+    AnalyticCheck(name="write-path", measured=1.0, expected=1.0),
+    LoadBalanceConfig(),
+    LargeScaleConfig(),
+    TestbedConfig(),
+]
+
+
+class TestResultTypesRoundTrip:
+    @pytest.mark.parametrize(
+        "value", SAMPLES, ids=[type(v).__name__ for v in SAMPLES]
+    )
+    def test_round_trip_preserves_equality(self, value):
+        assert round_trip(value) == value
+
+    def test_consistency_check_round_trips(self):
+        check = ConsistencyCheck(
+            policy="ear",
+            rt_without_encoding=0.04,
+            rt_with_encoding=0.07,
+            encoding_time=2.5,
+        )
+        assert round_trip(check) == check
+
+
+class TestRealSweepOutputsRoundTrip:
+    """Results produced by actual runs, not hand-built samples."""
+
+    SMALL = LargeScaleConfig().scaled(2)  # 40 stripes
+
+    def test_run_largescale_result(self):
+        result = run_largescale("ear", self.SMALL, seed=0)
+        assert round_trip(result) == result
+
+    def test_sweep_points(self):
+        points = sweep_k(ks=(6,), base=self.SMALL, seeds=(0,))
+        assert round_trip(points) == points
+
+
+class TestClusterSetupIsPicklable:
+    """The full per-trial cluster assembly must cross a process boundary
+    (workers rebuild trials from specs, but a picklable setup keeps the
+    door open for shipping warm clusters later)."""
+
+    def test_build_cluster_round_trips(self):
+        from repro.cluster.topology import ClusterTopology
+        from repro.core.policy import ReplicationScheme
+
+        setup = build_cluster(
+            PolicyName.RR,
+            topology=ClusterTopology.large_scale(
+                num_racks=8, nodes_per_rack=4
+            ),
+            code=CodeParams(6, 4),
+            scheme=ReplicationScheme(3, 2),
+            seed=0,
+        )
+        clone = round_trip(setup)
+        assert clone.code == setup.code
+        assert clone.sim.now == setup.sim.now

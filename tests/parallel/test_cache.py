@@ -1,0 +1,106 @@
+"""The on-disk result cache: round-trips, corruption, eviction."""
+
+import json
+
+from repro.experiments.largescale import NormalisedPoint
+from repro.parallel.cache import ResultCache
+
+
+class TestRoundTrip:
+    def test_hit_returns_the_stored_value(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        value = {"k": (1, 2.5), "nested": [True, None]}
+        assert cache.put("a" * 64, value)
+        hit, got = cache.get("a" * 64)
+        assert hit
+        assert got == value
+        assert type(got["k"]) is tuple  # typed codec, not plain JSON
+
+    def test_dataclass_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        point = NormalisedPoint(
+            parameter=6.0, encode_ratios=(1.5, 1.7), write_ratios=(1.1,)
+        )
+        assert cache.put("b" * 64, point)
+        hit, got = cache.get("b" * 64)
+        assert hit
+        assert got == point
+
+    def test_miss_on_absent_key(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        hit, got = cache.get("c" * 64)
+        assert not hit and got is None
+        assert cache.stats().misses == 1
+
+    def test_unencodable_value_stays_uncached(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert not cache.put("d" * 64, object())
+        assert cache.stats().entries == 0
+
+
+class TestCorruption:
+    def test_bad_crc_is_a_counted_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("e" * 64, [1, 2, 3])
+        path = tmp_path / "c" / ("e" * 64 + ".json")
+        document = json.loads(path.read_text())
+        document["payload"] = [9, 9, 9]  # payload no longer matches CRC
+        path.write_text(json.dumps(document))
+        hit, got = cache.get("e" * 64)
+        assert not hit and got is None
+        assert not path.exists()
+        stats = cache.stats()
+        assert stats.corrupt == 1 and stats.misses == 1
+
+    def test_torn_entry_is_a_counted_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("f" * 64, "value")
+        path = tmp_path / "c" / ("f" * 64 + ".json")
+        path.write_text(path.read_text()[:10])  # truncated write
+        hit, __ = cache.get("f" * 64)
+        assert not hit
+        assert cache.stats().corrupt == 1
+
+    def test_recompute_overwrites_a_poisoned_entry(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("e" * 64, 42)
+        path = tmp_path / "c" / ("e" * 64 + ".json")
+        path.write_text("garbage")
+        hit, __ = cache.get("e" * 64)
+        assert not hit
+        cache.put("e" * 64, 42)
+        hit, got = cache.get("e" * 64)
+        assert hit and got == 42
+
+
+class TestEvictionAndMaintenance:
+    def test_oldest_insertion_evicted_first(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", max_entries=2)
+        cache.put("1" * 64, "one")
+        cache.put("2" * 64, "two")
+        cache.put("3" * 64, "three")
+        assert cache.stats().entries == 2
+        assert cache.stats().evictions == 1
+        hit, __ = cache.get("1" * 64)
+        assert not hit  # the oldest entry went
+        assert cache.get("2" * 64)[0] and cache.get("3" * 64)[0]
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("1" * 64, 1)
+        cache.put("2" * 64, 2)
+        assert cache.clear() == 2
+        stats = cache.stats()
+        assert stats.entries == 0 and stats.hits == 0
+
+    def test_counters_persist_across_instances(self, tmp_path):
+        first = ResultCache(tmp_path / "c")
+        first.put("1" * 64, 1)
+        first.get("1" * 64)
+        second = ResultCache(tmp_path / "c")
+        assert second.stats().hits == 1
+
+    def test_stats_lines_render(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        text = "\n".join(cache.stats().lines())
+        assert "entries" in text and "hit rate" in text

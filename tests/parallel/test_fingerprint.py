@@ -1,0 +1,108 @@
+"""Canonical encoding and trial fingerprints."""
+
+import sys
+import textwrap
+
+import pytest
+
+from repro.erasure.codec import CodeParams
+from repro.parallel.fingerprint import (
+    FingerprintError,
+    canonical,
+    canonical_json,
+    code_salt,
+)
+from repro.parallel.spec import TrialSpec
+
+from tests.parallel._trials import add_trial, rng_trial
+
+
+class TestCanonical:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 0, 1.5, "x"):
+            assert canonical(value) == value
+
+    def test_dict_order_is_irrelevant(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json(
+            {"b": 2, "a": 1}
+        )
+
+    def test_tuple_and_list_are_distinct(self):
+        assert canonical_json((1, 2)) != canonical_json([1, 2])
+
+    def test_set_iteration_order_is_irrelevant(self):
+        # Hash randomisation varies iteration order; the encoding must not.
+        assert canonical_json({"x", "y", "z"}) == canonical_json(
+            {"z", "y", "x"}
+        )
+
+    def test_bytes_supported(self):
+        assert canonical(b"\x00\xff") == {"__bytes__": "00ff"}
+
+    def test_dataclasses_supported(self):
+        encoded = canonical(CodeParams(14, 10))
+        assert "CodeParams" in encoded["__dataclass__"]
+
+    def test_non_string_dict_keys(self):
+        assert canonical_json({1: "a", 2: "b"}) == canonical_json(
+            {2: "b", 1: "a"}
+        )
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(FingerprintError):
+            canonical(object())
+
+
+class TestTrialFingerprint:
+    def test_stable_across_spec_instances(self):
+        a = TrialSpec(fn=add_trial, config={"a": 1, "b": 2}, seed=7)
+        b = TrialSpec(fn=add_trial, config={"b": 2, "a": 1}, seed=7)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_seed_config_tag_and_fn_all_matter(self):
+        base = TrialSpec(fn=add_trial, config={"a": 1}, seed=0, tag="t")
+        variants = [
+            TrialSpec(fn=add_trial, config={"a": 1}, seed=1, tag="t"),
+            TrialSpec(fn=add_trial, config={"a": 2}, seed=0, tag="t"),
+            TrialSpec(fn=add_trial, config={"a": 1}, seed=0, tag="u"),
+            TrialSpec(fn=rng_trial, config={}, seed=0, tag="t"),
+        ]
+        fingerprints = {spec.fingerprint() for spec in [base] + variants}
+        assert len(fingerprints) == len(variants) + 1
+
+    def test_default_salt_is_the_callables_package(self):
+        spec = TrialSpec(fn=add_trial)
+        assert spec.effective_salt_modules() == ("tests",)
+
+    def test_lambdas_are_rejected(self):
+        with pytest.raises(ValueError, match="module-level"):
+            TrialSpec(fn=lambda seed: seed)
+
+
+class TestCodeSalt:
+    def test_source_edit_changes_the_salt(self, tmp_path):
+        module = tmp_path / "saltprobe_mod.py"
+        module.write_text(
+            textwrap.dedent(
+                """
+                def trial(seed):
+                    return seed
+                """
+            )
+        )
+        sys.path.insert(0, str(tmp_path))
+        try:
+            code_salt.cache_clear()
+            before = code_salt(("saltprobe_mod",))
+            module.write_text(module.read_text() + "\n# edited\n")
+            code_salt.cache_clear()
+            after = code_salt(("saltprobe_mod",))
+        finally:
+            sys.path.remove(str(tmp_path))
+            code_salt.cache_clear()
+        assert before != after
+
+    def test_missing_module_raises(self):
+        code_salt.cache_clear()
+        with pytest.raises(FingerprintError):
+            code_salt(("no_such_module_exists_xyz",))

@@ -1,0 +1,109 @@
+"""Acceptance: parallel sweeps are byte-identical to sequential runs.
+
+Covers two figure sweeps (Figure 13's ``sweep_k``, Figures 14/15's
+load-balance studies), the bench runner, and the warm-cache skip rate.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.runner import _strip_wall, run_bench
+from repro.erasure.codec import CodeParams
+from repro.experiments.config import LargeScaleConfig
+from repro.experiments.largescale import sweep_k
+from repro.experiments.loadbalance import (
+    LoadBalanceConfig,
+    read_balance,
+    storage_balance,
+)
+from repro.parallel.cache import ResultCache
+from repro.parallel.executor import SweepExecutor
+
+SMALL = LargeScaleConfig().scaled(4)  # 80 stripes
+#: An (n, k) = (6, 4) code fits the small 8-rack test cluster (EAR needs
+#: >= n racks at c=1); the paper-scale (14, 10) needs 14+ racks.
+TINY_LB = LoadBalanceConfig(
+    num_racks=8, nodes_per_rack=4, code=CodeParams(6, 4)
+)
+
+
+class TestFigureSweepIdentity:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_sweep_k_parallel_equals_sequential(self, seed):
+        sequential = sweep_k(ks=(6, 10), base=SMALL, seeds=(seed,))
+        parallel = sweep_k(
+            ks=(6, 10),
+            base=SMALL,
+            seeds=(seed,),
+            executor=SweepExecutor(workers=4, check=True),
+        )
+        assert parallel == sequential
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_storage_balance_parallel_equals_sequential(self, seed):
+        sequential = storage_balance(
+            num_blocks=300, runs=3, config=TINY_LB, seed=seed
+        )
+        parallel = storage_balance(
+            num_blocks=300,
+            runs=3,
+            config=TINY_LB,
+            seed=seed,
+            executor=SweepExecutor(workers=4, check=True),
+        )
+        assert parallel == sequential
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_read_balance_parallel_equals_sequential(self, seed):
+        sequential = read_balance(
+            file_sizes=(1, 10), runs=3, config=TINY_LB, seed=seed
+        )
+        parallel = read_balance(
+            file_sizes=(1, 10),
+            runs=3,
+            config=TINY_LB,
+            seed=seed,
+            executor=SweepExecutor(workers=4, check=True),
+        )
+        assert parallel == sequential
+
+
+class TestBenchRunnerIdentity:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_workers_4_equals_workers_0(self, tmp_path, seed):
+        pooled = run_bench(
+            "w4", smoke=True, seed=seed, out_dir=tmp_path, workers=4
+        )
+        oracle = run_bench(
+            "w0", smoke=True, seed=seed, out_dir=tmp_path, workers=0
+        )
+        assert not pooled.failures and not oracle.failures
+        got = [_strip_wall(e) for e in pooled.report["scenarios"]]
+        want = [_strip_wall(e) for e in oracle.report["scenarios"]]
+        # Byte-for-byte: compare the serialised form, not just equality.
+        assert json.dumps(got, sort_keys=True) == json.dumps(
+            want, sort_keys=True
+        )
+
+
+class TestWarmCacheSkipRate:
+    def test_figure_sweep_rerun_skips_at_least_90_percent(self, tmp_path):
+        def executor():
+            return SweepExecutor(
+                workers=0, cache=ResultCache(tmp_path / "cache")
+            )
+
+        cold = executor()
+        cold_points = sweep_k(
+            ks=(6, 10), base=SMALL, seeds=(0, 1), executor=cold
+        )
+        assert cold.last_report.executed == cold.last_report.total == 4
+        warm = executor()
+        warm_points = sweep_k(
+            ks=(6, 10), base=SMALL, seeds=(0, 1), executor=warm
+        )
+        assert warm_points == cold_points
+        report = warm.last_report
+        assert report.cache_hits / report.total >= 0.9
+        assert warm.cache.stats().hits >= 4
