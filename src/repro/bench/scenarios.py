@@ -343,6 +343,67 @@ def _ear_identity(stripes: int):
 
 
 # ----------------------------------------------------------------------
+# Recovery storms
+# ----------------------------------------------------------------------
+def _degraded_read_decode(num_stripes: int, num_reads: int):
+    def run(rng: random.Random) -> Dict[str, float]:
+        from repro.recovery import run_storm
+
+        report = run_storm(
+            "single_node_loss",
+            seed=rng.randrange(2**31),
+            policy="ear",
+            num_stripes=num_stripes,
+            num_reads=num_reads,
+        )
+        if not report.clean:
+            raise AssertionError("single-node-loss storm left data loss")
+        summary = report.recovery_summary
+        return {
+            "degraded_reads": float(report.read_modes.get("degraded", 0)),
+            "degraded_read_mean_latency": float(
+                summary.get("degraded_read_mean_latency", 0.0)
+            ),
+            "degraded_read_bytes": float(
+                summary.get("degraded_read_bytes", 0.0)
+            ),
+            "escalations": float(summary.get("escalations", 0.0)),
+        }
+
+    return run
+
+
+def _repair_storm_throughput(num_stripes: int):
+    def run(rng: random.Random) -> Dict[str, float]:
+        from repro.recovery import run_storm
+
+        seed = rng.randrange(2**31)
+        per_policy = {}
+        for policy in ("ear", "recovery"):
+            report = run_storm(
+                "rack_loss", seed=seed, policy=policy,
+                num_stripes=num_stripes,
+            )
+            if not report.clean:
+                raise AssertionError(
+                    f"rack-loss storm under {policy} left data loss"
+                )
+            per_policy[policy] = report.recovery_summary
+        return {
+            "repairs": float(per_policy["ear"].get("repairs", 0.0)),
+            "repair_bytes": float(per_policy["ear"].get("repair_bytes", 0.0)),
+            "repair_time_mean_ear": float(
+                per_policy["ear"].get("repair_time_mean", 0.0)
+            ),
+            "repair_time_mean_recovery": float(
+                per_policy["recovery"].get("repair_time_mean", 0.0)
+            ),
+        }
+
+    return run
+
+
+# ----------------------------------------------------------------------
 # Metadata journal
 # ----------------------------------------------------------------------
 def _journal_append(records: int, segment_records: int):
@@ -659,6 +720,20 @@ def builtin_scenarios(smoke: bool = False) -> List[Scenario]:
             _parallel_sweep_speedup(
                 2 if smoke else 8, 200 if smoke else 2000, 2
             ),
+        ),
+        scenario(
+            "degraded_read_decode",
+            {
+                "stripes": 2 if smoke else 4,
+                "reads": 3 if smoke else 8,
+                "scenario": "single_node_loss",
+            },
+            _degraded_read_decode(2 if smoke else 4, 3 if smoke else 8),
+        ),
+        scenario(
+            "repair_storm_throughput",
+            {"stripes": 2 if smoke else 4, "scenario": "rack_loss"},
+            _repair_storm_throughput(2 if smoke else 4),
         ),
         scenario(
             "journal_append_throughput",

@@ -259,6 +259,43 @@ def cmd_chaos(args) -> None:
     print("\ndrill clean: no data loss, all stripes encoded")
 
 
+def cmd_recovery(args) -> int:
+    """Recovery storms: degraded reads and correlated-failure drills."""
+    from repro.recovery import head_to_head, head_to_head_rows, run_storm
+
+    if args.head_to_head:
+        cache_dir = None
+        if args.workers is not None and not getattr(args, "no_cache", False):
+            from repro.parallel.cache import DEFAULT_CACHE_DIR
+
+            cache_dir = DEFAULT_CACHE_DIR
+        results = head_to_head(
+            scenario=args.scenario,
+            seeds=tuple(range(args.seeds)),
+            num_stripes=args.stripes,
+            workers=args.workers,
+            cache_dir=cache_dir,
+        )
+        rows = head_to_head_rows(results)
+        headers = list(rows[0].keys())
+        print(format_table(
+            headers, [[str(row[h]) for h in headers] for row in rows]
+        ))
+        return 0
+
+    report = run_storm(
+        args.scenario, seed=args.seed, policy=args.policy,
+        num_stripes=args.stripes,
+    )
+    rows = [[key, str(value)] for key, value in report.summary().items()]
+    print(format_table(["metric", "value"], rows))
+    if not report.clean:
+        print("\nSTORM FAILED: data was lost or encoding did not finish")
+        return 1
+    print("\nstorm clean: no data loss, every stripe re-protected")
+    return 0
+
+
 def cmd_lint(args) -> int:
     """reprolint: AST-based determinism & resource-safety checks."""
     from repro.lint.cli import cmd_lint as run
@@ -396,6 +433,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--horizon", type=float, default=40.0)
     p.set_defaults(func=cmd_chaos)
 
+    p = sub.add_parser("recovery", help=cmd_recovery.__doc__)
+    p.add_argument(
+        "scenario",
+        nargs="?",
+        default="single_node_loss",
+        choices=[
+            "single_node_loss", "rack_loss", "scrub_storm",
+            "rolling_failures",
+        ],
+        help="which storm to run (default: single_node_loss)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--policy", default="ear", choices=["rr", "ear", "recovery"],
+        help="placement policy for a single-scenario run",
+    )
+    p.add_argument("--stripes", type=int, default=6)
+    p.add_argument(
+        "--head-to-head", action="store_true",
+        help="run the rr/ear/recovery x code comparison grid instead of "
+        "one policy",
+    )
+    p.add_argument(
+        "--seeds", type=int, default=1,
+        help="with --head-to-head: seeds per grid cell",
+    )
+    _add_workers_arguments(p)
+    p.set_defaults(func=cmd_recovery)
+
     p = sub.add_parser("bench", help=cmd_bench.__doc__)
     from repro.bench.cli import add_bench_arguments
 
@@ -439,7 +505,7 @@ def list_experiments() -> List[str]:
     return [
         "fig3", "theorem1", "fig8a", "fig8b", "fig9", "fig10", "fig12",
         "fig13a", "fig13b", "fig13c", "fig13d", "fig13e", "fig13f",
-        "fig14", "fig15", "chaos",
+        "fig14", "fig15", "chaos", "recovery",
     ]
 
 

@@ -30,8 +30,11 @@ class PolicyName:
 
     RR = "rr"
     EAR = "ear"
+    #: Recovery-aware EAR variant: spread encoded stripes one block per
+    #: rack, trading encoding traffic for repair parallelism.
+    RECOVERY = "recovery"
 
-    ALL = (RR, EAR)
+    ALL = (RR, EAR, RECOVERY)
 
 
 @dataclass(frozen=True)

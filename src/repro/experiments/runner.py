@@ -64,13 +64,25 @@ def make_policy(
     ear_c: int = 1,
     ear_target_racks: Optional[int] = None,
 ) -> PlacementPolicy:
-    """Instantiate a placement policy by name ("rr" or "ear")."""
+    """Instantiate a placement policy by name ("rr", "ear" or "recovery")."""
     if name == PolicyName.RR:
         return RandomReplication(
             topology, scheme=scheme, rng=rng, store=PreEncodingStore(code.k)
         )
     if name == PolicyName.EAR:
         return EncodingAwareReplication(
+            topology,
+            code,
+            scheme=scheme,
+            rng=rng,
+            c=ear_c,
+            num_target_racks=ear_target_racks,
+        )
+    if name == PolicyName.RECOVERY:
+        # Imported here: repro.recovery sits above the experiments layer.
+        from repro.recovery.placement import RecoveryAwareReplication
+
+        return RecoveryAwareReplication(
             topology,
             code,
             scheme=scheme,

@@ -160,6 +160,9 @@ class ChaosInjector:
         rng: Random source for corruption replica choice.
         resilience: Optional fault metrics (outage windows, injected
             corruption counts).
+        recovery: Optional
+            :class:`~repro.recovery.metrics.RecoveryMetrics`; applied
+            chaos events are tallied per kind for storm reports.
 
     Faults overlap freely: a rack outage may cover an already-flapping
     node.  Liveness restoration is reference-counted per node, so a node
@@ -175,6 +178,7 @@ class ChaosInjector:
         namenode=None,
         rng: Optional[random.Random] = None,
         resilience: Optional[ResilienceMetrics] = None,
+        recovery=None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -182,6 +186,7 @@ class ChaosInjector:
         self.namenode = namenode
         self.rng = rng if rng is not None else random.Random(0)
         self.resilience = resilience
+        self.recovery = recovery
         self.applied: List[ChaosEvent] = []
         self.skipped: List[ChaosEvent] = []
         self._down_refs: dict = {}
@@ -201,6 +206,8 @@ class ChaosInjector:
 
     # ------------------------------------------------------------------
     def _apply(self, event: ChaosEvent) -> None:
+        if self.recovery is not None:
+            self.recovery.record_storm_event(event.kind)
         if event.kind == NODE_FLAP:
             self._take_down([event.target], event, label=f"node {event.target}")
         elif event.kind == RACK_OUTAGE:

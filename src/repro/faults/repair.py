@@ -15,9 +15,8 @@ re-planning both its source set and its target node.
 
 from __future__ import annotations
 
-import itertools
 import random
-from typing import Dict, Generator, List, Optional, Set, Tuple
+from typing import Dict, Generator, Iterable, List, Optional, Tuple
 
 from repro.cluster.block import BlockId, BlockStore
 from repro.cluster.topology import NodeId, RackId
@@ -52,6 +51,18 @@ class RepairQueue:
         mover: Optional :class:`~repro.core.relocation.BlockMover`; when
             present, relocation requests (recorded constraint violations)
             are served once the damage queue drains.
+        recovery: Optional
+            :class:`~repro.recovery.metrics.RecoveryMetrics`; when
+            present, each repair feeds the repair-time distribution,
+            per-rack reconstruction traffic, and margin-0 vulnerability
+            windows.
+        concurrency: Simultaneous repairs the queue may run.  The default
+            (1) keeps the historical strictly-serial worker.  Higher
+            values model a production repair fleet — and are where
+            placement matters: concurrent reconstructions whose survivor
+            fetches share a rack uplink serialize on it, so concentrated
+            (EAR-style) layouts drain a storm slower than spread ones.
+            Dispatch order stays most-at-risk-first either way.
 
     The worker process starts on construction and runs forever; it sleeps
     on an internal wakeup event while idle, so an empty queue costs
@@ -68,7 +79,11 @@ class RepairQueue:
         retry: Optional[RetryPolicy] = None,
         resilience: Optional[ResilienceMetrics] = None,
         mover=None,
+        recovery=None,
+        concurrency: int = 1,
     ) -> None:
+        if concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
         self.sim = sim
         self.network = network
         self.namenode = namenode
@@ -77,9 +92,10 @@ class RepairQueue:
         self.retry = retry
         self.resilience = resilience
         self.mover = mover
+        self.recovery = recovery
+        self.concurrency = concurrency
         self._pending: Dict[BlockId, Event] = {}
-        self._order: Dict[BlockId, int] = {}
-        self._seq = itertools.count()
+        self._active: set = set()
         self._wakeup: Optional[Event] = None
         self.outcomes: Dict[str, int] = {
             DECODED: 0, REREPLICATED: 0, NOOP: 0, UNRECOVERABLE: 0,
@@ -106,9 +122,12 @@ class RepairQueue:
             return self._pending[block_id]
         done = self.sim.event()
         self._pending[block_id] = done
-        self._order[block_id] = next(self._seq)
         if self.resilience is not None:
             self.resilience.block_unavailable(block_id, self.sim.now)
+        if self.recovery is not None and self._margin(block_id) <= 0:
+            self.recovery.begin_vulnerability(
+                self._vulnerability_key(block_id), self.sim.now
+            )
         self._notify()
         return done
 
@@ -117,11 +136,37 @@ class RepairQueue:
 
         Called when a repair had to violate the blocks-per-rack cap; the
         request is always recorded, and served via the configured mover —
-        once no block repairs are pending — when one is attached.
+        once no block repairs are pending — when one is attached.  With a
+        journal attached to the namenode the request is journaled
+        *before* entering the in-memory backlog, so a crash mid-storm
+        replays the same pending relocations.
         """
+        journal = getattr(self.namenode, "journal", None)
+        if journal is not None:
+            journal.relocation_requested(stripe.stripe_id)
         self.relocation_requests.append(stripe)
         self._reloc_pending.append(stripe)
         self._notify()
+
+    def restore_relocation_requests(
+        self, stripe_ids: Iterable[int]
+    ) -> None:
+        """Rebuild the relocation backlog after a journal recovery.
+
+        Takes the ``pending_relocations`` list of a
+        :class:`~repro.journal.recovery.RecoveredState` and re-enters the
+        corresponding stripes into the in-memory backlog *without*
+        re-journaling them (they are already durable).
+        """
+        pre_store = self.namenode.pre_encoding_store
+        if pre_store is None:
+            return
+        for stripe_id in stripe_ids:
+            stripe = pre_store.stripe(stripe_id)
+            self.relocation_requests.append(stripe)
+            self._reloc_pending.append(stripe)
+        if self._reloc_pending:
+            self._notify()
 
     @property
     def pending_count(self) -> int:
@@ -136,24 +181,18 @@ class RepairQueue:
             self._wakeup.succeed()
 
     def _run(self) -> Generator:
+        if self.concurrency == 1:
+            yield from self._run_serial()
+        else:
+            yield from self._run_parallel()
+
+    def _run_serial(self) -> Generator:
         while True:
             if self._pending:
                 block_id = self._pop_most_at_risk()
                 start = self.sim.now
                 outcome = yield from self._repair_one(block_id)
-                self.outcomes[outcome] += 1
-                if outcome == UNRECOVERABLE:
-                    self.unrecoverable.append(block_id)
-                    if self.resilience is not None:
-                        self.resilience.record_data_loss(
-                            block_id, self.sim.now, "repair failed"
-                        )
-                if self.resilience is not None:
-                    self.resilience.record_repair(self.sim.now - start)
-                    self.resilience.block_available(block_id, self.sim.now)
-                done = self._pending.pop(block_id)
-                del self._order[block_id]
-                done.succeed(outcome)
+                self._finish_repair(block_id, start, outcome)
             elif self._reloc_pending and self.mover is not None:
                 stripe = self._reloc_pending.pop(0)
                 yield from self._relocate(stripe)
@@ -162,18 +201,87 @@ class RepairQueue:
                 yield self._wakeup
                 self._wakeup = None
 
+    def _run_parallel(self) -> Generator:
+        """Dispatcher: up to ``concurrency`` repairs in flight at once.
+
+        Repairs are still *started* most-at-risk-first; relocations are
+        only served while the damage queue is completely drained, exactly
+        as in the serial worker.
+        """
+        while True:
+            waiting = sorted(
+                (b for b in self._pending if b not in self._active),
+                key=self._risk_key,
+            )
+            while waiting and len(self._active) < self.concurrency:
+                block_id = waiting.pop(0)
+                self._active.add(block_id)
+                self.sim.process(self._repair_and_finish(block_id))
+            if (
+                not self._pending
+                and not self._active
+                and self._reloc_pending
+                and self.mover is not None
+            ):
+                stripe = self._reloc_pending.pop(0)
+                yield from self._relocate(stripe)
+                continue
+            self._wakeup = self.sim.event()
+            yield self._wakeup
+            self._wakeup = None
+
+    def _repair_and_finish(self, block_id: BlockId) -> Generator:
+        start = self.sim.now
+        outcome = yield from self._repair_one(block_id)
+        self._active.discard(block_id)
+        self._finish_repair(block_id, start, outcome)
+        self._notify()
+
+    def _finish_repair(
+        self, block_id: BlockId, start: float, outcome: str
+    ) -> None:
+        self.outcomes[outcome] += 1
+        if outcome == UNRECOVERABLE:
+            self.unrecoverable.append(block_id)
+            if self.resilience is not None:
+                self.resilience.record_data_loss(
+                    block_id, self.sim.now, "repair failed"
+                )
+        if self.resilience is not None:
+            self.resilience.record_repair(self.sim.now - start)
+            self.resilience.block_available(block_id, self.sim.now)
+        if self.recovery is not None:
+            self.recovery.record_repair(start, self.sim.now - start)
+            if outcome != UNRECOVERABLE and self._margin(block_id) > 0:
+                self.recovery.end_vulnerability(
+                    self._vulnerability_key(block_id), self.sim.now
+                )
+        done = self._pending.pop(block_id)
+        done.succeed(outcome)
+
     def _pop_most_at_risk(self) -> BlockId:
         """The pending block whose stripe has the smallest failure margin.
 
         Margin = surviving copies above the decode threshold (``k``
         members for an encoded stripe, one replica otherwise); ties break
-        by arrival order.  Recomputed at each pop so repairs and further
-        failures re-rank the queue continuously.
+        in deterministic ``(stripe_id, block_id)`` order — *not* arrival
+        order, so the repair sequence is a pure function of cluster state
+        regardless of how the damage was discovered.  Recomputed at each
+        pop so repairs and further failures re-rank the queue
+        continuously.
         """
-        return min(
-            self._pending,
-            key=lambda b: (self._margin(b), self._order[b]),
-        )
+        return min(self._pending, key=self._risk_key)
+
+    def _risk_key(self, block_id: BlockId) -> Tuple[int, int, BlockId]:
+        stripe = self._stripe_of(block_id)
+        stripe_rank = -1 if stripe is None else stripe.stripe_id
+        return (self._margin(block_id), stripe_rank, block_id)
+
+    def _vulnerability_key(self, block_id: BlockId) -> str:
+        stripe = self._stripe_of(block_id)
+        if stripe is not None:
+            return f"stripe:{stripe.stripe_id}"
+        return f"block:{block_id}"
 
     def _margin(self, block_id: BlockId) -> int:
         store = self.namenode.block_store
@@ -253,6 +361,13 @@ class RepairQueue:
             raise RuntimeError(f"no replacement node for block {block_id}")
         size = store.block(block_id).size
         yield from self.network.transfer(sources[0], target, size)
+        if self.recovery is not None:
+            cross = self.network.is_cross_rack(sources[0], target)
+            self.recovery.record_repair_traffic(
+                self.namenode.topology.rack_of(target),
+                size,
+                size if cross else 0.0,
+            )
         # A concurrent encode may have trimmed the block to its retained
         # copy while ours was in flight; committing a second replica would
         # over-replicate an encoded stripe.  Drop the copy instead.
@@ -269,7 +384,16 @@ class RepairQueue:
         target = self._replacement_node(block_id)
         if target is None:
             raise RuntimeError(f"no replacement node for block {block_id}")
-        yield from self.raidnode.recover_block(stripe, block_id, target)
+        record = yield from self.raidnode.recover_block(
+            stripe, block_id, target
+        )
+        if self.recovery is not None:
+            size = self.namenode.block_store.block(block_id).size
+            self.recovery.record_repair_traffic(
+                self.namenode.topology.rack_of(target),
+                stripe.k * size,
+                record.cross_rack_reads * size,
+            )
 
     # ------------------------------------------------------------------
     # Placement
@@ -362,3 +486,9 @@ class RepairQueue:
             self.relocation_failures.append((stripe.stripe_id, repr(exc)))
             if self.resilience is not None:
                 self.resilience.record_relocation_failure(repr(exc))
+        finally:
+            # Served or deferred, the request left the in-memory backlog;
+            # the journal's pending set must agree either way.
+            journal = getattr(self.namenode, "journal", None)
+            if journal is not None:
+                journal.relocation_served(stripe.stripe_id)

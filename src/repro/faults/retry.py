@@ -76,7 +76,12 @@ class RetryPolicy:
             raise ValueError("timeout must be positive when given")
 
     def backoff(self, retry_number: int, rng: random.Random) -> float:
-        """Delay before retry ``retry_number`` (1-based), with jitter."""
+        """Delay before retry ``retry_number`` (1-based), with jitter.
+
+        The schedule is exponential: ``base_delay * multiplier**(n-1)``
+        capped at ``max_delay``, plus a seeded uniform jitter fraction so
+        simultaneous retriers de-synchronize deterministically.
+        """
         if retry_number < 1:
             raise ValueError("retry_number is 1-based")
         delay = min(
@@ -86,6 +91,20 @@ class RetryPolicy:
         if self.jitter > 0:
             delay += delay * self.jitter * rng.random()
         return delay
+
+
+#: Bounded decode-retry policy for the degraded-read path: a client
+#: blocked on a read should fail over to repair-queue escalation within
+#: seconds, not ride out the repair pipeline's 60 s backoff ceiling.
+#: Three attempts with 0.25 s -> 0.5 s exponential backoff (2 s cap,
+#: +50% seeded jitter) keeps the worst-case inline wait around a second.
+DEGRADED_READ_RETRY = RetryPolicy(
+    max_attempts=3,
+    base_delay=0.25,
+    multiplier=2.0,
+    max_delay=2.0,
+    jitter=0.5,
+)
 
 
 #: Builds a fresh attempt generator; receives the 0-based attempt index.

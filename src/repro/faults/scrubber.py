@@ -35,6 +35,9 @@ class Scrubber:
         repair_queue: Destination for detected damage.
         interval: Seconds between scan passes.
         resilience: Optional fault metrics (detections are counted).
+        recovery: Optional
+            :class:`~repro.recovery.metrics.RecoveryMetrics`; detections
+            also feed the recovery storm accounting when present.
     """
 
     def __init__(
@@ -45,6 +48,7 @@ class Scrubber:
         repair_queue,
         interval: float = 60.0,
         resilience: Optional[ResilienceMetrics] = None,
+        recovery=None,
     ) -> None:
         if interval <= 0:
             raise ValueError("scrub interval must be positive")
@@ -54,6 +58,7 @@ class Scrubber:
         self.repair_queue = repair_queue
         self.interval = interval
         self.resilience = resilience
+        self.recovery = recovery
         self.detected: List[Tuple[float, BlockId, NodeId]] = []
         self.scans = 0
 
@@ -84,6 +89,8 @@ class Scrubber:
             self.detected.append((self.sim.now, block_id, node_id))
             if self.resilience is not None:
                 self.resilience.record_corruption_detected()
+            if self.recovery is not None:
+                self.recovery.record_scrub_detection()
             store.remove_replica(block_id, node_id)
             self.repair_queue.enqueue(block_id)
             caught += 1

@@ -302,6 +302,7 @@ class RaidNode:
         stripe: Stripe,
         lost_block_id: int,
         reader_node: NodeId,
+        retry: Optional[RetryPolicy] = None,
     ) -> Generator:
         """Serve a read of a lost block by on-the-fly reconstruction.
 
@@ -310,12 +311,19 @@ class RaidNode:
         the requested one in memory.  Unlike :meth:`recover_block` the
         rebuilt block is *not* re-inserted.
 
+        Args:
+            retry: Per-call override of the node-level retry policy; a
+                client with its own latency budget (the degraded-read
+                path's bounded inline wait) passes a tighter policy here
+                so a blocked read escalates within seconds instead of
+                riding the repair pipeline's backoff ceiling.
+
         Returns:
             A :class:`DegradedReadRecord` (generator return value).
         """
         start = self.sim.now
         cross = yield from self._download_survivors_retrying(
-            stripe, lost_block_id, reader_node
+            stripe, lost_block_id, reader_node, retry=retry
         )
         record = DegradedReadRecord(
             block_id=lost_block_id,
@@ -327,14 +335,20 @@ class RaidNode:
         return record
 
     def _download_survivors_retrying(
-        self, stripe: Stripe, lost_block_id: int, target_node: NodeId
+        self,
+        stripe: Stripe,
+        lost_block_id: int,
+        target_node: NodeId,
+        retry: Optional[RetryPolicy] = None,
     ) -> Generator:
         """``_download_k_survivors`` under the retry policy, when one is set.
 
         Every attempt re-runs the survivor selection, so an abort caused by
         a source dying mid-download re-plans from an alternate replica.
+        ``retry`` overrides the node-level policy for this call.
         """
-        if self.retry is None:
+        policy = retry if retry is not None else self.retry
+        if policy is None:
             cross = yield from self._download_k_survivors(
                 stripe, lost_block_id, target_node
             )
@@ -344,7 +358,7 @@ class RaidNode:
             lambda __: self._download_k_survivors(
                 stripe, lost_block_id, target_node
             ),
-            self.retry,
+            policy,
             self.rng,
             metrics=self.resilience,
             label=f"reconstruct block {lost_block_id}",

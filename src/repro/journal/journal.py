@@ -75,6 +75,7 @@ class MetadataJournal:
         self.fingerprints: Dict[int, str] = {}
         self.flushed_seq = self._seq
         self.dead_nodes: set = set()
+        self.pending_relocations: list = []
         self.records_appended = 0
         self.checkpoints_written = 0
         self._block_store = None
@@ -172,6 +173,26 @@ class MetadataJournal:
         self.dead_nodes.discard(node_id)
 
     # ------------------------------------------------------------------
+    # Journal-owned state: pending relocation requests
+    # ------------------------------------------------------------------
+    def relocation_requested(self, stripe_id: int) -> None:
+        """Record a placement-violation relocation request (repair queue).
+
+        Duplicates are allowed — both the failure injector and the repair
+        queue's own replacement path may flag the same stripe — and each
+        request is matched by one :meth:`relocation_served`.
+        """
+        self.append(rec.RelocationRequested(stripe_id=stripe_id))
+        self.pending_relocations.append(stripe_id)
+
+    def relocation_served(self, stripe_id: int) -> None:
+        """Record a pending relocation leaving the backlog."""
+        if stripe_id not in self.pending_relocations:
+            return
+        self.append(rec.RelocationServed(stripe_id=stripe_id))
+        self.pending_relocations.remove(stripe_id)
+
+    # ------------------------------------------------------------------
     # Stripe-commit bracket helpers
     # ------------------------------------------------------------------
     def begin_stripe_commit(
@@ -212,6 +233,7 @@ class MetadataJournal:
             self._stripe_store,
             self._namespace,
             self.dead_nodes,
+            pending_relocations=self.pending_relocations,
         )
 
     def current_fingerprint(self) -> str:
@@ -225,6 +247,7 @@ class MetadataJournal:
             self._stripe_store,
             self._namespace,
             self.dead_nodes,
+            pending_relocations=self.pending_relocations,
         )
 
     def checkpoint(self, prune: bool = False) -> str:

@@ -221,6 +221,37 @@ class EndStripeCommit(JournalRecord):
 
 
 # ----------------------------------------------------------------------
+# Relocation requests (repair-queue placement-violation backlog)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RelocationRequested(JournalRecord):
+    """A repair committed a rack-cap violation; the stripe awaits a move.
+
+    The repair queue journals the request *before* adding the stripe to
+    its in-memory backlog, so a crash mid-storm replays the same pending
+    relocations instead of silently forgetting the violation.
+    """
+
+    record_type: ClassVar[str] = "relocation_requested"
+
+    stripe_id: int
+
+
+@dataclass(frozen=True)
+class RelocationServed(JournalRecord):
+    """A pending relocation request left the backlog.
+
+    Written when the mover served the request — or when a transient
+    failure deferred it to the next violation scan; either way the
+    request is no longer pending, so replay must drop it too.
+    """
+
+    record_type: ClassVar[str] = "relocation_served"
+
+    stripe_id: int
+
+
+# ----------------------------------------------------------------------
 # Node liveness (permanent membership changes)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -283,6 +314,7 @@ RECORD_TYPES: Dict[str, Type[JournalRecord]] = {
         MarkCorrupted, ClearCorrupted,
         NewStripe, StripeAddBlock, SealStripe,
         BeginStripeCommit, ParityAdd, EndStripeCommit,
+        RelocationRequested, RelocationServed,
         NodeDead, NodeAlive,
         FileCreate, FileAppendBlock, FileDelete,
     )

@@ -68,12 +68,13 @@ class RecoveredState:
     namespace: object
     dead_nodes: Set[int]
     stats: RecoveryStats
+    pending_relocations: List[int] = field(default_factory=list)
 
     def fingerprint(self) -> str:
         """``state_fingerprint()`` of the recovered metadata."""
         return state_fingerprint(
             self.block_store, self.stripe_store, self.namespace,
-            self.dead_nodes,
+            self.dead_nodes, self.pending_relocations,
         )
 
     def reopen_journal(self, **kwargs) -> MetadataJournal:
@@ -90,6 +91,7 @@ class RecoveredState:
             namespace=self.namespace,
         )
         journal.dead_nodes = set(self.dead_nodes)
+        journal.pending_relocations = list(self.pending_relocations)
         return journal
 
 
@@ -97,13 +99,17 @@ class _Replayer:
     """Applies decoded records to the rebuilding stores, idempotently."""
 
     def __init__(self, topology, block_store, stripe_store, namespace,
-                 dead_nodes: Set[int], stats: RecoveryStats) -> None:
+                 dead_nodes: Set[int], stats: RecoveryStats,
+                 pending_relocations: Optional[List[int]] = None) -> None:
         self.topology = topology
         self.blocks = block_store
         self.stripes = stripe_store
         self.namespace = namespace
         self.dead_nodes = dead_nodes
         self.stats = stats
+        self.pending_relocations: List[int] = (
+            [] if pending_relocations is None else pending_relocations
+        )
         # stripe_id -> (intent record, parity ids already replayed)
         self.open_brackets: Dict[int, Tuple[rec.BeginStripeCommit, List[int]]] = {}
 
@@ -345,6 +351,25 @@ class _Replayer:
             self.stats.rolled_forward.append(stripe_id)
         self.open_brackets.clear()
 
+    # -- relocation backlog -------------------------------------------
+    def _on_relocation_requested(
+        self, seq: int, record: rec.RelocationRequested
+    ) -> None:
+        # Duplicates are legal (the same stripe can be flagged twice),
+        # so no idempotence check: every request record is one backlog
+        # entry, matched by one relocation_served record.
+        self.pending_relocations.append(record.stripe_id)
+        self._applied()
+
+    def _on_relocation_served(
+        self, seq: int, record: rec.RelocationServed
+    ) -> None:
+        if record.stripe_id not in self.pending_relocations:
+            self._skipped()
+            return
+        self.pending_relocations.remove(record.stripe_id)
+        self._applied()
+
     # -- node liveness -------------------------------------------------
     def _on_node_dead(self, seq: int, record: rec.NodeDead) -> None:
         if record.node_id in self.dead_nodes:
@@ -418,6 +443,7 @@ def recover(
         stripe_store = restored.stripe_store
         namespace = restored.namespace
         dead_nodes = restored.dead_nodes
+        pending_relocations = restored.pending_relocations
         stats.checkpoint_seq = checkpoint.last_seq
     else:
         from repro.cluster.block import BlockStore
@@ -428,6 +454,7 @@ def recover(
         stripe_store = None if k is None else PreEncodingStore(k)
         namespace = FileNamespace()
         dead_nodes = set()
+        pending_relocations = []
 
     scan = scan_journal(directory)
     stats.torn_tail = scan.torn_tail
@@ -435,7 +462,8 @@ def recover(
     stats.last_seq = scan.last_seq
 
     replayer = _Replayer(
-        topology, block_store, stripe_store, namespace, dead_nodes, stats
+        topology, block_store, stripe_store, namespace, dead_nodes, stats,
+        pending_relocations=pending_relocations,
     )
     for envelope in scan.envelopes:
         seq = int(envelope["seq"])  # type: ignore[arg-type]
@@ -456,6 +484,7 @@ def recover(
         namespace=replayer.namespace,
         dead_nodes=replayer.dead_nodes,
         stats=stats,
+        pending_relocations=replayer.pending_relocations,
     )
 
 

@@ -27,6 +27,7 @@ def capture_state(
     stripe_store=None,
     namespace=None,
     dead_nodes: Iterable[int] = (),
+    pending_relocations: Iterable[int] = (),
 ) -> Dict[str, object]:
     """The full metadata state as one canonical JSON-serializable dict."""
     blocks: List[List[object]] = []
@@ -45,6 +46,9 @@ def capture_state(
         "corrupted": [list(pair) for pair in block_store.corrupted_replicas()],
         "next_block_id": block_store.next_block_id,
         "dead_nodes": sorted(dead_nodes),
+        # Request order, not sorted: replay reproduces the exact backlog
+        # sequence, so the stricter ordered comparison is achievable.
+        "pending_relocations": list(pending_relocations),
         "stripes": None,
         "files": [],
     }
@@ -84,6 +88,7 @@ def state_fingerprint(
     stripe_store=None,
     namespace=None,
     dead_nodes: Iterable[int] = (),
+    pending_relocations: Iterable[int] = (),
 ) -> str:
     """sha256 over the canonical metadata state.
 
@@ -91,7 +96,10 @@ def state_fingerprint(
     or the path (live mutation vs journal replay) that produced it.
     """
     blob = canonical_json(
-        capture_state(block_store, stripe_store, namespace, dead_nodes)
+        capture_state(
+            block_store, stripe_store, namespace, dead_nodes,
+            pending_relocations,
+        )
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -104,6 +112,7 @@ class RestoredStores:
     stripe_store: Optional[object]
     namespace: object
     dead_nodes: set
+    pending_relocations: List[int]
 
 
 def restore_state(state: Dict[str, object], topology) -> RestoredStores:
@@ -160,4 +169,7 @@ def restore_state(state: Dict[str, object], topology) -> RestoredStores:
         stripe_store=stripe_store,
         namespace=namespace,
         dead_nodes=set(state.get("dead_nodes", [])),
+        pending_relocations=[
+            int(sid) for sid in state.get("pending_relocations", [])
+        ],
     )

@@ -1,0 +1,161 @@
+"""Policy head-to-heads: the same storm under rr / ear / recovery placement.
+
+The question the recovery engine exists to answer: *how much repair
+speed does EAR's encoding-friendly concentration cost, and what does the
+recovery-aware spread buy back?*  This module runs one storm scenario
+across a policy × code grid as independent
+:class:`~repro.parallel.spec.TrialSpec` trials, so the comparison rides
+the PR5 sweep executor — parallel across processes, fingerprint-cached,
+and differentially checked against the sequential oracle under
+``REPRO_PARALLEL_CHECK=1``.
+
+``storm_trial`` is the module-level trial callable (workers must be able
+to unpickle it); its result is the storm report's JSON-round-trippable
+form, so byte-identical results across ``--workers 0`` and ``--workers
+4`` are part of the engine's acceptance contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.erasure.codec import CodeParams
+from repro.parallel.executor import make_executor
+from repro.parallel.spec import TrialSpec
+from repro.recovery.storm import run_storm
+
+#: (label, n, k) rows of the default head-to-head code grid: the paper's
+#: (14,10) RS deployment and an LRC-shaped (16,12) geometry (12 data +
+#: 2 local + 2 global parities modelled through the generic code path).
+DEFAULT_CODES: Tuple[Tuple[str, int, int], ...] = (
+    ("rs_14_10", 14, 10),
+    ("lrc_16_12", 16, 12),
+)
+
+#: Placement policies compared by default.
+DEFAULT_POLICIES: Tuple[str, ...] = ("rr", "ear", "recovery")
+
+
+def storm_trial(
+    seed: int = 0,
+    scenario: str = "rack_loss",
+    policy: str = "ear",
+    code_label: str = "rs_14_10",
+    code_n: int = 14,
+    code_k: int = 10,
+    num_racks: int = 18,
+    nodes_per_rack: int = 4,
+    num_stripes: int = 4,
+    block_size: int = 256_000,
+    ear_c: int = 2,
+) -> Dict[str, object]:
+    """One storm run as a sweep trial (module-level, picklable).
+
+    The code is passed as ``(code_n, code_k)`` integers so the trial
+    config stays canonically JSON-encodable; ``code_label`` carries the
+    human name into the result (and the trial's cache identity).
+    """
+    report = run_storm(
+        scenario,
+        seed=seed,
+        policy=policy,
+        code=CodeParams(code_n, code_k),
+        num_racks=num_racks,
+        nodes_per_rack=nodes_per_rack,
+        num_stripes=num_stripes,
+        block_size=block_size,
+        ear_c=ear_c,
+    )
+    result = report.as_trial_result()
+    result["code"] = code_label
+    return result
+
+
+def head_to_head_specs(
+    scenario: str = "rack_loss",
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    codes: Sequence[Tuple[str, int, int]] = DEFAULT_CODES,
+    seeds: Sequence[int] = (0,),
+    num_racks: int = 18,
+    nodes_per_rack: int = 4,
+    num_stripes: int = 4,
+    ear_c: int = 2,
+) -> List[TrialSpec]:
+    """The trial grid for one scenario: policies × codes × seeds."""
+    specs: List[TrialSpec] = []
+    for label, n, k in codes:
+        for policy in policies:
+            for seed in seeds:
+                specs.append(TrialSpec(
+                    fn=storm_trial,
+                    config={
+                        "scenario": scenario,
+                        "policy": policy,
+                        "code_label": label,
+                        "code_n": n,
+                        "code_k": k,
+                        "num_racks": num_racks,
+                        "nodes_per_rack": nodes_per_rack,
+                        "num_stripes": num_stripes,
+                        "ear_c": ear_c,
+                    },
+                    seed=seed,
+                    tag=f"storm.{scenario}.{label}.{policy}",
+                ))
+    return specs
+
+
+def head_to_head(
+    scenario: str = "rack_loss",
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    codes: Sequence[Tuple[str, int, int]] = DEFAULT_CODES,
+    seeds: Sequence[int] = (0,),
+    num_racks: int = 18,
+    nodes_per_rack: int = 4,
+    num_stripes: int = 4,
+    ear_c: int = 2,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """Run the grid, through the sweep executor when ``workers`` is given.
+
+    ``workers=None`` runs sequentially in-process (no executor at all);
+    ``workers=0`` uses the executor's in-process path (cache active);
+    larger values fan trials out to worker processes.  Results always
+    come back in spec order, so the two paths are comparable element
+    by element.
+    """
+    specs = head_to_head_specs(
+        scenario, policies, codes, seeds,
+        num_racks=num_racks, nodes_per_rack=nodes_per_rack,
+        num_stripes=num_stripes, ear_c=ear_c,
+    )
+    executor = make_executor(workers, cache_dir)
+    if executor is None:
+        return [spec.run() for spec in specs]
+    return executor.map_trials(specs)
+
+
+def head_to_head_rows(
+    results: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Flatten head-to-head results into CLI table rows."""
+    rows: List[Dict[str, object]] = []
+    for result in results:
+        recovery = result.get("recovery", {})
+        rows.append({
+            "scenario": result["scenario"],
+            "code": result.get("code", "?"),
+            "policy": result["policy"],
+            "seed": result["seed"],
+            "clean": result["clean"],
+            "sim_time": result["sim_time"],
+            "repair_time_mean": recovery.get("repair_time_mean", "0"),
+            "repair_time_p95": recovery.get("repair_time_p95", "0"),
+            "cross_rack_repair_bytes": recovery.get(
+                "cross_rack_repair_bytes", "0"
+            ),
+            "time_at_margin_zero": recovery.get("time_at_margin_zero", "0"),
+            "fingerprint": str(result["fingerprint"])[:16],
+        })
+    return rows

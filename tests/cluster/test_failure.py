@@ -89,6 +89,72 @@ class TestStripeSurvives:
         )
 
 
+class TestLRCConfigs:
+    """The same fault-tolerance arithmetic at Azure-style LRC shapes.
+
+    An LRC(12, 2, 2) stripe has n = 16 blocks and still needs any k = 12
+    for a worst-case (global) reconstruction, so the rack arithmetic the
+    placement monitor and the recovery drills rely on must hold at that
+    width too — not only at the paper's (6, 4) and (14, 10) RS shapes.
+    """
+
+    def params(self):
+        from repro.erasure.lrc import LRCParams
+
+        return LRCParams(12, 2, 2)
+
+    def topology(self):
+        return ClusterTopology(nodes_per_rack=2, num_racks=16)
+
+    def test_one_block_per_rack_tolerates_all_parity_racks(self):
+        params, topo = self.params(), self.topology()
+        nodes = [2 * rack for rack in range(params.n)]  # one per rack
+        tolerance = stripe_rack_fault_tolerance(topo, nodes, k=params.k)
+        assert tolerance == params.n - params.k == 4
+
+    def test_two_blocks_per_rack_halves_rack_tolerance(self):
+        params, topo = self.params(), self.topology()
+        nodes = [rack * 2 + i for rack in range(8) for i in range(2)]
+        tolerance = stripe_rack_fault_tolerance(topo, nodes, k=params.k)
+        assert tolerance == (params.n - params.k) // 2 == 2
+
+    def test_violation_check_against_deployment_requirement(self):
+        params, topo = self.params(), self.topology()
+        spread = [2 * rack for rack in range(params.n)]
+        paired = [rack * 2 + i for rack in range(8) for i in range(2)]
+        # Facebook's requirement (survive n - k rack losses): the spread
+        # passes, the c=2 concentration violates.
+        required = params.n - params.k
+        assert not violates_rack_fault_tolerance(
+            topo, spread, params.k, required
+        )
+        assert violates_rack_fault_tolerance(
+            topo, paired, params.k, required
+        )
+        # The relaxed c=2 requirement admits the paired layout.
+        assert not violates_rack_fault_tolerance(
+            topo, paired, params.k, required // 2
+        )
+
+    def test_survival_under_concrete_rack_losses(self):
+        params, topo = self.params(), self.topology()
+        spread = [2 * rack for rack in range(params.n)]
+        # Four rack losses leave exactly k = 12 alive; five leave 11.
+        assert stripe_survives(
+            topo, spread, k=params.k, failed_racks=range(4)
+        )
+        assert not stripe_survives(
+            topo, spread, k=params.k, failed_racks=range(5)
+        )
+        paired = [rack * 2 + i for rack in range(8) for i in range(2)]
+        assert stripe_survives(
+            topo, paired, k=params.k, failed_racks=range(2)
+        )
+        assert not stripe_survives(
+            topo, paired, k=params.k, failed_racks=range(3)
+        )
+
+
 class TestFailureModel:
     def test_exhaustive_node_check_agrees_with_formula(self, medium_topology):
         model = FailureModel(medium_topology)

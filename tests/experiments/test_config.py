@@ -50,4 +50,4 @@ class TestLargeScaleConfig:
 
 class TestPolicyName:
     def test_all(self):
-        assert PolicyName.ALL == ("rr", "ear")
+        assert PolicyName.ALL == ("rr", "ear", "recovery")

@@ -76,6 +76,38 @@ class TestPrioritization:
         assert queue.outcomes["rereplicated"] == 2
         assert queue.pending_count == 0
 
+    def test_tie_break_is_independent_of_enqueue_order(self):
+        """Equal-margin blocks drain in (stripe_id, block_id) order no
+        matter how the damage reports arrived — the regression the
+        deterministic ``_risk_key`` tie-break exists to prevent."""
+        import itertools
+
+        orders = []
+        for permutation in itertools.permutations(range(3)):
+            setup, sealed, queue = build(topology=TOPO_SLOW, encode=False)
+            store = setup.namenode.block_store
+            # Three blocks across two stripes, all at margin 1.
+            victims = [
+                sealed[0].block_ids[0],
+                sealed[0].block_ids[1],
+                sealed[1].block_ids[0],
+            ]
+            for block in victims:
+                store.remove_replica(block, store.replica_nodes(block)[0])
+            finished = []
+
+            def watch(block, event):
+                yield event
+                finished.append(block)
+
+            for index in permutation:
+                setup.sim.process(
+                    watch(victims[index], queue.enqueue(victims[index]))
+                )
+            setup.sim.run()
+            orders.append(tuple(finished))
+        assert len(set(orders)) == 1, orders
+
     def test_enqueue_dedupes_to_one_event(self):
         setup, sealed, queue = build(encode=False)
         store = setup.namenode.block_store
@@ -86,6 +118,63 @@ class TestPrioritization:
         assert queue.pending_count == 1
         setup.sim.run()
         assert first.value == "rereplicated"
+
+
+class TestConcurrency:
+    def test_concurrency_must_be_positive(self):
+        setup, __, __q = build(encode=False)
+        with pytest.raises(ValueError):
+            RepairQueue(
+                setup.sim, setup.network, setup.namenode, setup.raidnode,
+                concurrency=0,
+            )
+
+    def test_parallel_workers_overlap_repairs(self):
+        """With concurrency=2 both damaged blocks start their repair
+        transfer at t=0; the serial queue starts the second only after
+        the first finishes.  (Wall-clock need not halve — the transfers
+        may still contend on a shared rack uplink.)"""
+        starts = {}
+        for concurrency in (1, 2):
+            setup = build_cluster("ear", TOPO_SLOW, CODE, SCHEME, 1,
+                                  block_size=1000)
+            populate_until_sealed(setup, 2)
+            sealed = setup.namenode.sealed_stripes()[:2]
+            queue = RepairQueue(
+                setup.sim, setup.network, setup.namenode, setup.raidnode,
+                rng=random.Random(91), concurrency=concurrency,
+            )
+            tracer = Tracer.attach(setup.network)
+            store = setup.namenode.block_store
+            for stripe in sealed:
+                block = stripe.block_ids[0]
+                store.remove_replica(block, store.replica_nodes(block)[0])
+                queue.enqueue(block)
+            setup.sim.run()
+            assert queue.outcomes["rereplicated"] == 2
+            starts[concurrency] = sorted(r.start for r in tracer.records)
+        assert starts[2] == [0.0, 0.0]   # dispatched together
+        assert starts[1][1] > 0.0        # serial: second waits its turn
+
+    def test_parallel_queue_drains_same_outcomes_as_serial(self):
+        outcomes = {}
+        for concurrency in (1, 3):
+            setup, sealed, __ = build(encode=False)
+            queue = RepairQueue(
+                setup.sim, setup.network, setup.namenode, setup.raidnode,
+                rng=random.Random(91), concurrency=concurrency,
+            )
+            store = setup.namenode.block_store
+            for stripe in sealed:
+                for block in stripe.block_ids[:2]:
+                    store.remove_replica(
+                        block, store.replica_nodes(block)[0]
+                    )
+                    queue.enqueue(block)
+            setup.sim.run()
+            outcomes[concurrency] = dict(queue.outcomes)
+            assert queue.pending_count == 0
+        assert outcomes[1] == outcomes[3]
 
 
 class TestOutcomes:
@@ -216,6 +305,130 @@ class TestPlacementUnderPressure:
         setup.sim.run()
         assert queue.relocations_done == 1
         assert monitor.scan(store, [stripe]) == []
+
+
+class TestRelocationJournaling:
+    """Placement-violation relocation requests are write-ahead logged and
+    replayed: a crash between request and service must not lose the
+    backlog (the ISSUE bugfix)."""
+
+    def journaled_build(self, tmp_path, mover=None):
+        from repro.journal import MetadataJournal
+
+        journal = MetadataJournal(str(tmp_path), segment_records=64)
+        setup = build_cluster("ear", TOPO_TIGHT, CODE, SCHEME, 1,
+                              block_size=1000, journal=journal)
+        populate_until_sealed(setup, 1)
+        sealed = setup.namenode.sealed_stripes()[:1]
+
+        def encode_all():
+            for stripe in sealed:
+                yield from setup.encoder.encode_stripe(stripe)
+
+        setup.sim.process(encode_all())
+        setup.sim.run()
+        queue = RepairQueue(
+            setup.sim, setup.network, setup.namenode, setup.raidnode,
+            rng=random.Random(91), mover=mover,
+        )
+        return journal, setup, sealed, queue
+
+    def force_violation(self, setup, sealed, queue):
+        """Reproduce TestPlacementUnderPressure's saturated-rack repair."""
+        store = setup.namenode.block_store
+        stripe = sealed[0]
+        block = stripe.block_ids[0]
+        victim = store.replica_nodes(block)[0]
+        for node in TOPO_TIGHT.nodes_in_rack(TOPO_TIGHT.rack_of(victim)):
+            setup.network.fail_endpoint(node)
+        store.remove_replica(block, victim)
+        done = queue.enqueue(block)
+        setup.sim.run()
+        assert done.value == "decoded"
+        return stripe
+
+    def test_pending_request_survives_crash_and_replay(self, tmp_path):
+        from repro.cluster.topology import ClusterTopology
+        from repro.journal import recover
+
+        journal, setup, sealed, queue = self.journaled_build(tmp_path)
+        stripe = self.force_violation(setup, sealed, queue)
+        assert journal.pending_relocations == [stripe.stripe_id]
+        journal.flush()
+        journal.close()
+
+        recovered = recover(
+            str(tmp_path),
+            ClusterTopology(nodes_per_rack=4, num_racks=6,
+                            intra_rack_bandwidth=1e6,
+                            cross_rack_bandwidth=1e6),
+        )
+        assert recovered.pending_relocations == [stripe.stripe_id]
+
+    def test_restore_reenters_backlog_without_rejournaling(self, tmp_path):
+        journal, setup, sealed, queue = self.journaled_build(tmp_path)
+        stripe = self.force_violation(setup, sealed, queue)
+
+        fresh = RepairQueue(
+            setup.sim, setup.network, setup.namenode, setup.raidnode,
+            rng=random.Random(92),
+        )
+        before = journal.pending_relocations[:]
+        fresh.restore_relocation_requests([stripe.stripe_id])
+        assert [s.stripe_id for s in fresh.relocation_requests] == [
+            stripe.stripe_id
+        ]
+        # Restoring replays durable state; it must not journal again.
+        assert journal.pending_relocations == before
+
+    def test_served_relocation_clears_the_journal_backlog(self, tmp_path):
+        from repro.journal import MetadataJournal
+
+        journal = MetadataJournal(str(tmp_path), segment_records=64)
+        mover = BlockMover(TOPO, CODE, rng=random.Random(9))
+        setup = build_cluster("ear", TOPO, CODE, SCHEME, 1,
+                              block_size=1000, journal=journal)
+        populate_until_sealed(setup, 1)
+        sealed = setup.namenode.sealed_stripes()[:1]
+
+        def encode_all():
+            for stripe in sealed:
+                yield from setup.encoder.encode_stripe(stripe)
+
+        setup.sim.process(encode_all())
+        setup.sim.run()
+        queue = RepairQueue(
+            setup.sim, setup.network, setup.namenode, setup.raidnode,
+            rng=random.Random(91), mover=mover,
+        )
+        # Manufacture a c=1 violation on the healthy cluster, as in
+        # test_relocation_served_once_damage_queue_drains.
+        store = setup.namenode.block_store
+        stripe = sealed[0]
+        b1, b2 = stripe.block_ids[0], stripe.block_ids[1]
+        n1 = store.replica_nodes(b1)[0]
+        n2 = store.replica_nodes(b2)[0]
+        target = next(
+            n for n in TOPO.nodes_in_rack(TOPO.rack_of(n1)) if n != n1
+        )
+        store.add_replica(b2, target)
+        store.remove_replica(b2, n2)
+        queue.request_relocation(stripe)
+        assert journal.pending_relocations == [stripe.stripe_id]
+        setup.sim.run()
+        assert queue.relocations_done == 1
+        assert journal.pending_relocations == []
+        journal.flush()
+        journal.close()
+
+        from repro.journal.wal import scan_journal
+
+        types = [env["type"] for env in scan_journal(str(tmp_path)).envelopes]
+        assert "relocation_requested" in types
+        assert "relocation_served" in types
+        assert types.index("relocation_requested") < types.index(
+            "relocation_served"
+        )
 
 
 class TestRetryingRepair:

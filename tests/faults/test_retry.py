@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro.faults.retry import (
+    DEGRADED_READ_RETRY,
     AttemptTimeout,
     RetryExhausted,
     RetryPolicy,
@@ -63,6 +64,48 @@ class TestRetryPolicy:
     def test_backoff_rejects_zero_retry_number(self):
         with pytest.raises(ValueError):
             RetryPolicy().backoff(0, random.Random(0))
+
+
+class TestDegradedReadRetry:
+    """The client-facing policy must stay *bounded*: a degraded read is
+    served inline, so its worst-case added wait has to be small."""
+
+    def test_attempts_are_bounded(self):
+        assert DEGRADED_READ_RETRY.max_attempts == 3
+
+    def test_backoff_is_exponential_and_capped(self):
+        flat = RetryPolicy(
+            max_attempts=DEGRADED_READ_RETRY.max_attempts,
+            base_delay=DEGRADED_READ_RETRY.base_delay,
+            multiplier=DEGRADED_READ_RETRY.multiplier,
+            max_delay=DEGRADED_READ_RETRY.max_delay,
+            jitter=0.0,
+        )
+        rng = random.Random(0)
+        delays = [flat.backoff(i, rng) for i in (1, 2, 3, 4, 5)]
+        assert delays[1] == delays[0] * flat.multiplier
+        assert max(delays) <= DEGRADED_READ_RETRY.max_delay
+
+    def test_worst_case_inline_wait_stays_small(self):
+        # Sum of maximum possible backoffs across the whole budget: the
+        # longest a client can be parked between attempts.  A couple of
+        # seconds, not the pipeline policy's 60 s ceiling.
+        policy = DEGRADED_READ_RETRY
+        worst = sum(
+            min(
+                policy.base_delay * policy.multiplier ** (i - 1),
+                policy.max_delay,
+            ) * (1 + policy.jitter)
+            for i in range(1, policy.max_attempts)
+        )
+        assert worst < 10.0
+
+    def test_jitter_is_seed_deterministic(self):
+        a = [DEGRADED_READ_RETRY.backoff(1, random.Random(3))
+             for __ in range(3)]
+        b = [DEGRADED_READ_RETRY.backoff(1, random.Random(3))
+             for __ in range(3)]
+        assert a == b
 
 
 class TestWithRetries:

@@ -77,6 +77,28 @@ class TestScanning:
         setup.network.restore_endpoint(node)
         assert scrubber.scan_once() == 1
 
+    def test_scan_racing_inflight_repair_does_not_double_enqueue(self):
+        """A scan that detects corruption on a block whose repair is
+        already in flight must ride the existing repair event, not queue
+        a second repair of the same block."""
+        setup, sealed, queue, scrubber = build(encode=False)
+        store = setup.namenode.block_store
+        block = sealed[0].block_ids[0]
+        node = store.replica_nodes(block)[0]
+        # The block is already damaged and enqueued (repair in flight)...
+        store.remove_replica(block, node)
+        first = queue.enqueue(block)
+        # ...when the scrubber finds rot on the remaining copy.
+        survivor = store.replica_nodes(block)[0]
+        store.mark_corrupted(block, survivor)
+        assert scrubber.scan_once() == 1
+        assert queue.enqueue(block) is first
+        assert queue.pending_count == 1
+        setup.sim.run()
+        # One repair outcome for the block, not two.
+        assert sum(queue.outcomes.values()) == 1
+        assert queue.pending_count == 0
+
     def test_periodic_loop_scans_on_schedule(self):
         setup, sealed, queue, scrubber = build(interval=10.0)
         store = setup.namenode.block_store

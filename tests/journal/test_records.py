@@ -25,6 +25,8 @@ SAMPLES = [
     ),
     rec.ParityAdd(stripe_id=1, block_id=40, node_id=7, size=1024),
     rec.EndStripeCommit(stripe_id=1, parity_block_ids=(40, 41)),
+    rec.RelocationRequested(stripe_id=1),
+    rec.RelocationServed(stripe_id=1),
     rec.NodeDead(node_id=5),
     rec.NodeAlive(node_id=5),
     rec.FileCreate(name="/a/b"),

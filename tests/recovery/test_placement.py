@@ -1,0 +1,74 @@
+"""Recovery-aware placement: one block per rack, EAR machinery intact."""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.erasure.codec import CodeParams
+from repro.recovery import RecoveryAwareReplication, build_storm_cluster
+from repro.recovery.storm import encode_all
+
+CODE = CodeParams(6, 4)
+TOPO = ClusterTopology(nodes_per_rack=4, num_racks=8)
+
+
+class TestConstruction:
+    def test_name_and_nominal_cap(self):
+        policy = RecoveryAwareReplication(
+            TOPO, CODE, rng=random.Random(0), c=2
+        )
+        assert policy.name == "recovery"
+        assert policy.nominal_c == 2
+        # Placement itself always runs the strict spread.
+        assert policy.c == 1
+
+    def test_nominal_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RecoveryAwareReplication(TOPO, CODE, rng=random.Random(0), c=0)
+
+    def test_make_policy_builds_recovery_variant(self):
+        from repro.core.policy import TWO_RACKS
+        from repro.experiments.runner import make_policy
+
+        policy = make_policy(
+            "recovery", TOPO, CODE, TWO_RACKS, random.Random(0), ear_c=2
+        )
+        assert isinstance(policy, RecoveryAwareReplication)
+        assert policy.nominal_c == 2
+
+
+class TestSpread:
+    def test_encoded_stripes_span_one_block_per_rack(self):
+        sc = build_storm_cluster(policy="recovery", seed=5, num_stripes=3)
+        encode_all(sc)
+        topology = sc.setup.topology
+        for stripe in sc.stripes:
+            racks = [
+                topology.rack_of(node)
+                for block_id in stripe.all_block_ids()
+                for node in sc.store.replica_nodes(block_id)
+            ]
+            assert len(racks) == len(stripe.all_block_ids())
+            assert len(set(racks)) == len(racks), (
+                f"stripe {stripe.stripe_id} doubled up a rack: {racks}"
+            )
+
+    def test_ear_concentrates_where_recovery_spreads(self):
+        """The head-to-head premise: EAR at c=2 uses fewer racks per
+        stripe than the recovery spread on the same cluster and seed."""
+        span = {}
+        for policy in ("ear", "recovery"):
+            sc = build_storm_cluster(policy=policy, seed=5, num_stripes=3)
+            encode_all(sc)
+            topology = sc.setup.topology
+            spans = []
+            for stripe in sc.stripes:
+                racks = {
+                    topology.rack_of(node)
+                    for block_id in stripe.all_block_ids()
+                    for node in sc.store.replica_nodes(block_id)
+                }
+                spans.append(len(racks))
+            span[policy] = sum(spans) / len(spans)
+        assert span["recovery"] > span["ear"]
