@@ -587,6 +587,62 @@ def _parallel_sweep_speedup(trials: int, blocks: int, workers: int):
     return run
 
 
+def _lint_whole_program(files: int, funcs: int):
+    """Cold + warm whole-program lint over a synthetic package.
+
+    The corpus is generated (never ``src/repro`` itself) so the op
+    counts — ``lint.files_analyzed`` / ``lint.functions_analyzed`` on
+    the cold pass, ``lint.files_cached`` on the warm pass — are exact
+    and stable across PRs that merely grow the real package.
+    """
+
+    def run(rng: random.Random) -> Dict[str, float]:
+        import tempfile
+        import time
+        from pathlib import Path
+
+        from repro.lint.config import LintConfig
+        from repro.lint.project import LintCache, lint_project
+
+        with tempfile.TemporaryDirectory() as root:
+            pkg = Path(root) / "lintbench"
+            pkg.mkdir()
+            (pkg / "__init__.py").write_text("", encoding="utf-8")
+            for index in range(files):
+                lines = [f'"""Synthetic module {index}."""']
+                if index:
+                    lines.append(
+                        f"from lintbench.mod{index - 1} import fn{index - 1}_0"
+                    )
+                for fn in range(funcs):
+                    lines.append(f"def fn{index}_{fn}(x):")
+                    lines.append(f"    return x + {rng.randrange(100)}")
+                (pkg / f"mod{index}.py").write_text(
+                    "\n".join(lines) + "\n", encoding="utf-8"
+                )
+            config = LintConfig()
+            cache_dir = Path(root) / "cache"
+            start = time.perf_counter()
+            cold = lint_project([str(pkg)], config, cache=LintCache(cache_dir))
+            wall_cold = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = lint_project([str(pkg)], config, cache=LintCache(cache_dir))
+            wall_warm = time.perf_counter() - start
+        if cold.findings or warm.findings:
+            raise AssertionError("synthetic corpus should lint clean")
+        if warm.files_cached < 0.9 * warm.files_checked:
+            raise AssertionError("warm cache skipped fewer than 90% of files")
+        return {
+            "files": float(cold.files_checked),
+            "functions_analyzed": float(cold.functions_analyzed),
+            "warm_cached_fraction": warm.files_cached / warm.files_checked,
+            "wall_cold_s": wall_cold,
+            "wall_warm_s": wall_warm,
+        }
+
+    return run
+
+
 def _sim_events(processes: int, timeouts: int):
     def run(rng: random.Random) -> Dict[str, float]:
         from repro.sim.engine import Simulator
@@ -734,6 +790,14 @@ def builtin_scenarios(smoke: bool = False) -> List[Scenario]:
             "repair_storm_throughput",
             {"stripes": 2 if smoke else 4, "scenario": "rack_loss"},
             _repair_storm_throughput(2 if smoke else 4),
+        ),
+        scenario(
+            "lint_whole_program",
+            {
+                "files": 6 if smoke else 40,
+                "functions_per_file": 3 if smoke else 8,
+            },
+            _lint_whole_program(6 if smoke else 40, 3 if smoke else 8),
         ),
         scenario(
             "journal_append_throughput",

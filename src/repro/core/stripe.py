@@ -14,7 +14,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cluster.block import BlockId
 from repro.cluster.topology import RackId
-from repro.journal.records import NewStripe, StripeAddBlock
+from repro.journal.records import NewStripe, SealStripe, StripeAddBlock
 
 
 class StripeState:
@@ -179,6 +179,38 @@ class PreEncodingStore:
         self._block_to_stripe[block_id] = stripe_id
         if seal_when_full and stripe.is_full():
             stripe.seal()
+        return stripe
+
+    def seal(self, stripe_id: int) -> Stripe:
+        """Explicitly seal a full stripe (the journaled sealing path).
+
+        :meth:`add_block` auto-seals through its ``seal_when_full``
+        flag, which replay reproduces from the ``StripeAddBlock``
+        record; callers that defer sealing (``seal_when_full=False``)
+        must seal through this method so a ``SealStripe`` record lands
+        in the journal before the state flips — ``stripe.seal()``
+        called directly on the dataclass bypasses the write-ahead
+        invariant and is invisible to recovery.
+
+        Raises:
+            ValueError: Unless the stripe is open and holds exactly k
+                blocks (mirrors :meth:`Stripe.seal`).
+        """
+        stripe = self.stripe(stripe_id)
+        if self.journal is not None:
+            # Pre-validate so the record is journaled only for a
+            # mutation that will actually apply (write-ahead invariant).
+            if stripe.state != StripeState.OPEN:
+                raise ValueError(
+                    f"stripe {stripe_id} is {stripe.state}, not open"
+                )
+            if len(stripe.block_ids) != stripe.k:
+                raise ValueError(
+                    f"stripe {stripe_id} holds {len(stripe.block_ids)} "
+                    f"blocks, needs exactly k={stripe.k} to seal"
+                )
+            self.journal.append(SealStripe(stripe_id=stripe_id))
+        stripe.seal()
         return stripe
 
     def stripe(self, stripe_id: int) -> Stripe:

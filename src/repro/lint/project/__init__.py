@@ -1,0 +1,54 @@
+"""Whole-program analysis for reprolint.
+
+The per-file rules (DET/RES/EXC/FLT/HYG/JRN001) see one module at a
+time; the failure modes that have actually bitten recent PRs are
+cross-module — wall-clock reachable through three calls from a DES
+process, an unpicklable closure handed to the sweep executor, a store
+mutation that lands before its journal record.  This package provides:
+
+* :mod:`repro.lint.project.facts` — a per-file syntactic fact extractor
+  whose output is plain JSON-serialisable data (what the incremental
+  cache stores);
+* :mod:`repro.lint.project.model` — the :class:`ProjectModel`: parses
+  the whole package once, derives an import graph, a qualified-name
+  resolver, a conservative call graph, and a reachability engine;
+* :mod:`repro.lint.project.cache` — an incremental fact/finding cache
+  keyed by source fingerprint + analyzer code salt (the PR5 idiom), so
+  warm runs re-analyze only changed files;
+* :mod:`repro.lint.project.engine` — the project lint driver behind
+  ``repro lint --project`` / ``--changed``;
+* the three interprocedural rule packs: :mod:`rules_sim` (SIM1xx),
+  :mod:`rules_par` (PAR1xx) and :mod:`rules_jrn` (JRN1xx).
+
+Everything here is byte-deterministic: facts are sorted at
+construction, the call graph iterates in sorted order, and a warm
+(cached) run produces reports byte-identical to a cold run.
+"""
+
+from repro.lint.project.cache import DEFAULT_CACHE_DIR, LintCache
+from repro.lint.project.engine import ProjectLintResult, lint_project
+from repro.lint.project.facts import (
+    CallSite,
+    ClassFacts,
+    FileFacts,
+    FunctionFacts,
+    StoreEvent,
+    extract_file_facts,
+)
+from repro.lint.project.model import ProjectModel, ProjectRule, build_project_model
+
+__all__ = [
+    "CallSite",
+    "ClassFacts",
+    "DEFAULT_CACHE_DIR",
+    "FileFacts",
+    "FunctionFacts",
+    "LintCache",
+    "ProjectLintResult",
+    "ProjectModel",
+    "ProjectRule",
+    "StoreEvent",
+    "build_project_model",
+    "extract_file_facts",
+    "lint_project",
+]

@@ -1,0 +1,246 @@
+"""Fingerprint-keyed incremental cache for project lint runs.
+
+A cache entry holds everything ``repro lint --project`` needs about one
+file: its extracted :class:`~repro.lint.project.facts.FileFacts`, its
+per-file findings (already filtered through that file's suppressions),
+and the suppression tables project rules consult when anchoring
+cross-file findings.  The entry key is a SHA-256 over
+
+* the module name and source text,
+* the analyzer's own code salt — ``code_salt(("repro.lint",))``, the
+  PR5 idiom — so editing any linter module invalidates every entry, and
+* a digest of the effective configuration, so flipping a severity
+  override or disabling a rule cannot serve stale findings.
+
+A warm run over an unchanged tree therefore never parses a file, and —
+because entries store post-suppression findings sorted the same way the
+engine sorts them — produces byte-identical reports.  Entries carry a
+CRC32 like the PR5 result cache: a torn entry is deleted and recomputed,
+never trusted.
+
+The directory also holds ``lint-manifest.json`` mapping file paths to
+their last-seen entry keys; ``repro lint --changed`` diffs the current
+keys against the manifest to lint only files whose key moved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Set, Tuple, Union
+
+from repro.lint.config import LintConfig
+from repro.lint.model import Finding, Severity
+from repro.lint.project.facts import FileFacts, facts_from_dict, facts_to_dict
+from repro.parallel.fingerprint import code_salt
+
+#: Default lint cache directory — a sibling namespace inside the PR5
+#: result cache root, so ``rm -rf .repro-cache`` clears both.
+DEFAULT_CACHE_DIR = ".repro-cache/lint"
+
+#: On-disk entry format version.
+ENTRY_VERSION = 1
+
+_MANIFEST_NAME = "lint-manifest.json"
+
+
+@dataclass(frozen=True)
+class CachedFile:
+    """Everything the engine needs about one analyzed file."""
+
+    facts: FileFacts
+    findings: Tuple[Finding, ...]
+    suppress_lines: Tuple[Tuple[int, Tuple[str, ...]], ...]
+    suppress_file: Tuple[str, ...]
+
+    def line_table(self) -> Dict[int, Set[str]]:
+        """The per-line suppression table in engine form."""
+        return {line: set(rules) for line, rules in self.suppress_lines}
+
+    def file_table(self) -> Set[str]:
+        """The file-wide suppression table in engine form."""
+        return set(self.suppress_file)
+
+
+def analyzer_salt() -> str:
+    """Code salt over the linter package itself (cached by PR5's
+    :func:`code_salt`); bumps every cache key when the analyzer changes."""
+    return code_salt(("repro.lint",))
+
+
+def config_digest(config: LintConfig) -> str:
+    """Deterministic digest of every finding-affecting config field."""
+    payload = {
+        "disabled": sorted(config.disabled_rules),
+        "exclude": sorted(config.exclude),
+        "overrides": {
+            rule_id: severity.label
+            for rule_id, severity in sorted(config.severity_overrides.items())
+        },
+        "wall_clock_paths": sorted(config.wall_clock_paths),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _payload_crc(payload: Any) -> int:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+class LintCache:
+    """Entry store + manifest for incremental project lints.
+
+    Args:
+        directory: Cache root; created lazily on the first put.
+    """
+
+    def __init__(self, directory: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def key_for(self, module: str, source: str, config: LintConfig) -> str:
+        """The cache key of one (module, source, analyzer, config) state."""
+        digest = hashlib.sha256()
+        for part in (module, analyzer_salt(), config_digest(config), source):
+            encoded = part.encode("utf-8")
+            digest.update(str(len(encoded)).encode("ascii"))
+            digest.update(b":")
+            digest.update(encoded)
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> Path:
+        if not key or any(c in key for c in "/\\."):
+            raise ValueError(f"malformed cache key {key!r}")
+        return self.directory / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Entries
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[CachedFile]:
+        """A verified entry, or None; corrupt entries are deleted."""
+        path = self._entry_path(key)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError):
+            return self._drop_corrupt(path)
+        try:
+            payload = document["payload"]
+            valid = (
+                document.get("version") == ENTRY_VERSION
+                and document.get("key") == key
+                and document.get("crc") == _payload_crc(payload)
+            )
+            entry = self._decode(payload) if valid else None
+        except (TypeError, KeyError, ValueError):
+            entry = None
+        if entry is None:
+            return self._drop_corrupt(path)
+        self.hits += 1
+        return entry
+
+    def _drop_corrupt(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass  # already gone; the recompute will overwrite it
+        self.corrupt += 1
+        self.misses += 1
+        return None
+
+    def put(self, key: str, entry: CachedFile) -> None:
+        """Store one entry (atomic write, CRC-stamped)."""
+        payload = self._encode(entry)
+        document = {
+            "version": ENTRY_VERSION,
+            "key": key,
+            "payload": payload,
+            "crc": _payload_crc(payload),
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(
+            self._entry_path(key), json.dumps(document, sort_keys=True)
+        )
+
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Codec
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode(entry: CachedFile) -> Dict[str, Any]:
+        return {
+            "facts": facts_to_dict(entry.facts),
+            "findings": [f.to_dict() for f in entry.findings],
+            "suppress_lines": [
+                [line, list(rules)] for line, rules in entry.suppress_lines
+            ],
+            "suppress_file": list(entry.suppress_file),
+        }
+
+    @staticmethod
+    def _decode(payload: Dict[str, Any]) -> CachedFile:
+        findings = tuple(
+            Finding(
+                path=row["path"],
+                line=row["line"],
+                col=row["col"],
+                rule_id=row["rule"],
+                severity=Severity.parse(row["severity"]),
+                message=row["message"],
+                autofixable=row["autofixable"],
+            )
+            for row in payload["findings"]
+        )
+        return CachedFile(
+            facts=facts_from_dict(payload["facts"]),
+            findings=findings,
+            suppress_lines=tuple(
+                (int(line), tuple(rules))
+                for line, rules in payload["suppress_lines"]
+            ),
+            suppress_file=tuple(payload["suppress_file"]),
+        )
+
+    # ------------------------------------------------------------------
+    # Manifest (``--changed`` support)
+    # ------------------------------------------------------------------
+    def _manifest_path(self) -> Path:
+        return self.directory / _MANIFEST_NAME
+
+    def manifest(self) -> Dict[str, str]:
+        """Last-run ``path -> entry key`` map (empty when absent/torn)."""
+        try:
+            raw = json.loads(self._manifest_path().read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(raw, dict):
+            return {}
+        return {
+            str(path): str(key)
+            for path, key in raw.items()
+            if isinstance(path, str) and isinstance(key, str)
+        }
+
+    def write_manifest(self, mapping: Dict[str, str]) -> None:
+        """Persist the ``path -> entry key`` map of a completed run."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(
+            self._manifest_path(), json.dumps(mapping, sort_keys=True)
+        )

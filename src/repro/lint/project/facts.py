@@ -1,0 +1,790 @@
+"""Per-file syntactic facts: what the project model knows about a module.
+
+Extraction is purely syntactic — no imports are executed, no types are
+evaluated — and the result is a tree of frozen dataclasses built only
+from strings, ints and tuples, so facts serialise losslessly to JSON
+(the incremental cache's storage format) and two extractions of the
+same source are byte-identical regardless of ``PYTHONHASHSEED``.
+
+The vocabulary is deliberately small and rule-agnostic:
+
+* every call site, with the dotted chain as written and the dotted
+  references of any callable-looking arguments (``sim.process(run())``
+  records the ``run`` reference; ``TrialSpec(fn=trial)`` records the
+  ``trial`` reference under the ``fn`` key);
+* import tables, module-level global bindings (classified by the shape
+  of their right-hand side), and per-function reads/writes/mutations of
+  non-local names;
+* per-function flags interprocedural rules need (generator-ness,
+  sim-time returns, ``==`` comparisons against call results);
+* the ordered journal/mutation event stream of every method that
+  touches ``self.journal`` or a ``self._*`` field (the JRN102 input).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.model import call_name
+
+#: Method names treated as in-place container mutation.
+MUTATING_METHODS = frozenset({
+    "append", "add", "extend", "insert", "update", "setdefault",
+    "pop", "popitem", "clear", "remove", "discard",
+    "appendleft", "popleft",
+})
+
+#: Sentinel reference for a lambda argument.
+LAMBDA_REF = "<lambda>"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body.
+
+    Attributes:
+        chain: The dotted target as written (``("self", "journal",
+            "append")``); never empty.
+        lineno: 1-based source line of the call.
+        func_args: Callable-looking arguments: ``(key, kind, ref)``
+            where ``key`` is the keyword name or ``"<posN>"``, ``kind``
+            is ``"ref"`` (a bare name/attribute), ``"call"`` (the
+            argument is itself an invocation, as in
+            ``sim.process(run())``) or ``"lambda"``, and ``ref`` is the
+            dotted chain (or :data:`LAMBDA_REF`).
+    """
+
+    chain: Tuple[str, ...]
+    lineno: int
+    func_args: Tuple[Tuple[str, str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class StoreEvent:
+    """One entry of a method's ordered journal/mutation event stream.
+
+    Attributes:
+        kind: ``"append"`` (a ``self.journal.<anything>(...)`` call),
+            ``"detach"`` (an assignment that rebinds ``self.journal``),
+            or ``"mutate"`` (a write to a ``self._*`` field, directly or
+            through a local alias).
+        target: The mutated root (``"self._blocks"``) for ``mutate``
+            events; empty otherwise.
+        lineno: 1-based source line.
+        guarded: For ``append``: True when every enclosing conditional
+            tests ``self.journal`` (the standard attach-guard idiom) —
+            such appends dominate everything after them.  Conditional
+            appends only dominate lines inside their own branch.
+        scope_start: First line of the innermost non-journal conditional
+            block containing the event (the event's own line when the
+            event is unconditional).
+        scope_end: Last line of that block.
+    """
+
+    kind: str
+    target: str
+    lineno: int
+    guarded: bool = True
+    scope_start: int = 0
+    scope_end: int = 0
+
+
+@dataclass(frozen=True)
+class FunctionFacts:
+    """Everything the interprocedural rules need about one function."""
+
+    qualname: str
+    lineno: int
+    is_generator: bool = False
+    calls: Tuple[CallSite, ...] = ()
+    global_reads: Tuple[str, ...] = ()
+    global_writes: Tuple[str, ...] = ()
+    global_mutations: Tuple[Tuple[str, str, int], ...] = ()
+    returns_sim_time: bool = False
+    compared_calls: Tuple[Tuple[str, int], ...] = ()
+    store_events: Tuple[StoreEvent, ...] = ()
+    params: Tuple[str, ...] = ()
+    annotations: Tuple[Tuple[str, str], ...] = ()
+    local_types: Tuple[Tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class ClassFacts:
+    """Class-level facts (methods carry their own :class:`FunctionFacts`)."""
+
+    name: str
+    lineno: int
+    bases: Tuple[str, ...] = ()
+    record_type: Optional[str] = None
+    assigns_journal_in_init: bool = False
+    method_names: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class FileFacts:
+    """The complete fact set of one module."""
+
+    path: str
+    module: str
+    imports: Tuple[Tuple[str, str], ...] = ()
+    from_imports: Tuple[Tuple[str, str, str], ...] = ()
+    functions: Tuple[FunctionFacts, ...] = ()
+    classes: Tuple[ClassFacts, ...] = ()
+    module_globals: Tuple[Tuple[str, str], ...] = ()
+
+    def function(self, qualname: str) -> Optional[FunctionFacts]:
+        """Look up a function by qualified name."""
+        for fn in self.functions:
+            if fn.qualname == qualname:
+                return fn
+        return None
+
+
+# ----------------------------------------------------------------------
+# JSON codec (the cache's storage format)
+# ----------------------------------------------------------------------
+def facts_to_dict(facts: FileFacts) -> Dict[str, Any]:
+    """A JSON-ready dict round-tripping through :func:`facts_from_dict`."""
+    return _encode(facts)
+
+
+def _encode(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_encode(item) for item in value]
+    if isinstance(
+        value, (FileFacts, FunctionFacts, ClassFacts, CallSite, StoreEvent)
+    ):
+        return {
+            spec.name: _encode(getattr(value, spec.name))
+            for spec in fields(value)
+        }
+    return value
+
+
+def facts_from_dict(payload: Dict[str, Any]) -> FileFacts:
+    """Rebuild :class:`FileFacts` from its JSON form."""
+    return FileFacts(
+        path=payload["path"],
+        module=payload["module"],
+        imports=_pairs(payload["imports"]),
+        from_imports=_pairs(payload["from_imports"]),
+        functions=tuple(
+            _function_from_dict(item) for item in payload["functions"]
+        ),
+        classes=tuple(_class_from_dict(item) for item in payload["classes"]),
+        module_globals=_pairs(payload["module_globals"]),
+    )
+
+
+def _pairs(items: List[List[str]]) -> Tuple[Tuple[str, ...], ...]:
+    return tuple(tuple(item) for item in items)
+
+
+def _function_from_dict(item: Dict[str, Any]) -> FunctionFacts:
+    return FunctionFacts(
+        qualname=item["qualname"],
+        lineno=item["lineno"],
+        is_generator=item["is_generator"],
+        calls=tuple(
+            CallSite(
+                chain=tuple(call["chain"]),
+                lineno=call["lineno"],
+                func_args=_pairs(call["func_args"]),
+            )
+            for call in item["calls"]
+        ),
+        global_reads=tuple(item["global_reads"]),
+        global_writes=tuple(item["global_writes"]),
+        global_mutations=tuple(
+            (m[0], m[1], m[2]) for m in item["global_mutations"]
+        ),
+        returns_sim_time=item["returns_sim_time"],
+        compared_calls=tuple(
+            (c[0], c[1]) for c in item["compared_calls"]
+        ),
+        store_events=tuple(
+            StoreEvent(**event) for event in item["store_events"]
+        ),
+        params=tuple(item["params"]),
+        annotations=_pairs(item["annotations"]),
+        local_types=_pairs(item["local_types"]),
+    )
+
+
+def _class_from_dict(item: Dict[str, Any]) -> ClassFacts:
+    return ClassFacts(
+        name=item["name"],
+        lineno=item["lineno"],
+        bases=tuple(item["bases"]),
+        record_type=item["record_type"],
+        assigns_journal_in_init=item["assigns_journal_in_init"],
+        method_names=tuple(item["method_names"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+def extract_file_facts(
+    path: str, module: str, tree: ast.Module
+) -> FileFacts:
+    """Extract the fact set of one parsed module.
+
+    Args:
+        path: Path findings will be reported under (stored verbatim).
+        module: Dotted module name (``repro.cluster.block``).
+        tree: The parsed module.
+    """
+    imports: List[Tuple[str, str]] = []
+    from_imports: List[Tuple[str, str, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".", 1)[0]
+                imports.append((bound, alias.name))
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                from_imports.append(
+                    (alias.asname or alias.name, node.module, alias.name)
+                )
+
+    functions: List[FunctionFacts] = []
+    classes: List[ClassFacts] = []
+    _collect_scopes(tree, "", None, functions, classes)
+
+    module_globals: List[Tuple[str, str]] = []
+    for node in tree.body:
+        targets: List[ast.AST] = []
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name):
+                module_globals.append((target.id, _classify_value(value)))
+
+    return FileFacts(
+        path=path,
+        module=module,
+        imports=tuple(sorted(set(imports))),
+        from_imports=tuple(sorted(set(from_imports))),
+        functions=tuple(sorted(functions, key=lambda f: (f.qualname, f.lineno))),
+        classes=tuple(sorted(classes, key=lambda c: (c.name, c.lineno))),
+        module_globals=tuple(sorted(set(module_globals))),
+    )
+
+
+def _classify_value(value: Optional[ast.AST]) -> str:
+    """The shape of a module-global's right-hand side."""
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(value, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, ast.Call):
+        chain = call_name(value.func)
+        return "call:" + ".".join(chain) if chain else "call:?"
+    if isinstance(value, ast.Constant):
+        return "const"
+    return "other"
+
+
+def _collect_scopes(
+    scope: ast.AST,
+    prefix: str,
+    class_name: Optional[str],
+    functions: List[FunctionFacts],
+    classes: List[ClassFacts],
+) -> None:
+    """Recursively collect function/class facts with Python qualnames."""
+    for node in ast.iter_child_nodes(scope):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{prefix}{node.name}"
+            functions.append(_extract_function(node, qualname))
+            _collect_scopes(
+                node, f"{qualname}.<locals>.", None, functions, classes
+            )
+        elif isinstance(node, ast.ClassDef):
+            qualname = f"{prefix}{node.name}"
+            classes.append(_extract_class(node, qualname))
+            _collect_scopes(node, f"{qualname}.", qualname, functions, classes)
+
+
+def _extract_class(node: ast.ClassDef, qualname: str) -> ClassFacts:
+    bases = tuple(
+        sorted(
+            ".".join(chain)
+            for chain in (call_name(base) for base in node.bases)
+            if chain is not None
+        )
+    )
+    record_type: Optional[str] = None
+    method_names: List[str] = []
+    assigns_journal = False
+    for statement in node.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            method_names.append(statement.name)
+            if statement.name == "__init__":
+                assigns_journal = _init_assigns_journal(statement)
+        else:
+            target: Optional[ast.AST] = None
+            if isinstance(statement, ast.AnnAssign):
+                target = statement.target
+            elif isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+                target = statement.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "record_type"
+                and isinstance(statement.value, ast.Constant)
+                and isinstance(statement.value.value, str)
+            ):
+                record_type = statement.value.value
+    return ClassFacts(
+        name=qualname,
+        lineno=node.lineno,
+        bases=bases,
+        record_type=record_type,
+        assigns_journal_in_init=assigns_journal,
+        method_names=tuple(sorted(method_names)),
+    )
+
+
+def _init_assigns_journal(init: ast.AST) -> bool:
+    """True when ``__init__`` contains ``self.journal = None`` — the
+    attach-later idiom that marks a class as a journaled store."""
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not (
+            isinstance(node.value, ast.Constant) and node.value.value is None
+        ):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == "journal"
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Function bodies
+# ----------------------------------------------------------------------
+def _own_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's own statements, skipping nested def/class/lambda."""
+    for child in ast.iter_child_nodes(root):
+        if isinstance(
+            child,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            continue
+        yield child
+        yield from _own_scope(child)
+
+
+def _extract_function(node: ast.AST, qualname: str) -> FunctionFacts:
+    args = node.args
+    params = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg is not None:
+        params.append(args.vararg.arg)
+    if args.kwarg is not None:
+        params.append(args.kwarg.arg)
+
+    annotations: List[Tuple[str, str]] = []
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        chain = _annotation_chain(arg.annotation)
+        if chain:
+            annotations.append((arg.arg, chain))
+
+    local_names: Set[str] = set(params)
+    local_types: Dict[str, str] = {}
+    aliases: Dict[str, str] = {}
+    global_names: Set[str] = set()
+    is_generator = False
+
+    # First pass: bindings, so reads can be classified afterwards.
+    for child in _own_scope(node):
+        if isinstance(child, ast.Global):
+            global_names.update(child.names)
+        elif isinstance(child, (ast.Yield, ast.YieldFrom)):
+            is_generator = True
+        elif isinstance(child, ast.Assign):
+            for target in child.targets:
+                _bind_targets(target, local_names)
+            if len(child.targets) == 1 and isinstance(
+                child.targets[0], ast.Name
+            ):
+                name = child.targets[0].id
+                if isinstance(child.value, ast.Call):
+                    chain = call_name(child.value.func)
+                    if chain is not None:
+                        local_types[name] = ".".join(chain)
+                alias = _self_attr_root(child.value)
+                if alias is not None:
+                    aliases[name] = alias
+        elif isinstance(child, (ast.AnnAssign, ast.AugAssign)):
+            _bind_targets(child.target, local_names)
+        elif isinstance(child, (ast.For, ast.AsyncFor)):
+            _bind_targets(child.target, local_names)
+        elif isinstance(child, (ast.With, ast.AsyncWith)):
+            for item in child.items:
+                if item.optional_vars is not None:
+                    _bind_targets(item.optional_vars, local_names)
+        elif isinstance(child, ast.ExceptHandler) and child.name:
+            local_names.add(child.name)
+        elif isinstance(
+            child, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for gen in child.generators:
+                _bind_targets(gen.target, local_names)
+        elif isinstance(child, ast.NamedExpr):
+            _bind_targets(child.target, local_names)
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            local_names.add(child.name)
+    local_names -= global_names
+
+    calls: List[CallSite] = []
+    global_reads: Set[str] = set()
+    global_writes: Set[str] = set()
+    global_mutations: Set[Tuple[str, str, int]] = set()
+    compared_calls: Set[Tuple[str, int]] = set()
+    returns_sim_time = False
+
+    sim_param = {
+        name
+        for name, chain in annotations
+        if chain.split(".")[-1] == "Simulator"
+    }
+
+    for child in _own_scope(node):
+        if isinstance(child, ast.Call):
+            chain = call_name(child.func)
+            if chain is not None:
+                calls.append(_call_site(child))
+            if (
+                chain is not None
+                and len(chain) >= 2
+                and chain[-1] in MUTATING_METHODS
+                and chain[0] not in local_names
+                and chain[0] != "self"
+                and chain[0] != "cls"
+                and len(chain) == 2
+            ):
+                global_mutations.add((chain[0], chain[-1], child.lineno))
+        elif isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
+            if child.id not in local_names:
+                global_reads.add(child.id)
+        elif isinstance(child, ast.Assign):
+            for target in child.targets:
+                for name in _name_targets(target):
+                    if name in global_names:
+                        global_writes.add(name)
+                _subscript_mutation(
+                    target, local_names, global_mutations, "setitem"
+                )
+        elif isinstance(child, ast.AugAssign):
+            for name in _name_targets(child.target):
+                if name in global_names:
+                    global_writes.add(name)
+            _subscript_mutation(
+                child.target, local_names, global_mutations, "setitem"
+            )
+        elif isinstance(child, ast.Delete):
+            for target in child.targets:
+                _subscript_mutation(
+                    target, local_names, global_mutations, "delitem"
+                )
+        elif isinstance(child, ast.Return) and child.value is not None:
+            if _mentions_sim_now(child.value, sim_param):
+                returns_sim_time = True
+        elif isinstance(child, ast.Compare):
+            if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in child.ops):
+                for expr in [child.left] + list(child.comparators):
+                    if isinstance(expr, ast.Call):
+                        chain = call_name(expr.func)
+                        if chain is not None:
+                            compared_calls.add(
+                                (".".join(chain), child.lineno)
+                            )
+
+    store_events = _store_events(node, aliases)
+
+    return FunctionFacts(
+        qualname=qualname,
+        lineno=node.lineno,
+        is_generator=is_generator,
+        calls=tuple(
+            sorted(calls, key=lambda c: (c.lineno, c.chain, c.func_args))
+        ),
+        global_reads=tuple(sorted(global_reads)),
+        global_writes=tuple(sorted(global_writes)),
+        global_mutations=tuple(sorted(global_mutations)),
+        returns_sim_time=returns_sim_time,
+        compared_calls=tuple(sorted(compared_calls)),
+        store_events=store_events,
+        params=tuple(params),
+        annotations=tuple(sorted(annotations)),
+        local_types=tuple(sorted(local_types.items())),
+    )
+
+
+def _bind_targets(target: ast.AST, names: Set[str]) -> None:
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _bind_targets(element, names)
+    elif isinstance(target, ast.Starred):
+        _bind_targets(target.value, names)
+
+
+def _name_targets(target: ast.AST) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _name_targets(element)
+    elif isinstance(target, ast.Starred):
+        yield from _name_targets(target.value)
+
+
+def _subscript_mutation(
+    target: ast.AST,
+    local_names: Set[str],
+    out: Set[Tuple[str, str, int]],
+    op: str,
+) -> None:
+    if (
+        isinstance(target, ast.Subscript)
+        and isinstance(target.value, ast.Name)
+        and target.value.id not in local_names
+    ):
+        out.add((target.value.id, op, target.lineno))
+
+
+def _annotation_chain(annotation: Optional[ast.AST]) -> str:
+    if annotation is None:
+        return ""
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        head = annotation.value.split("[", 1)[0].strip()
+        try:
+            annotation = ast.parse(head, mode="eval").body
+        except SyntaxError:
+            return ""
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    if isinstance(annotation, ast.Constant):
+        return ""
+    chain = call_name(annotation)
+    return ".".join(chain) if chain else ""
+
+
+def _self_attr_root(value: ast.AST) -> Optional[str]:
+    """``self._replicas[...]`` or ``self._replicas`` → ``"self._replicas"``."""
+    if isinstance(value, ast.Subscript):
+        value = value.value
+    if (
+        isinstance(value, ast.Attribute)
+        and isinstance(value.value, ast.Name)
+        and value.value.id == "self"
+        and value.attr.startswith("_")
+    ):
+        return f"self.{value.attr}"
+    return None
+
+
+def _call_site(node: ast.Call) -> CallSite:
+    chain = call_name(node.func)
+    if chain is None:  # pragma: no cover — caller filters
+        raise ValueError("call target is not a dotted-name chain")
+    func_args: List[Tuple[str, str, str]] = []
+    for index, arg in enumerate(node.args):
+        entry = _func_arg_ref(f"<pos{index}>", arg)
+        if entry is not None:
+            func_args.append(entry)
+    for keyword in node.keywords:
+        if keyword.arg is not None:
+            entry = _func_arg_ref(keyword.arg, keyword.value)
+            if entry is not None:
+                func_args.append(entry)
+    return CallSite(
+        chain=chain, lineno=node.lineno, func_args=tuple(func_args)
+    )
+
+
+def _func_arg_ref(key: str, arg: ast.AST) -> Optional[Tuple[str, str, str]]:
+    if isinstance(arg, ast.Lambda):
+        return (key, "lambda", LAMBDA_REF)
+    if isinstance(arg, (ast.Name, ast.Attribute)):
+        chain = call_name(arg)
+        if chain is not None:
+            return (key, "ref", ".".join(chain))
+        return None
+    if isinstance(arg, ast.Call):
+        chain = call_name(arg.func)
+        if chain is not None:
+            return (key, "call", ".".join(chain))
+    return None
+
+
+# ----------------------------------------------------------------------
+# Journal/mutation event stream (JRN102 input)
+# ----------------------------------------------------------------------
+def _mentions_self_journal(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Attribute)
+            and child.attr == "journal"
+            and isinstance(child.value, ast.Name)
+            and child.value.id == "self"
+        ):
+            return True
+    return False
+
+
+def _mentions_sim_now(node: ast.AST, sim_params: Set[str]) -> bool:
+    """True when the expression reads ``<sim>.now``."""
+    for child in ast.walk(node):
+        if not (isinstance(child, ast.Attribute) and child.attr == "now"):
+            continue
+        chain = call_name(child.value)
+        if chain is None:
+            continue
+        if chain in (("sim",), ("self", "sim"), ("self", "_sim")):
+            return True
+        if len(chain) == 1 and chain[0] in sim_params:
+            return True
+    return False
+
+
+def _store_events(fn: ast.AST, aliases: Dict[str, str]) -> Tuple[StoreEvent, ...]:
+    """The ordered journal/mutation event stream of one function body."""
+    events: List[StoreEvent] = []
+    _walk_events(fn, aliases, events, guarded=True, scope=(0, 0))
+    events.sort(key=lambda e: (e.lineno, e.kind, e.target))
+    return tuple(events)
+
+
+def _block_range(node: ast.AST) -> Tuple[int, int]:
+    end = getattr(node, "end_lineno", None) or node.lineno
+    return (node.lineno, end)
+
+
+def _walk_events(
+    node: ast.AST,
+    aliases: Dict[str, str],
+    events: List[StoreEvent],
+    guarded: bool,
+    scope: Tuple[int, int],
+) -> None:
+    for child in ast.iter_child_nodes(node):
+        if isinstance(
+            child,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            continue
+        child_guarded = guarded
+        child_scope = scope
+        if isinstance(child, (ast.If, ast.While)):
+            if not _mentions_self_journal(child.test):
+                child_guarded = False
+                child_scope = _block_range(child)
+        _emit_events(child, aliases, events, child_guarded, child_scope)
+        _walk_events(child, aliases, events, child_guarded, child_scope)
+
+
+def _emit_events(
+    node: ast.AST,
+    aliases: Dict[str, str],
+    events: List[StoreEvent],
+    guarded: bool,
+    scope: Tuple[int, int],
+) -> None:
+    def emit(kind: str, target: str, lineno: int) -> None:
+        events.append(StoreEvent(
+            kind=kind,
+            target=target,
+            lineno=lineno,
+            guarded=guarded,
+            scope_start=scope[0],
+            scope_end=scope[1],
+        ))
+
+    if isinstance(node, ast.Call):
+        chain = call_name(node.func)
+        if chain is None:
+            return
+        if len(chain) >= 3 and chain[:2] == ("self", "journal"):
+            emit("append", "", node.lineno)
+        elif (
+            len(chain) >= 2
+            and chain[-1] in MUTATING_METHODS
+        ):
+            root = _event_root(chain[:-1], aliases)
+            if root is not None:
+                emit("mutate", root, node.lineno)
+    elif isinstance(node, ast.Assign):
+        for target in node.targets:
+            _emit_store_target(target, aliases, emit)
+    elif isinstance(node, ast.AugAssign):
+        _emit_store_target(node.target, aliases, emit)
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            _emit_store_target(target, aliases, emit, op="delitem")
+
+
+def _event_root(
+    chain: Tuple[str, ...], aliases: Dict[str, str]
+) -> Optional[str]:
+    """The journaled root a dotted mutation target resolves to, if any."""
+    if (
+        len(chain) == 2
+        and chain[0] == "self"
+        and chain[1].startswith("_")
+    ):
+        return f"self.{chain[1]}"
+    if len(chain) == 1 and chain[0] in aliases:
+        return aliases[chain[0]]
+    return None
+
+
+def _emit_store_target(
+    target: ast.AST,
+    aliases: Dict[str, str],
+    emit,
+    op: str = "setitem",
+) -> None:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _emit_store_target(element, aliases, emit, op)
+        return
+    if isinstance(target, ast.Attribute):
+        if (
+            isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            if target.attr == "journal":
+                emit("detach", "", target.lineno)
+            elif target.attr.startswith("_"):
+                emit("mutate", f"self.{target.attr}", target.lineno)
+        return
+    if isinstance(target, ast.Subscript):
+        base = target.value
+        if isinstance(base, ast.Attribute):
+            chain = call_name(base)
+            if chain is not None:
+                root = _event_root(chain, aliases)
+                if root is not None:
+                    emit("mutate", root, target.lineno)
+        elif isinstance(base, ast.Name) and base.id in aliases:
+            emit("mutate", aliases[base.id], target.lineno)

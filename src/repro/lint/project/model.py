@@ -1,0 +1,421 @@
+"""The project model: resolver, call graph, reachability.
+
+:class:`ProjectModel` is built from the :class:`FileFacts` of every
+module in the analyzed package.  It answers the questions the
+interprocedural rule packs ask:
+
+* *what does this dotted chain refer to?* — a conservative
+  qualified-name resolver covering imports, ``from``-imports and
+  re-exports, ``self``/``cls`` method dispatch with a project-base MRO
+  walk, parameter annotations, and ``x = SomeClass(...)`` local types;
+* *who calls whom?* — a call graph whose nodes are
+  ``"module:qualname"`` strings for project functions and
+  ``"ext:dotted.name"`` strings for resolved external calls.  Function
+  references passed as call arguments (``executor.submit(worker)``)
+  become edges too, which keeps reachability conservative;
+* *what is reachable from here?* — sorted-order BFS with parent edges,
+  so every finding can cite the exact call path.
+
+Everything iterates in sorted order; two builds over the same facts are
+byte-identical regardless of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.model import Finding, Rule
+from repro.lint.project.facts import CallSite, ClassFacts, FileFacts, FunctionFacts
+
+#: Prefix marking a resolved external (non-project) call-graph target.
+EXT_PREFIX = "ext:"
+
+#: Resolution kinds returned by :meth:`ProjectModel.resolve_chain`.
+KIND_FUNC = "func"
+KIND_CLASS = "class"
+KIND_EXTERNAL = "external"
+KIND_UNKNOWN = "unknown"
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Project rules run only under ``repro lint --project``; the per-file
+    engine skips them (their :meth:`check` is an empty no-op, and
+    ``is_project`` lets the engines tell the packs apart).  Subclasses
+    implement :meth:`check_project`.
+    """
+
+    is_project = True
+
+    def check(self, ctx) -> Iterable[Finding]:
+        """Per-file entry point — intentionally empty for project rules."""
+        return ()
+
+    def check_project(
+        self, model: "ProjectModel", config: LintConfig
+    ) -> Iterable[Finding]:
+        """Yield findings over the whole project model."""
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        config: LintConfig,
+        path: str,
+        line: int,
+        message: str,
+        col: int = 0,
+    ) -> Finding:
+        """Build a finding at an explicit location, honouring overrides."""
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            severity=config.severity_overrides.get(self.rule_id, self.severity),
+            message=message,
+            autofixable=self.autofixable,
+        )
+
+
+class ProjectModel:
+    """Whole-program view over a set of per-file facts."""
+
+    def __init__(self, facts: Sequence[FileFacts]) -> None:
+        self.files: Dict[str, FileFacts] = {
+            f.module: f for f in sorted(facts, key=lambda f: f.module)
+        }
+        self.functions: Dict[str, FunctionFacts] = {}
+        self.classes: Dict[str, ClassFacts] = {}
+        for module, file_facts in self.files.items():
+            for fn in file_facts.functions:
+                self.functions[f"{module}:{fn.qualname}"] = fn
+            for cls in file_facts.classes:
+                self.classes[f"{module}:{cls.name}"] = cls
+        self._edges: Dict[str, Tuple[Tuple[str, int], ...]] = {}
+        self._build_call_graph()
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+    # ------------------------------------------------------------------
+    @property
+    def modules(self) -> Tuple[str, ...]:
+        """Analyzed module names, sorted."""
+        return tuple(self.files)
+
+    def path_of(self, module: str) -> str:
+        """The report path of a module."""
+        return self.files[module].path
+
+    def module_of(self, node: str) -> str:
+        """The module part of a ``"module:qualname"`` node."""
+        return node.split(":", 1)[0]
+
+    def facts_of(self, node: str) -> FunctionFacts:
+        """The :class:`FunctionFacts` of a project function node."""
+        return self.functions[node]
+
+    def class_of(self, node: str) -> Optional[str]:
+        """The class key a method node belongs to, or None."""
+        module, qualname = node.split(":", 1)
+        if "." not in qualname or ".<locals>." in qualname:
+            return None
+        owner = qualname.rsplit(".", 1)[0]
+        key = f"{module}:{owner}"
+        return key if key in self.classes else None
+
+    def resolve_method(self, class_key: str, name: str) -> Optional[str]:
+        """Resolve a method name on a class, walking project bases."""
+        seen: Set[str] = set()
+        queue: List[str] = [class_key]
+        while queue:
+            key = queue.pop(0)
+            if key in seen or key not in self.classes:
+                continue
+            seen.add(key)
+            cls = self.classes[key]
+            if name in cls.method_names:
+                return f"{self.module_of(key)}:{cls.name}.{name}"
+            module = self.module_of(key)
+            for base in cls.bases:
+                kind, target = self.resolve_chain(module, tuple(base.split(".")))
+                if kind == KIND_CLASS:
+                    queue.append(target)
+        return None
+
+    def is_store_class(self, class_key: str) -> bool:
+        """True for classes using the ``self.journal = None`` store idiom."""
+        cls = self.classes.get(class_key)
+        return cls is not None and cls.assigns_journal_in_init
+
+    def record_types(self) -> Dict[str, str]:
+        """Registered journal record types: ``record_type -> class key``.
+
+        An empty ``record_type`` marks an abstract base (the
+        ``JournalRecord`` idiom) and is not a registered type.
+        """
+        out: Dict[str, str] = {}
+        for key in sorted(self.classes):
+            record_type = self.classes[key].record_type
+            if record_type:
+                out[record_type] = key
+        return out
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    def resolve_name(self, module: str, name: str) -> Tuple[str, str]:
+        """Resolve a bare name at module level.
+
+        Returns ``(kind, target)``: a project function node, a project
+        class key, a dotted external name, or the unresolved name.
+        Re-exports through project modules are followed.
+        """
+        return self._resolve_name(module, name, seen=set())
+
+    def _resolve_name(
+        self, module: str, name: str, seen: Set[Tuple[str, str]]
+    ) -> Tuple[str, str]:
+        if (module, name) in seen:
+            return (KIND_UNKNOWN, name)
+        seen.add((module, name))
+        file_facts = self.files.get(module)
+        if file_facts is None:
+            return (KIND_UNKNOWN, name)
+        if f"{module}:{name}" in self.functions:
+            return (KIND_FUNC, f"{module}:{name}")
+        if f"{module}:{name}" in self.classes:
+            return (KIND_CLASS, f"{module}:{name}")
+        for bound, src_module, src_name in file_facts.from_imports:
+            if bound != name:
+                continue
+            if src_module in self.files:
+                resolved = self._resolve_name(src_module, src_name, seen)
+                if resolved[0] != KIND_UNKNOWN:
+                    return resolved
+                return (KIND_UNKNOWN, f"{src_module}.{src_name}")
+            return (KIND_EXTERNAL, f"{src_module}.{src_name}")
+        for bound, target_module in file_facts.imports:
+            if bound == name:
+                return (
+                    (KIND_UNKNOWN, target_module)
+                    if target_module in self.files
+                    else (KIND_EXTERNAL, target_module)
+                )
+        for global_name, kind in file_facts.module_globals:
+            if global_name == name and kind.startswith("call:"):
+                chain = tuple(kind[len("call:"):].split("."))
+                resolved = self.resolve_chain(module, chain)
+                if resolved[0] == KIND_CLASS:
+                    return ("instance", resolved[1])
+        return (KIND_UNKNOWN, name)
+
+    def global_kind(self, module: str, name: str) -> Tuple[str, str]:
+        """The shape classification of a global as seen from ``module``.
+
+        Follows ``from``-imports to the defining project module, so a
+        lock imported from a shared ``state`` module still classifies.
+        Returns ``(kind, defining module)``; kind is ``""`` when the
+        name is not a known module global.
+        """
+        seen: Set[Tuple[str, str]] = set()
+        while (module, name) not in seen:
+            seen.add((module, name))
+            file_facts = self.files.get(module)
+            if file_facts is None:
+                break
+            for global_name, kind in file_facts.module_globals:
+                if global_name == name:
+                    return (kind, module)
+            for bound, src_module, src_name in file_facts.from_imports:
+                if bound == name and src_module in self.files:
+                    module, name = src_module, src_name
+                    break
+            else:
+                break
+        return ("", module)
+
+    def resolve_chain(
+        self,
+        module: str,
+        chain: Tuple[str, ...],
+        fn: Optional[FunctionFacts] = None,
+        class_key: Optional[str] = None,
+    ) -> Tuple[str, str]:
+        """Resolve a dotted chain as seen inside ``module`` (and, when
+        given, inside function ``fn`` of class ``class_key``).
+
+        Returns ``(kind, target)`` where kind is one of
+        :data:`KIND_FUNC` (target: function node), :data:`KIND_CLASS`
+        (target: class key), :data:`KIND_EXTERNAL` (target: dotted
+        external name) or :data:`KIND_UNKNOWN`.
+        """
+        if not chain:
+            return (KIND_UNKNOWN, "")
+        head, rest = chain[0], chain[1:]
+
+        if head in ("self", "cls") and class_key is not None:
+            if len(rest) == 1:
+                method = self.resolve_method(class_key, rest[0])
+                if method is not None:
+                    return (KIND_FUNC, method)
+            return (KIND_UNKNOWN, ".".join(chain))
+
+        if fn is not None:
+            nested = f"{module}:{fn.qualname}.<locals>.{head}"
+            if not rest and nested in self.functions:
+                return (KIND_FUNC, nested)
+            typed = dict(fn.local_types)
+            typed.update(dict(fn.annotations))
+            if head in typed and len(rest) == 1:
+                type_chain = tuple(typed[head].split("."))
+                owner = self.resolve_chain(module, type_chain, fn, class_key)
+                if owner[0] == KIND_CLASS:
+                    method = self.resolve_method(owner[1], rest[0])
+                    if method is not None:
+                        return (KIND_FUNC, method)
+                    return (KIND_UNKNOWN, ".".join(chain))
+
+        kind, target = self.resolve_name(module, head)
+        if kind == KIND_FUNC:
+            return (kind, target) if not rest else (KIND_UNKNOWN, ".".join(chain))
+        if kind == KIND_CLASS:
+            if not rest:
+                return (kind, target)
+            if len(rest) == 1:
+                method = self.resolve_method(target, rest[0])
+                if method is not None:
+                    return (KIND_FUNC, method)
+            return (KIND_UNKNOWN, ".".join(chain))
+        if kind == "instance":
+            if len(rest) == 1:
+                method = self.resolve_method(target, rest[0])
+                if method is not None:
+                    return (KIND_FUNC, method)
+            return (KIND_UNKNOWN, ".".join(chain))
+        if kind == KIND_EXTERNAL:
+            return (KIND_EXTERNAL, ".".join((target,) + rest))
+        if kind == KIND_UNKNOWN and target in self.files:
+            # ``import repro.sim`` style: resolve the rest in that module.
+            if rest:
+                return self.resolve_chain(target, rest)
+            return (KIND_UNKNOWN, target)
+        return (KIND_UNKNOWN, ".".join(chain))
+
+    def resolve_call_site(
+        self, node: str, call: CallSite
+    ) -> Tuple[str, str]:
+        """Resolve one call site of a project function node."""
+        module = self.module_of(node)
+        return self.resolve_chain(
+            module, call.chain, self.functions[node], self.class_of(node)
+        )
+
+    def resolve_ref(self, node: str, ref: str) -> Tuple[str, str]:
+        """Resolve a dotted reference string inside a function node."""
+        module = self.module_of(node)
+        return self.resolve_chain(
+            module, tuple(ref.split(".")), self.functions[node], self.class_of(node)
+        )
+
+    # ------------------------------------------------------------------
+    # Call graph
+    # ------------------------------------------------------------------
+    def _build_call_graph(self) -> None:
+        for node in sorted(self.functions):
+            best: Dict[str, int] = {}
+            fn = self.functions[node]
+            for call in fn.calls:
+                self._add_edge(best, self.resolve_call_site(node, call), call.lineno)
+                for _key, kind, ref in call.func_args:
+                    if kind == "ref":
+                        self._add_edge(
+                            best, self.resolve_ref(node, ref), call.lineno
+                        )
+            self._edges[node] = tuple(
+                (target, best[target]) for target in sorted(best)
+            )
+
+    def _add_edge(
+        self, best: Dict[str, int], resolved: Tuple[str, str], lineno: int
+    ) -> None:
+        kind, target = resolved
+        edge: Optional[str] = None
+        if kind == KIND_FUNC:
+            edge = target
+        elif kind == KIND_CLASS:
+            edge = self.resolve_method(target, "__init__")
+        elif kind == KIND_EXTERNAL:
+            edge = EXT_PREFIX + target
+        if edge is not None and (edge not in best or lineno < best[edge]):
+            best[edge] = lineno
+
+    def call_edges(self, node: str) -> Tuple[Tuple[str, int], ...]:
+        """Outgoing edges of a function node: ``(target, lineno)`` pairs,
+        sorted by target.  Targets are project nodes or ``ext:`` names."""
+        return self._edges.get(node, ())
+
+    def reachable_from(
+        self, roots: Iterable[str]
+    ) -> Dict[str, Tuple[Optional[str], int]]:
+        """Sorted-order BFS from ``roots`` over the call graph.
+
+        Returns ``target -> (parent, call lineno)`` for every node and
+        external name reached (roots map to ``(None, 0)``); feed the
+        result to :meth:`call_path` to reconstruct a witness path.
+        """
+        parents: Dict[str, Tuple[Optional[str], int]] = {}
+        queue: deque = deque()
+        for root in sorted(set(roots)):
+            if root not in parents:
+                parents[root] = (None, 0)
+                queue.append(root)
+        while queue:
+            node = queue.popleft()
+            for target, lineno in self.call_edges(node):
+                if target not in parents:
+                    parents[target] = (node, lineno)
+                    queue.append(target)
+        return parents
+
+    def call_path(
+        self,
+        parents: Dict[str, Tuple[Optional[str], int]],
+        target: str,
+    ) -> List[Tuple[str, int]]:
+        """The witness path root→target: ``(node, call lineno)`` pairs.
+
+        The first entry is a root with lineno 0; the last is ``target``
+        with the line of the call that reached it.
+        """
+        path: List[Tuple[str, int]] = []
+        cursor: Optional[str] = target
+        while cursor is not None:
+            parent, lineno = parents[cursor]
+            path.append((cursor, lineno))
+            cursor = parent
+        path.reverse()
+        return path
+
+    def describe_path(
+        self, parents: Dict[str, Tuple[Optional[str], int]], target: str
+    ) -> str:
+        """Human-readable ``a -> b -> c`` witness path for messages."""
+        return " -> ".join(
+            _short(node) for node, _lineno in self.call_path(parents, target)
+        )
+
+
+def _short(node: str) -> str:
+    if node.startswith(EXT_PREFIX):
+        return node[len(EXT_PREFIX):]
+    module, _colon, qualname = node.partition(":")
+    tail = module.rsplit(".", 1)[-1]
+    return f"{tail}.{qualname}"
+
+
+def build_project_model(facts: Sequence[FileFacts]) -> ProjectModel:
+    """Build a :class:`ProjectModel` from per-file facts."""
+    return ProjectModel(facts)

@@ -1,0 +1,188 @@
+"""JRN1xx — interprocedural journal write-ahead rules.
+
+The per-file JRN001 checks record *shape* (frozen dataclass, JSON-typed
+fields).  These rules check the write-ahead *protocol* across files:
+
+* every registered record type must have a ``_on_<record_type>`` replay
+  handler somewhere in the project, or recovery raises on first replay
+  (JRN101);
+* inside a journaled store (a class assigning ``self.journal = None``
+  in ``__init__``), every mutation of a ``self._*`` field must be
+  dominated by a journal barrier — an append under the standard
+  ``if self.journal is not None:`` guard, an unconditional append, or a
+  composite-op detach (``saved, self.journal = self.journal, None``);
+  appends under other conditions dominate only their own block
+  (JRN102).  ``restore_*`` / ``resume_*`` / ``_on_*`` replay paths and
+  dunders are exempt by contract;
+* a record type nothing ever constructs is a mutation path the journal
+  cannot describe — either dead code or a store mutator that skips
+  journaling entirely (JRN103).
+
+Dominance is a linear source-order approximation over each method's
+ordered event stream (see ``facts.StoreEvent``), which exactly accepts
+every idiom the seed stores use while rejecting apply-before-journal
+orderings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.model import Finding, Severity, register
+from repro.lint.project.facts import StoreEvent
+from repro.lint.project.model import KIND_CLASS, ProjectModel, ProjectRule
+
+#: Method-name prefixes exempt from JRN102: recovery/replay entry
+#: points mutate state *from* records, and dunders build or render it.
+EXEMPT_METHOD_PREFIXES = ("restore", "resume", "_on_", "__")
+
+
+def replay_handlers(model: ProjectModel) -> Set[str]:
+    """Record types with a ``_on_<type>`` method anywhere in the project."""
+    handled: Set[str] = set()
+    for key in sorted(model.classes):
+        for name in model.classes[key].method_names:
+            if name.startswith("_on_"):
+                handled.add(name[len("_on_"):])
+    return handled
+
+
+def record_producers(model: ProjectModel) -> Set[str]:
+    """Class keys of record types constructed somewhere in the project."""
+    producers: Set[str] = set()
+    record_keys = set(model.record_types().values())
+    for node in sorted(model.functions):
+        for call in model.facts_of(node).calls:
+            kind, target = model.resolve_call_site(node, call)
+            if kind == KIND_CLASS and target in record_keys:
+                producers.add(target)
+    return producers
+
+
+@register
+class Jrn101MissingReplayHandler(ProjectRule):
+    """Registered record type without a replay handler."""
+
+    rule_id = "JRN101"
+    name = "jrn-missing-replay-handler"
+    description = (
+        "A journal record type (a class with a record_type ClassVar) has "
+        "no _on_<record_type> method anywhere in the project.  Recovery "
+        "dispatches by that name; a journal containing this record "
+        "becomes unreplayable the moment it is written."
+    )
+    severity = Severity.ERROR
+
+    def check_project(
+        self, model: ProjectModel, config: LintConfig
+    ) -> Iterable[Finding]:
+        handled = replay_handlers(model)
+        for record_type, key in sorted(model.record_types().items()):
+            if record_type in handled:
+                continue
+            cls = model.classes[key]
+            yield self.project_finding(
+                config,
+                model.path_of(model.module_of(key)),
+                cls.lineno,
+                f"record type '{record_type}' ({cls.name}) has no "
+                f"_on_{record_type} replay handler in any recovery class; "
+                f"journals containing it cannot be replayed",
+            )
+
+
+@register
+class Jrn102MutationBeforeJournal(ProjectRule):
+    """Store-field mutation not dominated by a journal barrier."""
+
+    rule_id = "JRN102"
+    name = "jrn-mutation-before-journal"
+    description = (
+        "A method of a journaled store mutates a self._* field without a "
+        "dominating journal barrier (a guarded/unconditional append or a "
+        "composite-op detach earlier on every path).  Applying state "
+        "before the record is durable is exactly the ordering the "
+        "crash-recovery drills exist to rule out."
+    )
+    severity = Severity.ERROR
+
+    def check_project(
+        self, model: ProjectModel, config: LintConfig
+    ) -> Iterable[Finding]:
+        for node in sorted(model.functions):
+            class_key = model.class_of(node)
+            if class_key is None or not model.is_store_class(class_key):
+                continue
+            method = node.rsplit(".", 1)[-1]
+            if method.startswith(EXEMPT_METHOD_PREFIXES):
+                continue
+            facts = model.facts_of(node)
+            if not facts.store_events:
+                continue
+            path = model.path_of(model.module_of(node))
+            barriers = [
+                e for e in facts.store_events
+                if e.kind in ("append", "detach")
+            ]
+            for event in facts.store_events:
+                if event.kind != "mutate":
+                    continue
+                if any(_dominates(b, event) for b in barriers):
+                    continue
+                detail = (
+                    "no journal append or detach precedes it"
+                    if not barriers
+                    else "no barrier dominates this path"
+                )
+                yield self.project_finding(
+                    config,
+                    path,
+                    event.lineno,
+                    f"'{facts.qualname}' mutates {event.target} before any "
+                    f"journal barrier ({detail}); append the record first "
+                    f"— the write-ahead invariant is what recovery replays",
+                )
+
+
+def _dominates(barrier: StoreEvent, mutation: StoreEvent) -> bool:
+    if barrier.lineno > mutation.lineno:
+        return False
+    if barrier.guarded:
+        return True
+    return barrier.scope_start <= mutation.lineno <= barrier.scope_end
+
+
+@register
+class Jrn103RecordNeverProduced(ProjectRule):
+    """Record type with a handler but no construction site."""
+
+    rule_id = "JRN103"
+    name = "jrn-record-never-produced"
+    description = (
+        "A journal record type is registered and has a replay handler, "
+        "but nothing in the project ever constructs it.  Either the "
+        "record is dead, or — worse — the state change it describes is "
+        "applied somewhere through direct mutation without journaling.  "
+        "Add a journaled producer on the store or delete the record."
+    )
+    severity = Severity.WARNING
+
+    def check_project(
+        self, model: ProjectModel, config: LintConfig
+    ) -> Iterable[Finding]:
+        handled = replay_handlers(model)
+        produced = record_producers(model)
+        for record_type, key in sorted(model.record_types().items()):
+            if record_type not in handled or key in produced:
+                continue
+            cls = model.classes[key]
+            yield self.project_finding(
+                config,
+                model.path_of(model.module_of(key)),
+                cls.lineno,
+                f"record type '{record_type}' ({cls.name}) has a replay "
+                f"handler but no producer anywhere in the project; the "
+                f"state change it describes can only be happening through "
+                f"unjournaled mutation (or the record is dead)",
+            )

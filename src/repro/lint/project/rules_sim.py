@@ -1,0 +1,197 @@
+"""SIM1xx — interprocedural simulation-determinism rules.
+
+The per-file DET002 catches ``time.time()`` written directly inside a
+configured path; these rules catch what it cannot: a wall-clock or
+blocking call sitting three frames below a DES process generator, in a
+module DET002 was never pointed at.  Roots are the generators handed to
+``Simulator.process(...)``; from each root the call graph is walked and
+any reachable member of the banned external sets is reported, anchored
+at the *root generator's* definition with the witness call path in the
+message — so the finding lands where the determinism contract is made,
+even when the offending call lives in another file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.model import Finding, Severity, register
+from repro.lint.project.model import (
+    EXT_PREFIX,
+    KIND_FUNC,
+    ProjectModel,
+    ProjectRule,
+)
+
+#: Externals that read the machine clock (the DET002 set, fully dotted).
+WALL_CLOCK_EXTERNALS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Externals that block on the outside world (sleep, subprocesses,
+#: sockets, stdin) — poison inside a discrete-event process.
+BLOCKING_EXTERNALS = frozenset({
+    "time.sleep",
+    "input",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "os.system", "os.popen", "os.wait", "os.waitpid",
+    "select.select",
+    "socket.create_connection", "socket.socket",
+    "urllib.request.urlopen",
+    "http.client.HTTPConnection",
+    "requests.get", "requests.post", "requests.request",
+})
+
+
+def process_roots(model: ProjectModel) -> List[Tuple[str, str, int]]:
+    """Generators registered as DES processes.
+
+    Returns sorted ``(generator node, registering node, lineno)``
+    triples.  A registration is any call resolving to a project method
+    ``Simulator.process`` — or, when the receiver cannot be typed, a
+    dotted chain ending in ``sim.process`` / ``env.process`` — whose
+    argument references a project generator function.
+    """
+    roots: Set[Tuple[str, str, int]] = set()
+    for node in sorted(model.functions):
+        for call in model.facts_of(node).calls:
+            if not _is_process_registration(model, node, call):
+                continue
+            for _key, kind, ref in call.func_args:
+                if kind not in ("ref", "call"):
+                    continue
+                resolved_kind, target = model.resolve_ref(node, ref)
+                if (
+                    resolved_kind == KIND_FUNC
+                    and model.facts_of(target).is_generator
+                ):
+                    roots.add((target, node, call.lineno))
+    return sorted(roots)
+
+
+def _is_process_registration(model, node, call) -> bool:
+    if call.chain[-1] != "process":
+        return False
+    kind, target = model.resolve_call_site(node, call)
+    if kind == KIND_FUNC:
+        return target.endswith("Simulator.process")
+    # Untypeable receiver: accept the conventional names only.
+    return len(call.chain) >= 2 and call.chain[-2] in ("sim", "env", "_sim")
+
+
+def _reachable_bad(
+    model: ProjectModel, root: str, banned: frozenset
+) -> Iterator[Tuple[str, str]]:
+    """(external name, witness path) for each banned external reached."""
+    parents = model.reachable_from([root])
+    for target in sorted(parents):
+        if not target.startswith(EXT_PREFIX):
+            continue
+        name = target[len(EXT_PREFIX):]
+        if name in banned or name.rsplit(".", 1)[0] in banned:
+            yield name, model.describe_path(parents, target)
+
+
+class _ReachabilityRule(ProjectRule):
+    """Shared driver: report banned externals reachable from process roots."""
+
+    banned: frozenset = frozenset()
+    verb: str = ""
+
+    def check_project(
+        self, model: ProjectModel, config: LintConfig
+    ) -> Iterable[Finding]:
+        for root, _registrar, _lineno in process_roots(model):
+            facts = model.facts_of(root)
+            path = model.path_of(model.module_of(root))
+            for name, witness in _reachable_bad(model, root, self.banned):
+                yield self.project_finding(
+                    config,
+                    path,
+                    facts.lineno,
+                    f"sim process generator '{facts.qualname}' can reach "
+                    f"{self.verb} call {name}() via {witness}; simulated "
+                    f"time must advance only through the event loop",
+                )
+
+
+@register
+class Sim101WallClockReachable(_ReachabilityRule):
+    """Wall-clock reads reachable from a DES process generator."""
+
+    rule_id = "SIM101"
+    name = "sim-wall-clock-reachable"
+    description = (
+        "A simulation process generator transitively reaches a wall-clock "
+        "source (time.time, datetime.now, ...).  DET002 bans these "
+        "per-file in configured paths; SIM101 is its interprocedural "
+        "closure — any reachable clock read makes event timestamps "
+        "machine-dependent and breaks storm/crash fingerprints."
+    )
+    severity = Severity.ERROR
+    banned = WALL_CLOCK_EXTERNALS
+    verb = "wall-clock"
+
+
+@register
+class Sim102BlockingReachable(_ReachabilityRule):
+    """Blocking syscalls reachable from a DES process generator."""
+
+    rule_id = "SIM102"
+    name = "sim-blocking-call-reachable"
+    description = (
+        "A simulation process generator transitively reaches a blocking "
+        "call (time.sleep, subprocess, sockets, stdin).  A DES process "
+        "must yield simulated delays to the event loop; blocking the "
+        "worker thread stalls every co-simulated process and couples "
+        "results to machine speed."
+    )
+    severity = Severity.ERROR
+    banned = BLOCKING_EXTERNALS
+    verb = "blocking"
+
+
+@register
+class Sim103SimTimeEquality(ProjectRule):
+    """``==``/``!=`` against a function returning simulated time."""
+
+    rule_id = "SIM103"
+    name = "sim-time-float-equality"
+    description = (
+        "A call result compared with == or != resolves to a function that "
+        "returns simulated time (an expression over Simulator.now).  Sim "
+        "time is a float that crosses module boundaries; exact equality "
+        "is representation-dependent — compare with an ordering or an "
+        "explicit tolerance instead."
+    )
+    severity = Severity.WARNING
+
+    def check_project(
+        self, model: ProjectModel, config: LintConfig
+    ) -> Iterable[Finding]:
+        for node in sorted(model.functions):
+            facts = model.facts_of(node)
+            path = model.path_of(model.module_of(node))
+            for chain_text, lineno in facts.compared_calls:
+                kind, target = model.resolve_ref(node, chain_text)
+                if kind != KIND_FUNC:
+                    continue
+                callee = model.facts_of(target)
+                if not callee.returns_sim_time:
+                    continue
+                yield self.project_finding(
+                    config,
+                    path,
+                    lineno,
+                    f"result of {chain_text}() is simulated time (defined "
+                    f"in {model.module_of(target)}) compared with ==/!=; "
+                    f"float sim-time equality is unreliable across module "
+                    f"boundaries — use an ordering or tolerance",
+                )

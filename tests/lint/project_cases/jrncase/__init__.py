@@ -1,0 +1,1 @@
+"""JRN1xx corpus package."""

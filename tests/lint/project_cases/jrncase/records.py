@@ -1,0 +1,48 @@
+"""Record registry: two healthy types, one unhandled, one unproduced."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """Abstract base — the empty record_type marks it unregistered."""
+
+    record_type: ClassVar[str] = ""
+
+
+@dataclass(frozen=True)
+class AddItem(JournalRecord):
+    """Healthy: produced by the store, handled by the replayer."""
+
+    record_type: ClassVar[str] = "add_item"
+
+    key: str
+    value: int
+
+
+@dataclass(frozen=True)
+class DropItem(JournalRecord):
+    """Healthy: produced by the store, handled by the replayer."""
+
+    record_type: ClassVar[str] = "drop_item"
+
+    key: str
+
+
+@dataclass(frozen=True)
+class OrphanRecord(JournalRecord):
+    """JRN101: registered and produced, but nothing can replay it."""
+
+    record_type: ClassVar[str] = "orphan"
+
+    key: str
+
+
+@dataclass(frozen=True)
+class GhostRecord(JournalRecord):
+    """JRN103: replayable, but nothing ever constructs it."""
+
+    record_type: ClassVar[str] = "ghost"
+
+    key: str

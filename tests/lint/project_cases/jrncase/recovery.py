@@ -1,0 +1,23 @@
+"""Replay dispatch: handlers for add/drop/ghost — none for orphan."""
+
+from jrncase.store import ItemStore
+
+
+class Replayer:
+    """Dispatches records to ``_on_<record_type>`` methods."""
+
+    def __init__(self, store: ItemStore):
+        self.store = store
+
+    def apply(self, record):
+        handler = getattr(self, "_on_" + record.record_type)
+        handler(record)
+
+    def _on_add_item(self, record):
+        self.store.restore_item(record.key, record.value)
+
+    def _on_drop_item(self, record):
+        self.store.restore_item(record.key, None)
+
+    def _on_ghost(self, record):
+        self.store.restore_item(record.key, None)

@@ -1,0 +1,50 @@
+"""A journaled store: canonical mutators next to broken ones."""
+
+from jrncase.records import AddItem, DropItem, OrphanRecord
+
+
+class ItemStore:
+    """Write-ahead store — ``self.journal = None`` marks the idiom."""
+
+    def __init__(self):
+        self.journal = None
+        self._items = {}
+        self._count = 0
+
+    def add(self, key, value):
+        """Near-miss: journal first, mutate second."""
+        if self.journal is not None:
+            self.journal.append(AddItem(key=key, value=value))
+        self._items[key] = value
+
+    def remove(self, key):
+        """Near-miss: conditional append dominating its own block."""
+        if key in self._items:
+            if self.journal is not None:
+                self.journal.append(DropItem(key=key))
+            del self._items[key]
+
+    def merge(self, other):
+        """Near-miss: composite op via the detach idiom."""
+        if self.journal is not None:
+            self.journal.append(AddItem(key="merge", value=len(other)))
+        saved, self.journal = self.journal, None
+        try:
+            for key, value in sorted(other.items()):
+                self.add(key, value)
+        finally:
+            self.journal = saved
+
+    def restore_item(self, key, value):
+        """Near-miss: restore_* replay paths never journal by contract."""
+        self._items[key] = value
+
+    def unsafe_put(self, key, value):
+        """JRN102: mutation applied before the record is journaled."""
+        self._items[key] = value
+        if self.journal is not None:
+            self.journal.append(OrphanRecord(key=key))
+
+    def bump(self):
+        """JRN102: mutation with no journal barrier at all."""
+        self._count += 1

@@ -1,0 +1,1 @@
+"""PAR1xx corpus package."""

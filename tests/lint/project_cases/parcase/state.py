@@ -1,0 +1,21 @@
+"""Shared module state: some of it fork-safe, some of it not."""
+
+import threading
+
+
+class Ledger:
+    """A journaled store (the ``self.journal = None`` idiom)."""
+
+    def __init__(self):
+        self.journal = None
+        self._entries = {}
+
+    def total(self):
+        return len(self._entries)
+
+
+LOCK = threading.Lock()
+LEDGER = Ledger()
+RESULTS = {}
+_MATRIX_CACHE = {}
+LIMIT = 8

@@ -1,0 +1,65 @@
+"""Trial functions and the sweep submissions that expose them."""
+
+from parcase.spec import TrialSpec
+from parcase.state import LEDGER, LIMIT, LOCK, RESULTS, _MATRIX_CACHE
+
+
+def clean_trial(cfg):
+    """Near-miss: module-level, touches nothing shared."""
+    return cfg * 2
+
+
+def locked_trial(cfg):
+    """PAR102: reads a module-global lock inside worker code."""
+    with LOCK:
+        return cfg
+
+
+def ledger_trial(cfg):
+    """PAR102: reads a live journaled store from worker code."""
+    return LEDGER.total() + cfg
+
+
+def counting_trial(cfg):
+    """PAR103: mutates a module-global dict from worker code."""
+    RESULTS[cfg] = cfg * 2
+    return cfg
+
+
+def memo_trial(cfg):
+    """Near-miss: _CACHE-suffixed memo tables are fork-safe by contract."""
+    if cfg not in _MATRIX_CACHE:
+        _MATRIX_CACHE[cfg] = cfg * 3
+    return _MATRIX_CACHE[cfg]
+
+
+def bounded_trial(cfg):
+    """Near-miss: reading a plain constant global is fine."""
+    return min(cfg, LIMIT)
+
+
+def submit_lambda():
+    """PAR101: a lambda cannot cross the fork boundary."""
+    return TrialSpec(fn=lambda cfg: cfg, config=1)
+
+
+def submit_nested():
+    """PAR101: a nested function cannot cross the fork boundary."""
+
+    def inner(cfg):
+        return cfg
+
+    return TrialSpec(fn=inner, config=1)
+
+
+def submit_all():
+    specs = [
+        TrialSpec(fn=clean_trial, config=1),
+        TrialSpec(fn=locked_trial, config=2),
+        TrialSpec(fn=ledger_trial, config=3),
+        TrialSpec(fn=counting_trial, config=4),
+        TrialSpec(fn=memo_trial, config=5),
+        TrialSpec(fn=bounded_trial, config=6),
+    ]
+    # Near-miss: a lambda outside TrialSpec is unremarkable.
+    return sorted(specs, key=lambda s: s.config)

@@ -1,0 +1,1 @@
+"""SIM1xx corpus package."""

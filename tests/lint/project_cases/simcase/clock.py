@@ -1,0 +1,19 @@
+"""Helpers living one module away from the generators that call them.
+
+``stamp`` and ``jitter`` are the cross-file sinks: harmless here, fatal
+when transitively reachable from a registered process generator.
+"""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def jitter() -> None:
+    time.sleep(0.01)
+
+
+def pure_delay(ticks: int) -> int:
+    return ticks * 2

@@ -1,0 +1,30 @@
+"""A miniature DES kernel: just enough surface for the SIM pack."""
+
+
+class Event:
+    def __init__(self, delay):
+        self.delay = delay
+
+
+class Simulator:
+    """Minimal simulator: registers generators, advances virtual time."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._processes = []
+
+    def process(self, generator):
+        self._processes.append(generator)
+        return generator
+
+    def timeout(self, delay):
+        return Event(delay)
+
+    def run(self, until):
+        while self.now < until and self._processes:
+            self.now += 1.0
+
+
+def deadline(sim: Simulator) -> float:
+    """Returns simulated time — comparing this with == is SIM103."""
+    return sim.now + 5.0

@@ -1,0 +1,51 @@
+"""Process generators: two poisoned (SIM101/SIM102), one clean."""
+
+from simcase.clock import jitter, pure_delay, stamp
+from simcase.engine import Simulator, deadline
+
+
+def record_tick() -> float:
+    # One extra frame between the generator and the wall clock.
+    return stamp()
+
+
+def bad_wall_ticker(sim):
+    """SIM101: reaches time.time via record_tick -> stamp."""
+    while True:
+        record_tick()
+        yield sim.timeout(1.0)
+
+
+def bad_sleeper(sim):
+    """SIM102: reaches time.sleep via jitter."""
+    while True:
+        jitter()
+        yield sim.timeout(1.0)
+
+
+def good_ticker(sim):
+    """Near-miss: registered, but only calls pure helpers."""
+    while True:
+        pure_delay(3)
+        yield sim.timeout(1.0)
+
+
+def unregistered_logger() -> float:
+    """Near-miss: calls the wall clock but is never a process."""
+    return record_tick()
+
+
+def wait_equal(sim: Simulator) -> bool:
+    """SIM103: == on a sim-time-returning call."""
+    return deadline(sim) == 10.0
+
+
+def wait_ordered(sim: Simulator) -> bool:
+    """Near-miss: ordering comparison on sim time is fine."""
+    return deadline(sim) >= 10.0
+
+
+def launch(sim: Simulator) -> None:
+    sim.process(bad_wall_ticker(sim))
+    sim.process(bad_sleeper(sim))
+    sim.process(good_ticker(sim))

@@ -1,0 +1,141 @@
+"""Incremental-cache behaviour: cold/warm identity, skip rate, corrupt
+entry recovery, config invalidation, and the ``--changed`` manifest."""
+
+import shutil
+from pathlib import Path
+
+from repro.lint.config import LintConfig
+from repro.lint.project.cache import LintCache, analyzer_salt, config_digest
+from repro.lint.project.engine import lint_project, module_name_for
+from repro.lint.reporters import json_report
+
+CORPUS = Path(__file__).resolve().parent / "project_cases"
+
+
+def run(cache, config=None, changed_only=False, paths=None):
+    return lint_project(
+        [str(p) for p in (paths or [CORPUS])],
+        config or LintConfig(),
+        cache=cache,
+        changed_only=changed_only,
+    )
+
+
+class TestCacheRuns:
+    def test_warm_run_is_byte_identical_and_fully_cached(self, tmp_path):
+        cache = LintCache(tmp_path / "cache")
+        cold = run(cache)
+        warm = run(LintCache(tmp_path / "cache"))
+        assert json_report(cold) == json_report(warm)
+        assert cold.files_analyzed == 12 and cold.files_cached == 0
+        assert warm.files_analyzed == 0 and warm.files_cached == 12
+        # The acceptance bar: a warm run skips >= 90% of files.
+        assert warm.files_cached / warm.files_checked >= 0.9
+
+    def test_no_cache_mode_reanalyzes_everything(self):
+        result = run(cache=None)
+        assert result.files_cached == 0
+        assert result.files_analyzed == result.files_checked
+
+    def test_corrupt_entry_is_dropped_and_recomputed(self, tmp_path):
+        cache = LintCache(tmp_path / "cache")
+        cold = run(cache)
+        entries = sorted((tmp_path / "cache").glob("*.json"))
+        assert len(entries) >= 12
+        entries[0].write_text("{not json", encoding="utf-8")
+        entries[1].write_text('{"version": 0, "payload": {}}', encoding="utf-8")
+        recache = LintCache(tmp_path / "cache")
+        again = run(recache)
+        assert json_report(again) == json_report(cold)
+        assert recache.corrupt == 2
+        assert again.files_analyzed == 2 and again.files_cached == 10
+
+    def test_config_change_invalidates_entries(self, tmp_path):
+        cache = LintCache(tmp_path / "cache")
+        run(cache)
+        bumped = LintConfig(disabled_rules=frozenset({"SIM103"}))
+        assert config_digest(bumped) != config_digest(LintConfig())
+        recache = LintCache(tmp_path / "cache")
+        result = run(recache, config=bumped)
+        assert result.files_analyzed == 12 and result.files_cached == 0
+        assert not any(f.rule_id == "SIM103" for f in result.findings)
+
+    def test_source_edit_invalidates_only_that_file(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        shutil.copytree(CORPUS, corpus)
+        (corpus / "pyproject.toml").unlink()
+        cache = LintCache(tmp_path / "cache")
+        run(cache, paths=[corpus])
+        clock = corpus / "simcase" / "clock.py"
+        clock.write_text(
+            clock.read_text(encoding="utf-8") + "\n# touched\n",
+            encoding="utf-8",
+        )
+        warm = run(LintCache(tmp_path / "cache"), paths=[corpus])
+        assert warm.files_analyzed == 1
+        assert warm.files_cached == warm.files_checked - 1
+        assert warm.changed_files == [str(clock)]
+
+
+class TestChangedOnly:
+    def test_changed_filter_drops_findings_in_unchanged_files(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        shutil.copytree(CORPUS, corpus)
+        (corpus / "pyproject.toml").unlink()
+        cache_dir = tmp_path / "cache"
+        run(LintCache(cache_dir), paths=[corpus])
+        # Nothing changed: a --changed run reports no findings at all.
+        quiet = run(LintCache(cache_dir), paths=[corpus], changed_only=True)
+        assert quiet.findings == []
+        # Edit the JRN corpus store: only findings anchored there (and in
+        # other changed files) survive the filter.
+        store = corpus / "jrncase" / "store.py"
+        store.write_text(
+            store.read_text(encoding="utf-8") + "\n# touched\n",
+            encoding="utf-8",
+        )
+        changed = run(LintCache(cache_dir), paths=[corpus], changed_only=True)
+        assert changed.changed_files == [str(store)]
+        assert {f.rule_id for f in changed.findings} == {"JRN102"}
+        assert all(f.path == str(store) for f in changed.findings)
+
+    def test_changed_without_cache_reports_everything(self):
+        full = run(cache=None)
+        changed = run(cache=None, changed_only=True)
+        assert json_report(full) == json_report(changed)
+
+
+class TestKeys:
+    def test_key_depends_on_module_source_and_config(self, tmp_path):
+        cache = LintCache(tmp_path)
+        base = cache.key_for("pkg.a", "x = 1\n", LintConfig())
+        assert base == cache.key_for("pkg.a", "x = 1\n", LintConfig())
+        assert base != cache.key_for("pkg.b", "x = 1\n", LintConfig())
+        assert base != cache.key_for("pkg.a", "x = 2\n", LintConfig())
+        assert base != cache.key_for(
+            "pkg.a", "x = 1\n", LintConfig(exclude=("vendored",))
+        )
+
+    def test_analyzer_salt_is_stable_within_a_process(self):
+        assert analyzer_salt() == analyzer_salt()
+
+    def test_manifest_roundtrip(self, tmp_path):
+        cache = LintCache(tmp_path / "cache")
+        assert cache.manifest() == {}
+        run(cache)
+        manifest = LintCache(tmp_path / "cache").manifest()
+        assert len(manifest) == 12
+        assert all(len(key) == 64 for key in manifest.values())
+
+
+class TestModuleNames:
+    def test_walks_init_chain(self):
+        path = CORPUS / "simcase" / "procs.py"
+        assert module_name_for(str(path)) == "simcase.procs"
+        init = CORPUS / "simcase" / "__init__.py"
+        assert module_name_for(str(init)) == "simcase"
+
+    def test_bare_file_uses_stem(self, tmp_path):
+        lone = tmp_path / "script.py"
+        lone.write_text("x = 1\n", encoding="utf-8")
+        assert module_name_for(str(lone)) == "script"

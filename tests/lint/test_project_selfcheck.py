@@ -1,0 +1,49 @@
+"""The whole-program gate: ``repro lint --project src/repro`` lands clean.
+
+Mirrors :mod:`tests.lint.test_selfcheck` for the interprocedural packs —
+this is the invocation CI runs with ``--fail-on warning``, so the bar
+here is zero findings of any severity, not merely zero errors.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import load_config
+from repro.lint.project.engine import lint_project
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestProjectSelfCheck:
+    def test_zero_findings_in_process(self):
+        config = load_config(pyproject_path=str(REPO / "pyproject.toml"))
+        result = lint_project(
+            [str(REPO / "src" / "repro")], config, cache=None
+        )
+        assert result.findings == [], "\n".join(
+            f"{f.path}:{f.line}: {f.rule_id} {f.message}"
+            for f in result.findings
+        )
+        assert result.files_checked > 50
+        # Non-vacuity: the model actually resolved the package.
+        assert len(result.model.functions) > 500
+        assert result.functions_analyzed == len(result.model.functions)
+
+    def test_cli_gate_exits_zero_with_fail_on_warning(self):
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", "--project",
+             "--no-cache", "--fail-on", "warning", "--format", "json",
+             "src/repro"],
+            cwd=REPO,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["findings"] == []

@@ -1,0 +1,122 @@
+"""Cross-file suppression semantics and byte-determinism of the project
+report across hash seeds.
+
+A project finding is *anchored* in one file (where it is reported) but
+*caused* by code in another.  Suppressions are honoured at the anchor:
+a ``# reprolint: disable=...`` on the anchor line or a ``disable-file``
+in the anchor file silences the finding, while the same comments in the
+causing file do not — the report location is the contract.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint.config import LintConfig
+from repro.lint.project.engine import lint_project
+
+REPO = Path(__file__).resolve().parents[2]
+CORPUS = REPO / "tests" / "lint" / "project_cases"
+
+
+def copy_simcase(tmp_path):
+    target = tmp_path / "simcase"
+    shutil.copytree(CORPUS / "simcase", target)
+    return target
+
+
+def edit(path, old, new):
+    text = path.read_text(encoding="utf-8")
+    assert old in text
+    path.write_text(text.replace(old, new), encoding="utf-8")
+
+
+def sim_findings(root):
+    result = lint_project([str(root)], LintConfig(), cache=None)
+    return [f for f in result.findings if f.rule_id.startswith("SIM")]
+
+
+class TestCrossFileSuppression:
+    def test_baseline_fires_in_anchor_file(self, tmp_path):
+        root = copy_simcase(tmp_path)
+        rules = {(f.rule_id, f.line) for f in sim_findings(root)}
+        assert rules == {("SIM101", 12), ("SIM102", 19), ("SIM103", 40)}
+        assert all(f.path.endswith("procs.py") for f in sim_findings(root))
+
+    def test_line_suppression_at_anchor_silences(self, tmp_path):
+        root = copy_simcase(tmp_path)
+        edit(
+            root / "procs.py",
+            "def bad_wall_ticker(sim):",
+            "def bad_wall_ticker(sim):  # reprolint: disable=SIM101",
+        )
+        assert {f.rule_id for f in sim_findings(root)} == {"SIM102", "SIM103"}
+
+    def test_file_suppression_in_anchor_file_silences(self, tmp_path):
+        root = copy_simcase(tmp_path)
+        edit(
+            root / "procs.py",
+            '"""Process generators: two poisoned (SIM101/SIM102), one clean."""',
+            '"""Process generators."""\n# reprolint: disable-file=SIM101',
+        )
+        assert {f.rule_id for f in sim_findings(root)} == {"SIM102", "SIM103"}
+
+    def test_suppression_in_causing_file_does_not_silence(self, tmp_path):
+        root = copy_simcase(tmp_path)
+        # clock.py hosts the wall-clock sink that *causes* SIM101, but
+        # the finding is anchored in procs.py — suppressing in the
+        # causing file must not hide it.
+        edit(
+            root / "clock.py",
+            "def stamp() -> float:",
+            "def stamp() -> float:  # reprolint: disable=SIM101",
+        )
+        edit(
+            root / "clock.py",
+            "import time",
+            "# reprolint: disable-file=SIM101\nimport time",
+        )
+        rules = {f.rule_id for f in sim_findings(root)}
+        assert "SIM101" in rules
+
+    def test_disable_all_on_anchor_line(self, tmp_path):
+        root = copy_simcase(tmp_path)
+        # SIM103 anchors at the comparison expression, not the def line.
+        edit(
+            root / "procs.py",
+            "return deadline(sim) == 10.0",
+            "return deadline(sim) == 10.0  # reprolint: disable=all",
+        )
+        assert {f.rule_id for f in sim_findings(root)} == {"SIM101", "SIM102"}
+
+
+class TestHashSeedDeterminism:
+    def run_cli(self, seed, fmt):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "lint",
+                "--project",
+                "--no-cache",
+                "--format",
+                fmt,
+                str(CORPUS),
+            ],
+            capture_output=True,
+            cwd=REPO,
+            env={
+                "PYTHONPATH": str(REPO / "src"),
+                "PYTHONHASHSEED": str(seed),
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        assert proc.returncode == 1, proc.stderr.decode()
+        return proc.stdout
+
+    def test_reports_are_byte_identical_across_hash_seeds(self):
+        for fmt in ("json", "sarif"):
+            baseline = self.run_cli(1, fmt)
+            assert baseline == self.run_cli(99, fmt)

@@ -163,7 +163,14 @@ def suppress(case, rule_id):
 
 class TestEveryRule:
     def test_case_table_covers_the_whole_registry(self):
-        assert sorted(CASES) == [r.rule_id for r in all_rules()]
+        # Project (whole-program) rules are exercised by the seeded
+        # corpus in tests/lint/project_cases instead of snippet pairs.
+        per_file = [
+            r.rule_id
+            for r in all_rules()
+            if not getattr(r, "is_project", False)
+        ]
+        assert sorted(CASES) == per_file
 
     @pytest.mark.parametrize("rule_id", sorted(CASES))
     def test_triggers(self, rule_id):

@@ -1,0 +1,74 @@
+"""SARIF reporter: schema shape, rule metadata, level mapping."""
+
+import json
+from pathlib import Path
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import LintResult
+from repro.lint.model import Finding, Severity, all_rules
+from repro.lint.project.engine import lint_project
+from repro.lint.reporters import sarif_report
+
+CORPUS = Path(__file__).resolve().parent / "project_cases"
+
+
+def one_finding(severity=Severity.ERROR, rule_id="SIM101"):
+    return Finding(
+        path="src/x.py",
+        line=7,
+        col=2,
+        rule_id=rule_id,
+        severity=severity,
+        message="boom",
+    )
+
+
+class TestSarifShape:
+    def test_envelope(self):
+        doc = json.loads(sarif_report(LintResult()))
+        assert doc["version"] == "2.1.0"
+        assert "sarif-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        assert run["results"] == []
+
+    def test_rules_cover_registry_plus_parse(self):
+        doc = json.loads(sarif_report(LintResult()))
+        ids = [r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]]
+        expected = [rule.rule_id for rule in all_rules()] + ["PARSE001"]
+        assert sorted(ids) == sorted(expected)
+        assert len(ids) == len(set(ids))
+
+    def test_result_location_and_rule_index(self):
+        result = LintResult(findings=[one_finding()], files_checked=1)
+        doc = json.loads(sarif_report(result))
+        (entry,) = doc["runs"][0]["results"]
+        assert entry["ruleId"] == "SIM101"
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert rules[entry["ruleIndex"]]["id"] == "SIM101"
+        location = entry["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/x.py"
+        # SARIF columns are 1-based; Finding columns are 0-based.
+        assert location["region"] == {"startLine": 7, "startColumn": 3}
+
+    def test_level_mapping(self):
+        result = LintResult(
+            findings=[
+                one_finding(Severity.ERROR, "SIM101"),
+                one_finding(Severity.WARNING, "SIM103"),
+                one_finding(Severity.INFO, "SIM103"),
+            ]
+        )
+        doc = json.loads(sarif_report(result))
+        levels = [r["level"] for r in doc["runs"][0]["results"]]
+        assert levels == ["error", "warning", "note"]
+
+    def test_project_run_is_stable(self):
+        result = lint_project([str(CORPUS)], LintConfig(), cache=None)
+        first = sarif_report(result)
+        again = sarif_report(
+            lint_project([str(CORPUS)], LintConfig(), cache=None)
+        )
+        assert first == again
+        doc = json.loads(first)
+        assert len(doc["runs"][0]["results"]) == len(result.findings) == 12
