@@ -206,6 +206,168 @@ def _lrc_local_repair(k: int, groups: int, global_parities: int, block: int):
 
 
 # ----------------------------------------------------------------------
+# Streaming data plane
+# ----------------------------------------------------------------------
+def _stream_encode_throughput(
+    payload_bytes: int, chunk_sizes: List[int], speedup_chunk: int,
+    n: int, k: int,
+):
+    """Streaming encode MB/s per chunk size, plus the numpy-vs-scalar gap.
+
+    Throughput over the payload is measured with the numpy backend at each
+    chunk size; the backend comparison encodes one full stripe of
+    ``k * speedup_chunk`` bytes with both backends, asserts byte-identity
+    (the scalar path is the oracle), and reports the wall-clock speedup.
+    Non-``wall_`` metrics (chunk/stripe counts) are exact.
+    """
+
+    def run(rng: random.Random) -> Dict[str, float]:
+        import time
+
+        from repro.erasure.stream import stream_encode
+
+        payload = rng.randbytes(payload_bytes)
+        metrics: Dict[str, float] = {"payload_bytes": float(payload_bytes)}
+        for chunk_size in chunk_sizes:
+            start = time.perf_counter()
+            encoded = stream_encode(
+                payload, n=n, k=k, chunk_size=chunk_size, backend="numpy"
+            )
+            elapsed = time.perf_counter() - start
+            mb = payload_bytes / float(1 << 20)
+            metrics[f"wall_mb_per_s_numpy_c{chunk_size}"] = mb / max(
+                elapsed, 1e-9
+            )
+            metrics[f"stripes_c{chunk_size}"] = float(
+                encoded.meta.num_stripes
+            )
+        stripe_payload = rng.randbytes(k * speedup_chunk)
+        start = time.perf_counter()
+        fast = stream_encode(
+            stripe_payload, n=n, k=k, chunk_size=speedup_chunk,
+            backend="numpy",
+        )
+        wall_numpy = time.perf_counter() - start
+        start = time.perf_counter()
+        oracle = stream_encode(
+            stripe_payload, n=n, k=k, chunk_size=speedup_chunk,
+            backend="scalar",
+        )
+        wall_scalar = time.perf_counter() - start
+        if fast.shards != oracle.shards:
+            raise AssertionError(
+                "numpy streaming encode diverged from the scalar oracle"
+            )
+        metrics["speedup_chunk_bytes"] = float(speedup_chunk)
+        metrics["wall_numpy_s"] = wall_numpy
+        metrics["wall_scalar_s"] = wall_scalar
+        metrics["wall_speedup_numpy_vs_scalar"] = wall_scalar / max(
+            wall_numpy, 1e-9
+        )
+        return metrics
+
+    return run
+
+
+def _stream_decode_throughput(
+    payload_bytes: int, chunk_sizes: List[int], n: int, k: int
+):
+    """Streaming decode MB/s per chunk size after dropping ``n - k`` shards.
+
+    Each pass encodes the payload, discards the ``n - k`` lowest-index
+    shards (the worst case: every survivor row needs the inverted decode
+    matrix), stream-decodes from the survivors, and asserts the payload
+    round-trips.  A scalar-backend decode of the smallest-chunk stream
+    double-checks backend identity on the decode path.
+    """
+
+    def run(rng: random.Random) -> Dict[str, float]:
+        import time
+
+        from repro.erasure.stream import stream_decode, stream_encode
+
+        payload = rng.randbytes(payload_bytes)
+        lost = list(range(n - k))
+        metrics: Dict[str, float] = {"payload_bytes": float(payload_bytes)}
+        for chunk_size in chunk_sizes:
+            encoded = stream_encode(
+                payload, n=n, k=k, chunk_size=chunk_size, backend="numpy"
+            )
+            survivors = encoded.available(exclude=lost)
+            start = time.perf_counter()
+            decoded = stream_decode(survivors, encoded.meta, backend="numpy")
+            elapsed = time.perf_counter() - start
+            if decoded != payload:
+                raise AssertionError("stream decode did not round-trip")
+            mb = payload_bytes / float(1 << 20)
+            metrics[f"wall_mb_per_s_numpy_c{chunk_size}"] = mb / max(
+                elapsed, 1e-9
+            )
+        small = payload[: k * min(chunk_sizes)]
+        encoded = stream_encode(
+            small, n=n, k=k, chunk_size=min(chunk_sizes), backend="numpy"
+        )
+        survivors = encoded.available(exclude=lost)
+        if stream_decode(
+            survivors, encoded.meta, backend="scalar"
+        ) != small:
+            raise AssertionError(
+                "scalar streaming decode diverged from the numpy path"
+            )
+        metrics["shards_lost"] = float(len(lost))
+        return metrics
+
+    return run
+
+
+def _stream_repair_throughput(
+    payload_bytes: int, chunk_sizes: List[int], n: int, k: int
+):
+    """Streaming single-shard repair MB/s per chunk size.
+
+    Repairs one data shard and one parity shard per chunk size and asserts
+    the rebuilt chunk streams match the originals byte for byte.
+    """
+
+    def run(rng: random.Random) -> Dict[str, float]:
+        import time
+
+        from repro.erasure.stream import stream_encode, stream_repair
+
+        payload = rng.randbytes(payload_bytes)
+        metrics: Dict[str, float] = {"payload_bytes": float(payload_bytes)}
+        repaired_chunks = 0
+        for chunk_size in chunk_sizes:
+            encoded = stream_encode(
+                payload, n=n, k=k, chunk_size=chunk_size, backend="numpy"
+            )
+            repaired_bytes = 0
+            start = time.perf_counter()
+            for target in (0, n - 1):
+                rebuilt = stream_repair(
+                    target,
+                    encoded.available(exclude=[target]),
+                    encoded.meta,
+                    backend="numpy",
+                )
+                if rebuilt != encoded.shards[target]:
+                    raise AssertionError(
+                        f"stream repair of shard {target} diverged"
+                    )
+                repaired_bytes += sum(len(c) for c in rebuilt)
+                repaired_chunks += len(rebuilt)
+            elapsed = time.perf_counter() - start
+            mb = repaired_bytes / float(1 << 20)
+            metrics[f"wall_mb_per_s_numpy_c{chunk_size}"] = mb / max(
+                elapsed, 1e-9
+            )
+        metrics["repaired_chunks"] = float(repaired_chunks)
+        return metrics
+
+    return run
+
+
+# ----------------------------------------------------------------------
 # Max-flow and EAR placement
 # ----------------------------------------------------------------------
 def _draw_stripe_layouts(
@@ -676,6 +838,11 @@ def builtin_scenarios(smoke: bool = False) -> List[Scenario]:
     processes = 20 if smoke else 100
     timeouts = 50 if smoke else 500
     journal_records = 200 if smoke else 2000
+    stream_payload = 1 << 18 if smoke else 1 << 22
+    stream_chunks = [1 << 14, 1 << 16] if smoke else [1 << 16, 1 << 18, 1 << 20]
+    # The backend shoot-out encodes one full (6, 4) stripe at this chunk
+    # size with both backends; the pure-Python oracle bounds the budget.
+    speedup_chunk = 1 << 16 if smoke else 1 << 20
 
     def scenario(name: str, params: Dict[str, object], fn) -> Scenario:
         return Scenario(name=f"micro.{name}", group="micro", params=params, fn=fn)
@@ -731,6 +898,39 @@ def builtin_scenarios(smoke: bool = False) -> List[Scenario]:
             "lrc_local_repair",
             {"k": 12, "local_groups": 2, "global_parities": 2, "block_bytes": block},
             _lrc_local_repair(12, 2, 2, block),
+        ),
+        scenario(
+            "stream_encode",
+            {
+                "n": 6,
+                "k": 4,
+                "payload_bytes": stream_payload,
+                "chunk_sizes": list(stream_chunks),
+                "speedup_chunk_bytes": speedup_chunk,
+            },
+            _stream_encode_throughput(
+                stream_payload, stream_chunks, speedup_chunk, 6, 4
+            ),
+        ),
+        scenario(
+            "stream_decode",
+            {
+                "n": 6,
+                "k": 4,
+                "payload_bytes": stream_payload,
+                "chunk_sizes": list(stream_chunks),
+            },
+            _stream_decode_throughput(stream_payload, stream_chunks, 6, 4),
+        ),
+        scenario(
+            "stream_repair",
+            {
+                "n": 6,
+                "k": 4,
+                "payload_bytes": stream_payload,
+                "chunk_sizes": list(stream_chunks),
+            },
+            _stream_repair_throughput(stream_payload, stream_chunks, 6, 4),
         ),
         scenario(
             "maxflow_fresh",

@@ -12,6 +12,10 @@ byte-level implementations built from scratch:
 * :mod:`repro.erasure.cauchy` — systematic Cauchy Reed-Solomon.
 * :mod:`repro.erasure.codec` — the ``ErasureCodec`` interface plus stripe
   helpers (encode k data blocks -> n-k parity blocks; reconstruct from any k).
+* :mod:`repro.erasure.stream` — the chunked streaming data plane: fixed-size
+  chunk iterators, fused multiply-XOR accumulation into preallocated parity
+  buffers, numpy/scalar backends (``REPRO_GF_BACKEND``), multi-process
+  stripe sharding, and the cluster :class:`StreamingDataPlane`.
 """
 
 from repro.erasure.codec import (
@@ -19,9 +23,23 @@ from repro.erasure.codec import (
     CodeParams,
     ErasureCodec,
     ReedSolomonCodec,
+    StreamTrailer,
     make_codec,
+    zero_pad,
 )
 from repro.erasure.galois import GF256
+from repro.erasure.stream import (
+    ChunkReader,
+    EncodedStream,
+    StreamingDataPlane,
+    StreamMeta,
+    encode_blocks_streaming,
+    resolve_backend,
+    sharded_stream_encode,
+    stream_decode,
+    stream_encode,
+    stream_repair,
+)
 
 
 def reset_memo_caches() -> None:
@@ -45,10 +63,22 @@ def reset_memo_caches() -> None:
 
 __all__ = [
     "CauchyRSCodec",
+    "ChunkReader",
     "CodeParams",
+    "EncodedStream",
     "ErasureCodec",
     "GF256",
     "ReedSolomonCodec",
+    "StreamMeta",
+    "StreamTrailer",
+    "StreamingDataPlane",
+    "encode_blocks_streaming",
     "make_codec",
     "reset_memo_caches",
+    "resolve_backend",
+    "sharded_stream_encode",
+    "stream_decode",
+    "stream_encode",
+    "stream_repair",
+    "zero_pad",
 ]

@@ -8,6 +8,7 @@ zero-pads the tail of a file.
 
 from __future__ import annotations
 
+import struct
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -19,6 +20,124 @@ from repro.sim.metrics import PERF
 
 #: Decode matrices retained per codec instance, keyed by erasure pattern.
 DECODE_CACHE_SIZE = 128
+
+#: Wire layout of :class:`StreamTrailer`: magic, version, true byte length,
+#: chunk size (little-endian, fixed 21 bytes).
+_TRAILER_STRUCT = struct.Struct("<4sBQQ")
+
+#: Magic bytes identifying a packed stream trailer.
+TRAILER_MAGIC = b"RPST"
+
+#: Trailer wire-format version.
+TRAILER_VERSION = 1
+
+
+def zero_pad(chunk: bytes, size: int) -> bytes:
+    """Zero-pad ``chunk`` up to exactly ``size`` bytes.
+
+    The streaming chunk contract: every *stored* chunk of an encoded stream
+    is exactly ``chunk_size`` bytes, with the short final chunk of the
+    source zero-filled on the right (the same convention HDFS-RAID uses for
+    a file's partial tail block).  The true length travels separately in the
+    :class:`StreamTrailer`, so padding is always recoverable.
+
+    Raises:
+        ValueError: If ``chunk`` is already longer than ``size``.
+    """
+    if len(chunk) > size:
+        raise ValueError(f"chunk of {len(chunk)} bytes exceeds size {size}")
+    if len(chunk) == size:
+        return bytes(chunk)
+    return bytes(chunk) + b"\0" * (size - len(chunk))
+
+
+@dataclass(frozen=True)
+class StreamTrailer:
+    """The length/chunking contract of a streamed payload.
+
+    Zero padding makes every stored chunk the same size, which is what lets
+    the decode path treat all stripes uniformly — but it destroys the true
+    payload length.  The trailer records that length (plus the chunk size
+    used) explicitly, so ``strip`` can always undo the padding.  Two edge
+    cases the per-stripe API never exercised are now well-defined:
+
+    * **empty source** — ``length == 0``: zero chunks, zero stripes, and
+      decoding yields ``b""``;
+    * **exactly one chunk** — ``length == chunk_size``: one full chunk and
+      *no* padding bytes (padding is never a full extra chunk).
+
+    Attributes:
+        length: True payload length in bytes (before any zero padding).
+        chunk_size: Fixed chunk size the payload was split into.
+    """
+
+    length: int
+    chunk_size: int
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError(f"length must be non-negative, got {self.length}")
+        if self.chunk_size <= 0:
+            raise ValueError(
+                f"chunk_size must be positive, got {self.chunk_size}"
+            )
+
+    @property
+    def num_chunks(self) -> int:
+        """Chunks the payload occupies: ``ceil(length / chunk_size)``."""
+        return -(-self.length // self.chunk_size)
+
+    @property
+    def padding(self) -> int:
+        """Zero bytes appended to fill the final chunk (0 when aligned)."""
+        return self.num_chunks * self.chunk_size - self.length
+
+    def num_stripes(self, k: int) -> int:
+        """Stripes of ``k`` data chunks the payload spans."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        return -(-self.num_chunks // k)
+
+    def padded_length(self, k: int) -> int:
+        """Total stored data bytes after stripe-alignment zero padding."""
+        return self.num_stripes(k) * k * self.chunk_size
+
+    def strip(self, padded: bytes) -> bytes:
+        """Undo the zero padding: the first ``length`` bytes of ``padded``.
+
+        Raises:
+            ValueError: If ``padded`` is shorter than the recorded length.
+        """
+        if len(padded) < self.length:
+            raise ValueError(
+                f"padded payload of {len(padded)} bytes shorter than "
+                f"recorded length {self.length}"
+            )
+        return padded[: self.length]
+
+    def pack(self) -> bytes:
+        """Serialise to the fixed 21-byte wire form."""
+        return _TRAILER_STRUCT.pack(
+            TRAILER_MAGIC, TRAILER_VERSION, self.length, self.chunk_size
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "StreamTrailer":
+        """Parse a packed trailer.
+
+        Raises:
+            ValueError: On wrong size, magic, or version.
+        """
+        if len(data) != _TRAILER_STRUCT.size:
+            raise ValueError(
+                f"trailer must be {_TRAILER_STRUCT.size} bytes, got {len(data)}"
+            )
+        magic, version, length, chunk_size = _TRAILER_STRUCT.unpack(data)
+        if magic != TRAILER_MAGIC:
+            raise ValueError(f"bad trailer magic {magic!r}")
+        if version != TRAILER_VERSION:
+            raise ValueError(f"unsupported trailer version {version}")
+        return cls(length=length, chunk_size=chunk_size)
 
 
 @dataclass(frozen=True)
@@ -121,18 +240,28 @@ class ErasureCodec:
         return matrix
 
     # -- public API -----------------------------------------------------
-    def encode(self, data_blocks: Sequence[bytes]) -> List[bytes]:
+    def encode(
+        self, data_blocks: Sequence[bytes], length: Optional[int] = None
+    ) -> List[bytes]:
         """Compute the stripe's parity blocks.
 
         Args:
             data_blocks: Exactly ``k`` byte strings.  Shorter blocks are
                 zero-padded to the longest block's length, mirroring
                 HDFS-RAID's treatment of a file's final partial block.
+            length: Explicit padded block length.  When given, every block
+                is zero-padded to exactly ``length`` bytes — the streaming
+                chunk contract — and empty blocks (a stripe's virtual
+                all-zero tail chunks) are legal.  ``length=0`` encodes the
+                empty source to ``n - k`` empty parities.  Without it the
+                legacy behaviour applies: pad to the longest block, which
+                must be non-empty.
 
         Returns:
-            ``n - k`` parity blocks, each as long as the longest data block.
+            ``n - k`` parity blocks, each ``length`` bytes (or as long as
+            the longest data block when ``length`` is omitted).
         """
-        shards = self._stack(data_blocks, expected=self.params.k)
+        shards = self._stack(data_blocks, expected=self.params.k, length=length)
         parity_rows = self._generator[self.params.k :, :]
         parity = self._apply(parity_rows, shards)
         return [row.tobytes() for row in parity]
@@ -198,12 +327,27 @@ class ErasureCodec:
 
     # -- helpers --------------------------------------------------------
     @staticmethod
-    def _stack(blocks: Sequence[bytes], expected: int) -> np.ndarray:
+    def _stack(
+        blocks: Sequence[bytes], expected: int, length: Optional[int] = None
+    ) -> np.ndarray:
         if len(blocks) != expected:
             raise ValueError(f"expected {expected} blocks, got {len(blocks)}")
-        if any(len(b) == 0 for b in blocks):
-            raise ValueError("blocks must be non-empty")
-        length = max(len(b) for b in blocks)
+        if length is None:
+            # Legacy contract: pad to the longest block, all non-empty.
+            if any(len(b) == 0 for b in blocks):
+                raise ValueError("blocks must be non-empty")
+            length = max(len(b) for b in blocks)
+        else:
+            # Streaming contract: explicit padded length, empty blocks legal
+            # (they are a stripe's virtual all-zero tail chunks).
+            if length < 0:
+                raise ValueError(f"length must be non-negative, got {length}")
+            oversize = next((b for b in blocks if len(b) > length), None)
+            if oversize is not None:
+                raise ValueError(
+                    f"block of {len(oversize)} bytes exceeds padded "
+                    f"length {length}"
+                )
         out = np.zeros((expected, length), dtype=np.uint8)
         for i, b in enumerate(blocks):
             out[i, : len(b)] = np.frombuffer(bytes(b), dtype=np.uint8)

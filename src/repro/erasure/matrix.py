@@ -83,6 +83,41 @@ def _fused_apply(coeffs: np.ndarray, shards: np.ndarray) -> np.ndarray:
     return out
 
 
+def accumulate_products(
+    out: np.ndarray, coeffs: np.ndarray, chunk: np.ndarray
+) -> None:
+    """Fused multiply-XOR of one input chunk into preallocated output rows.
+
+    ``out[i, :] ^= T[coeffs[i], chunk]`` for every row ``i`` — the streaming
+    pipeline's inner kernel.  Where :func:`_fused_apply` needs the whole
+    ``(m, L)`` shard stack in memory, this folds a single input shard's chunk
+    into all output accumulators with one table gather and one in-place XOR,
+    so parity for an arbitrarily long stream is built one chunk at a time.
+
+    Args:
+        out: ``(r, L)`` uint8 accumulator, mutated in place.
+        coeffs: ``(r,)`` uint8 vector — one coefficient per output row.
+        chunk: ``(L,)`` uint8 input chunk.
+    """
+    if out.ndim != 2 or coeffs.ndim != 1 or chunk.ndim != 1:
+        raise ValueError(
+            f"bad ranks: out {out.shape}, coeffs {coeffs.shape}, "
+            f"chunk {chunk.shape}"
+        )
+    if out.shape[0] != coeffs.shape[0] or out.shape[1] != chunk.shape[0]:
+        raise ValueError(
+            f"incompatible shapes: out {out.shape}, coeffs {coeffs.shape}, "
+            f"chunk {chunk.shape}"
+        )
+    if chunk.shape[0] == 0:
+        return
+    table = GF256.mul_table()
+    products = table[coeffs[:, None], chunk[None, :]]
+    PERF.bump("gf.kernel_calls")
+    PERF.bump("gf.symbol_mults", products.size)
+    np.bitwise_xor(out, products, out=out)
+
+
 def apply_to_shards(coeffs: np.ndarray, shards: np.ndarray) -> np.ndarray:
     """Apply a coefficient matrix to a stack of byte shards (fused kernel).
 

@@ -1,0 +1,937 @@
+"""Chunked streaming erasure data plane.
+
+The per-stripe :class:`~repro.erasure.codec.ErasureCodec` API materialises
+whole blocks in memory; this module streams instead.  A byte source of any
+length is cut into fixed-size chunks by :class:`ChunkReader` (the
+``FileEncoder``/``ChunkReader`` idiom of real chunk-server file systems),
+round-robined across the ``k`` data shards, and parity is accumulated one
+chunk at a time into preallocated buffers — a fused multiply-XOR per chunk,
+no per-coefficient temporaries and no ``(k, L)`` stripe matrix.
+
+Two interchangeable inner-loop backends exist, selected by the
+``REPRO_GF_BACKEND`` environment variable (or an explicit ``backend=``
+argument):
+
+* ``numpy`` (default) — one 256x256-table gather plus one in-place XOR per
+  chunk (:func:`repro.erasure.matrix.accumulate_products`).
+* ``scalar`` — a pure-Python ``bytearray`` loop indexing
+  :meth:`GF256.mul_row`; orders of magnitude slower, retained as the
+  byte-identity oracle the differential tests pin the numpy path against.
+
+The streaming chunk contract (see :class:`~repro.erasure.codec.StreamTrailer`):
+every stored chunk is exactly ``chunk_size`` bytes, the short final source
+chunk is zero-padded, a stripe's missing tail chunks are virtual all-zero
+chunks, and the true payload length travels in the stream metadata so decode
+can strip the padding — including the empty-source (zero stripes) and
+exactly-one-chunk (no padding) edge cases.
+
+Large payloads shard across processes at stripe boundaries through the
+PR5 :class:`~repro.parallel.executor.SweepExecutor`
+(:func:`sharded_stream_encode`); stripes are independent, so the sharded
+result is byte-identical to the sequential one and op attribution stays
+hermetic (the executor resets the GF memo caches per trial).
+
+:class:`StreamingDataPlane` carries real bytes through the simulated
+cluster's archival path: the :class:`~repro.hdfs.encoder.StripeEncoder`
+feeds it block streams and commits the resulting parity payloads against
+the block ids minted by ``NameNode.record_encoding``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.erasure import matrix as gfm
+from repro.erasure.codec import (
+    CodeParams,
+    ErasureCodec,
+    StreamTrailer,
+    make_codec,
+    zero_pad,
+)
+from repro.erasure.galois import GF256
+from repro.erasure.lrc import LocalReconstructionCodec, LRCParams
+from repro.sim.metrics import PERF
+
+#: Environment variable choosing the GF inner-loop backend.
+BACKEND_ENV = "REPRO_GF_BACKEND"
+
+#: Recognised backend names.
+BACKENDS = ("numpy", "scalar")
+
+#: Default streaming chunk size (64 KiB — the HDFS checksum-chunk scale).
+DEFAULT_CHUNK_SIZE = 1 << 16
+
+#: Schemes the streaming plane accepts (canonical names).
+STREAM_SCHEMES = ("reed-solomon", "cauchy-rs", "lrc")
+
+ByteSource = Union[bytes, bytearray, memoryview, Iterable[bytes], Any]
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """The effective GF backend: explicit argument, else ``REPRO_GF_BACKEND``.
+
+    Raises:
+        ValueError: On an unrecognised backend name (argument or env var).
+    """
+    chosen = backend if backend is not None else os.environ.get(BACKEND_ENV, "")
+    if not chosen:
+        chosen = "numpy"
+    if chosen not in BACKENDS:
+        raise ValueError(
+            f"unknown GF backend {chosen!r}; choose from {list(BACKENDS)}"
+        )
+    return chosen
+
+
+class ChunkReader:
+    """Fixed-size chunk iterator over an arbitrary-length byte source.
+
+    Accepts ``bytes``/``bytearray``/``memoryview`` (sliced zero-copy as
+    read-only memoryviews), binary file-like objects (``.read(size)``), or
+    any iterable of byte pieces (re-chunked through an internal buffer).
+    Every yielded chunk is exactly ``chunk_size`` bytes except the final
+    one, which may be short; an empty source yields nothing.
+
+    The reader never opens or closes anything — callers own their file
+    handles.
+    """
+
+    def __init__(self, source: ByteSource, chunk_size: int) -> None:
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self._source = source
+
+    def __iter__(self) -> Iterator[memoryview]:
+        size = self.chunk_size
+        source = self._source
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            view = memoryview(source)
+            if view.ndim != 1 or view.itemsize != 1:
+                view = view.cast("B")
+            view = view.toreadonly()
+            for start in range(0, len(view), size):
+                yield view[start : start + size]
+            return
+        yield from self._rechunk(self._pieces(source), size)
+
+    @staticmethod
+    def _pieces(source: ByteSource) -> Iterator[bytes]:
+        read = getattr(source, "read", None)
+        if read is not None and callable(read):
+            while True:
+                piece = read(1 << 20)
+                if not piece:
+                    return
+                yield piece
+            return
+        for piece in source:
+            if piece:
+                yield bytes(piece)
+
+    @staticmethod
+    def _rechunk(pieces: Iterator[bytes], size: int) -> Iterator[memoryview]:
+        buffer = bytearray()
+        for piece in pieces:
+            if not buffer and len(piece) >= size:
+                view = memoryview(piece).toreadonly()
+                full = (len(piece) // size) * size
+                for start in range(0, full, size):
+                    yield view[start : start + size]
+                buffer.extend(view[full:])
+                continue
+            buffer.extend(piece)
+            while len(buffer) >= size:
+                yield memoryview(bytes(buffer[:size]))
+                del buffer[:size]
+        if buffer:
+            yield memoryview(bytes(buffer))
+
+
+@dataclass(frozen=True)
+class StreamMeta:
+    """Self-describing metadata of an encoded stream.
+
+    Attributes:
+        scheme: Canonical scheme name (``"reed-solomon"``, ``"cauchy-rs"``
+            or ``"lrc"``).
+        n: Total shards per stripe.
+        k: Data shards per stripe.
+        chunk_size: Fixed stored-chunk size in bytes.
+        length: True payload length in bytes (the trailer value).
+        lrc: ``(k, local_groups, global_parities)`` when ``scheme`` is
+            ``"lrc"``, else ``None``.
+    """
+
+    scheme: str
+    n: int
+    k: int
+    chunk_size: int
+    length: int
+    lrc: Optional[Tuple[int, int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.scheme not in STREAM_SCHEMES:
+            raise ValueError(
+                f"unknown scheme {self.scheme!r}; choose from "
+                f"{list(STREAM_SCHEMES)}"
+            )
+        if not 0 < self.k < self.n:
+            raise ValueError(f"require 0 < k < n, got n={self.n}, k={self.k}")
+        if self.chunk_size <= 0:
+            raise ValueError(
+                f"chunk_size must be positive, got {self.chunk_size}"
+            )
+        if self.length < 0:
+            raise ValueError(f"length must be non-negative, got {self.length}")
+        if self.scheme == "lrc":
+            if self.lrc is None:
+                raise ValueError("scheme 'lrc' requires the lrc parameters")
+            params = LRCParams(*self.lrc)
+            if (params.n, params.k) != (self.n, self.k):
+                raise ValueError(
+                    f"lrc parameters {self.lrc} imply (n, k) = "
+                    f"({params.n}, {params.k}), got ({self.n}, {self.k})"
+                )
+        elif self.lrc is not None:
+            raise ValueError("lrc parameters are only valid with scheme='lrc'")
+
+    @property
+    def trailer(self) -> StreamTrailer:
+        """The padding/length contract of this stream."""
+        return StreamTrailer(length=self.length, chunk_size=self.chunk_size)
+
+    @property
+    def num_parity(self) -> int:
+        """Parity shards per stripe."""
+        return self.n - self.k
+
+    @property
+    def num_stripes(self) -> int:
+        """Stripes the payload spans (0 for an empty source)."""
+        return self.trailer.num_stripes(self.k)
+
+    @property
+    def shard_bytes(self) -> int:
+        """Stored bytes per shard: ``num_stripes * chunk_size``."""
+        return self.num_stripes * self.chunk_size
+
+    def codec(self) -> Union[ErasureCodec, LocalReconstructionCodec]:
+        """A fresh codec instance matching this stream's parameters."""
+        if self.scheme == "lrc":
+            assert self.lrc is not None
+            return LocalReconstructionCodec(LRCParams(*self.lrc))
+        return make_codec(self.n, self.k, self.scheme)
+
+
+@dataclass(frozen=True)
+class EncodedStream:
+    """A fully encoded stream: ``n`` shards of ``num_stripes`` chunks each.
+
+    Data layout is striped: source chunk ``c`` lives at shard ``c % k``,
+    stripe ``c // k`` — so shard ``i`` holds chunks ``i, k+i, 2k+i, ...``.
+    Every stored chunk is exactly ``meta.chunk_size`` bytes (tail chunks
+    zero-padded per the trailer contract).
+    """
+
+    meta: StreamMeta
+    shards: Tuple[Tuple[bytes, ...], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.shards) != self.meta.n:
+            raise ValueError(
+                f"expected {self.meta.n} shards, got {len(self.shards)}"
+            )
+        stripes = self.meta.num_stripes
+        for index, chunks in enumerate(self.shards):
+            if len(chunks) != stripes:
+                raise ValueError(
+                    f"shard {index} holds {len(chunks)} chunks, "
+                    f"expected {stripes}"
+                )
+            bad = next(
+                (c for c in chunks if len(c) != self.meta.chunk_size), None
+            )
+            if bad is not None:
+                raise ValueError(
+                    f"shard {index} violates the chunk contract: chunk of "
+                    f"{len(bad)} bytes, expected {self.meta.chunk_size}"
+                )
+
+    def shard(self, index: int) -> bytes:
+        """One shard's chunks joined into a single byte string."""
+        return b"".join(self.shards[index])
+
+    def available(
+        self, exclude: Sequence[int] = ()
+    ) -> Dict[int, Tuple[bytes, ...]]:
+        """Survivor view of the shards, omitting ``exclude`` — the shape
+        :func:`stream_decode`/:func:`stream_repair` consume."""
+        lost = set(exclude)
+        return {
+            i: chunks
+            for i, chunks in enumerate(self.shards)
+            if i not in lost
+        }
+
+    def payload(self) -> bytes:
+        """The original source bytes (padding stripped via the trailer)."""
+        meta = self.meta
+        parts: List[bytes] = []
+        for stripe in range(meta.num_stripes):
+            for i in range(meta.k):
+                parts.append(self.shards[i][stripe])
+        return meta.trailer.strip(b"".join(parts))
+
+
+# ---------------------------------------------------------------------------
+# Backend inner loops
+# ---------------------------------------------------------------------------
+
+
+def _scalar_addmul(
+    acc: bytearray, offset: int, coeff: int, chunk: memoryview
+) -> None:
+    """Pure-Python ``acc[offset:] ^= coeff * chunk`` — the oracle inner loop."""
+    if coeff == 0:
+        return
+    PERF.bump("gf.kernel_calls")
+    PERF.bump("gf.symbol_mults", len(chunk))
+    position = offset
+    if coeff == 1:
+        for value in chunk:
+            acc[position] ^= value
+            position += 1
+        return
+    row = GF256.mul_row(coeff)
+    for value in chunk:
+        acc[position] ^= row[value]
+        position += 1
+
+
+class _Accumulator:
+    """Preallocated output buffers accepting fused multiply-XOR of chunks.
+
+    Given an ``(r, m)`` coefficient matrix, ``accumulate(column, chunk)``
+    folds one input shard's chunk into all ``r`` output buffers:
+    ``out[i, offset:offset+len] ^= coeffs[i, column] * chunk``.  The numpy
+    backend does it with one table gather; the scalar backend walks the
+    bytes in Python.  Both bump the same PERF counter names, and both are
+    byte-identical to :func:`repro.erasure.matrix.apply_to_shards_scalar`
+    applied to the full stripe.
+    """
+
+    def __init__(self, coeffs: np.ndarray, length: int, backend: str) -> None:
+        coeffs = np.asarray(coeffs, dtype=np.uint8)
+        if coeffs.ndim != 2:
+            raise ValueError(f"coeffs must be 2-D, got shape {coeffs.shape}")
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        self.backend = backend
+        self.length = length
+        self.rows_count, self.columns = coeffs.shape
+        if backend == "numpy":
+            self._coeffs = coeffs
+            self._buffers = np.zeros((self.rows_count, length), dtype=np.uint8)
+        else:
+            self._coeff_rows = [[int(c) for c in row] for row in coeffs]
+            self._scalar_buffers = [
+                bytearray(length) for _ in range(self.rows_count)
+            ]
+
+    def accumulate(
+        self, column: int, chunk: memoryview, offset: int = 0
+    ) -> None:
+        if not 0 <= column < self.columns:
+            raise ValueError(f"column {column} outside [0, {self.columns})")
+        if offset + len(chunk) > self.length:
+            raise ValueError(
+                f"chunk of {len(chunk)} bytes at offset {offset} overruns "
+                f"buffer of {self.length}"
+            )
+        if len(chunk) == 0:
+            return
+        if self.backend == "numpy":
+            data = np.frombuffer(chunk, dtype=np.uint8)
+            window = self._buffers[:, offset : offset + data.size]
+            gfm.accumulate_products(window, self._coeffs[:, column], data)
+            return
+        for i in range(self.rows_count):
+            _scalar_addmul(
+                self._scalar_buffers[i], offset, self._coeff_rows[i][column],
+                chunk,
+            )
+
+    def rows(self) -> List[bytes]:
+        """The accumulated output buffers as immutable byte strings."""
+        if self.backend == "numpy":
+            return [row.tobytes() for row in self._buffers]
+        return [bytes(buffer) for buffer in self._scalar_buffers]
+
+
+# ---------------------------------------------------------------------------
+# Code resolution
+# ---------------------------------------------------------------------------
+
+
+def _resolve_code(
+    scheme: str,
+    n: Optional[int],
+    k: Optional[int],
+    lrc: Optional[Sequence[int]],
+) -> Tuple[Any, str, int, int, Optional[Tuple[int, int, int]]]:
+    """Normalise (scheme, n, k, lrc) and build the matching codec."""
+    if scheme == "lrc":
+        if lrc is None:
+            raise ValueError("scheme 'lrc' requires lrc=(k, local, global)")
+        params = LRCParams(*lrc)
+        if n not in (None, params.n) or k not in (None, params.k):
+            raise ValueError(
+                f"lrc parameters {tuple(lrc)} imply (n, k) = "
+                f"({params.n}, {params.k}); drop the explicit n/k"
+            )
+        codec = LocalReconstructionCodec(params)
+        return codec, "lrc", params.n, params.k, (
+            params.k, params.local_groups, params.global_parities
+        )
+    if lrc is not None:
+        raise ValueError("lrc parameters are only valid with scheme='lrc'")
+    if n is None or k is None:
+        raise ValueError(f"scheme {scheme!r} requires explicit n and k")
+    codec = make_codec(n, k, scheme)
+    return codec, codec.scheme, n, k, None
+
+
+def _decode_plan(
+    codec: Any, indices: Sequence[int]
+) -> Tuple[Tuple[int, ...], np.ndarray]:
+    """Choose survivor rows and build the decode matrix (computed once per
+    call, reused across every stripe of the stream)."""
+    ordered = tuple(sorted(indices))
+    k = codec.params.k
+    if len(ordered) < k:
+        raise ValueError(f"need at least k={k} shards, got {len(ordered)}")
+    if isinstance(codec, LocalReconstructionCodec):
+        subset = codec._invertible_subset_cached(ordered)
+        if subset is None:
+            raise ValueError(
+                "failure pattern is unrecoverable for this LRC "
+                f"(survivors: {list(ordered)})"
+            )
+        return subset, codec._decode_matrix(subset)
+    chosen = ordered[:k]
+    return chosen, codec._decode_matrix(chosen)
+
+
+def _repair_plan(
+    codec: Any, target: int, indices: Sequence[int]
+) -> Tuple[Tuple[int, ...], np.ndarray]:
+    """Survivor shards and the ``(1, len(survivors))`` coefficient row that
+    rebuilds shard ``target`` — the LRC local-XOR path when available."""
+    if not 0 <= target < codec.params.n:
+        raise ValueError(f"target index {target} outside the stripe")
+    if isinstance(codec, LocalReconstructionCodec):
+        local = codec._local_repair_set(target)
+        if local is not None and all(i in indices for i in local):
+            coeffs = np.ones((1, len(local)), dtype=np.uint8)
+            return tuple(local), coeffs
+    subset, decode_matrix = _decode_plan(codec, indices)
+    generator_row = codec._generator[target : target + 1, :]
+    return subset, gfm.matmul(generator_row, decode_matrix)
+
+
+# ---------------------------------------------------------------------------
+# Streaming encode / decode / repair (file view)
+# ---------------------------------------------------------------------------
+
+
+def stream_encode(
+    source: ByteSource,
+    *,
+    scheme: str = "reed-solomon",
+    n: Optional[int] = None,
+    k: Optional[int] = None,
+    lrc: Optional[Sequence[int]] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    backend: Optional[str] = None,
+) -> EncodedStream:
+    """Encode a byte source of any length into an :class:`EncodedStream`.
+
+    Chunks are striped round-robin across the ``k`` data shards; parity for
+    each stripe is accumulated chunk-at-a-time into preallocated buffers,
+    so no ``(k, chunk)`` stripe matrix is ever materialised.  Virtual
+    all-zero tail chunks complete the final stripe and contribute nothing
+    to the accumulation (zero annihilates), which keeps the streamed parity
+    byte-identical to whole-stripe encoding of the zero-padded source.
+    """
+    codec, scheme, n, k, lrc_tuple = _resolve_code(scheme, n, k, lrc)
+    chosen_backend = resolve_backend(backend)
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    parity_coeffs = codec._generator[k:, :]
+    zero_chunk = b"\0" * chunk_size
+
+    data_shards: List[List[bytes]] = [[] for _ in range(k)]
+    parity_shards: List[List[bytes]] = [[] for _ in range(n - k)]
+    stripe_data: List[bytes] = []
+    accumulator: Optional[_Accumulator] = None
+    length = 0
+
+    def flush_stripe() -> None:
+        nonlocal accumulator
+        assert accumulator is not None
+        while len(stripe_data) < k:  # virtual zero tail chunks
+            stripe_data.append(zero_chunk)
+        for i in range(k):
+            data_shards[i].append(stripe_data[i])
+        for j, row in enumerate(accumulator.rows()):
+            parity_shards[j].append(row)
+        PERF.bump("stream.stripes_encoded")
+        stripe_data.clear()
+        accumulator = None
+
+    for chunk in ChunkReader(source, chunk_size):
+        length += len(chunk)
+        PERF.bump("stream.chunks_in")
+        PERF.bump("stream.bytes_in", len(chunk))
+        if accumulator is None:
+            accumulator = _Accumulator(
+                parity_coeffs, chunk_size, chosen_backend
+            )
+        # A short final chunk is accumulated as-is: the untouched buffer
+        # tail already equals the zero-padded contribution.
+        accumulator.accumulate(len(stripe_data), chunk)
+        stripe_data.append(
+            bytes(chunk) if len(chunk) == chunk_size
+            else zero_pad(bytes(chunk), chunk_size)
+        )
+        if len(stripe_data) == k:
+            flush_stripe()
+    if stripe_data:
+        flush_stripe()
+
+    meta = StreamMeta(
+        scheme=scheme, n=n, k=k, chunk_size=chunk_size, length=length,
+        lrc=lrc_tuple,
+    )
+    shards = tuple(tuple(chunks) for chunks in data_shards + parity_shards)
+    return EncodedStream(meta=meta, shards=shards)
+
+
+def _validate_shard_streams(
+    shards: Mapping[int, Sequence[bytes]], meta: StreamMeta
+) -> None:
+    stripes = meta.num_stripes
+    for index in sorted(shards):
+        if not 0 <= index < meta.n:
+            raise ValueError(f"shard index {index} outside [0, {meta.n})")
+        chunks = shards[index]
+        if len(chunks) != stripes:
+            raise ValueError(
+                f"shard {index} holds {len(chunks)} chunks, "
+                f"expected {stripes}"
+            )
+        bad = next((c for c in chunks if len(c) != meta.chunk_size), None)
+        if bad is not None:
+            raise ValueError(
+                f"shard {index} violates the chunk contract: chunk of "
+                f"{len(bad)} bytes, expected {meta.chunk_size}"
+            )
+
+
+def stream_decode(
+    shards: Mapping[int, Sequence[bytes]],
+    meta: StreamMeta,
+    *,
+    backend: Optional[str] = None,
+) -> bytes:
+    """Reconstruct the original payload from any decodable survivor set.
+
+    The decode matrix is inverted once per call and reused across every
+    stripe; each stripe is then rebuilt chunk-at-a-time with the same fused
+    accumulate kernel the encoder uses.  Returns the payload with the zero
+    padding stripped per the trailer.
+    """
+    chosen_backend = resolve_backend(backend)
+    _validate_shard_streams(shards, meta)
+    if meta.num_stripes == 0:
+        return b""
+    codec = meta.codec()
+    subset, decode_matrix = _decode_plan(codec, list(shards))
+    out = bytearray(meta.trailer.padded_length(meta.k))
+    stripe_bytes = meta.k * meta.chunk_size
+    for stripe in range(meta.num_stripes):
+        accumulator = _Accumulator(
+            decode_matrix, meta.chunk_size, chosen_backend
+        )
+        for column, index in enumerate(subset):
+            accumulator.accumulate(
+                column, memoryview(shards[index][stripe])
+            )
+        base = stripe * stripe_bytes
+        for i, row in enumerate(accumulator.rows()):
+            start = base + i * meta.chunk_size
+            out[start : start + meta.chunk_size] = row
+        PERF.bump("stream.stripes_decoded")
+    return meta.trailer.strip(bytes(out))
+
+
+def stream_repair(
+    target: int,
+    shards: Mapping[int, Sequence[bytes]],
+    meta: StreamMeta,
+    *,
+    backend: Optional[str] = None,
+) -> Tuple[bytes, ...]:
+    """Rebuild one lost shard's chunk stream from the survivors.
+
+    The repair row (``generator[target] @ decode_matrix``, or the all-ones
+    local-XOR row for an LRC local repair) is computed once and applied per
+    stripe.  Returns ``num_stripes`` chunks of exactly ``chunk_size`` bytes
+    — the shape :class:`EncodedStream` stores.
+    """
+    chosen_backend = resolve_backend(backend)
+    _validate_shard_streams(shards, meta)
+    codec = meta.codec()
+    sources, coeffs = _repair_plan(codec, target, list(shards))
+    rebuilt: List[bytes] = []
+    for stripe in range(meta.num_stripes):
+        accumulator = _Accumulator(coeffs, meta.chunk_size, chosen_backend)
+        for column, index in enumerate(sources):
+            accumulator.accumulate(
+                column, memoryview(shards[index][stripe])
+            )
+        rebuilt.append(accumulator.rows()[0])
+        PERF.bump("stream.chunks_repaired")
+    return tuple(rebuilt)
+
+
+# ---------------------------------------------------------------------------
+# Streaming encode (cluster/block view)
+# ---------------------------------------------------------------------------
+
+
+def encode_blocks_streaming(
+    sources: Sequence[ByteSource],
+    codec: Union[ErasureCodec, LocalReconstructionCodec],
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    backend: Optional[str] = None,
+    length: Optional[int] = None,
+) -> List[bytes]:
+    """Parity payloads for ``k`` block streams, one chunk at a time.
+
+    The block-oriented twin of :func:`stream_encode`: each source is a whole
+    data block (the archival encode path's unit), parity is accumulated into
+    ``n - k`` preallocated ``length``-byte buffers, and blocks shorter than
+    ``length`` implicitly contribute zeros — byte-identical to
+    ``codec.encode(blocks, length=length)`` without ever stacking the
+    ``(k, length)`` stripe matrix.
+
+    Args:
+        sources: Exactly ``k`` byte sources (blocks in stripe order).
+        codec: The stripe's codec (RS/Cauchy/LRC).
+        chunk_size: Read granularity.
+        backend: GF backend override (defaults to ``REPRO_GF_BACKEND``).
+        length: Padded block length.  Required when any source is unsized
+            (file-like/iterable); defaults to the longest sized source.
+
+    Returns:
+        ``n - k`` parity payloads of exactly ``length`` bytes each.
+    """
+    k = codec.params.k
+    if len(sources) != k:
+        raise ValueError(f"expected {k} block sources, got {len(sources)}")
+    chosen_backend = resolve_backend(backend)
+    if length is None:
+        sized = [s for s in sources if isinstance(s, (bytes, bytearray, memoryview))]
+        if len(sized) != len(sources):
+            raise ValueError(
+                "length= is required when sources are not all sized "
+                "bytes-like objects"
+            )
+        length = max((len(s) for s in sized), default=0)
+    parity_coeffs = codec._generator[k:, :]
+    accumulator = _Accumulator(parity_coeffs, length, chosen_backend)
+    for column, source in enumerate(sources):
+        offset = 0
+        for chunk in ChunkReader(source, chunk_size):
+            if offset + len(chunk) > length:
+                raise ValueError(
+                    f"block {column} longer than padded length {length}"
+                )
+            accumulator.accumulate(column, chunk, offset=offset)
+            offset += len(chunk)
+            PERF.bump("stream.chunks_in")
+            PERF.bump("stream.bytes_in", len(chunk))
+    PERF.bump("stream.stripes_encoded")
+    return accumulator.rows()
+
+
+# ---------------------------------------------------------------------------
+# Multi-process stripe sharding
+# ---------------------------------------------------------------------------
+
+
+def _shard_parity_trial(
+    seed: int,
+    payload: bytes,
+    scheme: str,
+    n: Optional[int],
+    k: Optional[int],
+    lrc: Optional[Tuple[int, int, int]],
+    chunk_size: int,
+    backend: str,
+) -> Tuple[Tuple[bytes, ...], ...]:
+    """SweepExecutor worker: parity chunk streams for one stripe range.
+
+    Stripes are independent, so encoding a stripe-aligned payload slice in
+    a worker process yields exactly the parity chunks the sequential pass
+    produces for those stripes.  The trial's identity (and cache key) is
+    the payload slice plus code parameters; ``seed`` is unused.
+    """
+    del seed
+    encoded = stream_encode(
+        payload, scheme=scheme, n=n, k=k, lrc=lrc,
+        chunk_size=chunk_size, backend=backend,
+    )
+    return tuple(encoded.shards[encoded.meta.k :])
+
+
+def _data_shard_chunks(
+    payload: bytes, meta: StreamMeta
+) -> List[Tuple[bytes, ...]]:
+    """The striped data-shard chunk streams of a payload (padding applied)."""
+    view = memoryview(payload)
+    shards: List[List[bytes]] = [[] for _ in range(meta.k)]
+    for chunk_index in range(meta.num_stripes * meta.k):
+        start = chunk_index * meta.chunk_size
+        piece = bytes(view[start : start + meta.chunk_size])
+        shards[chunk_index % meta.k].append(
+            piece if len(piece) == meta.chunk_size
+            else zero_pad(piece, meta.chunk_size)
+        )
+    return [tuple(chunks) for chunks in shards]
+
+
+def sharded_stream_encode(
+    source: ByteSource,
+    *,
+    scheme: str = "reed-solomon",
+    n: Optional[int] = None,
+    k: Optional[int] = None,
+    lrc: Optional[Sequence[int]] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    backend: Optional[str] = None,
+    executor: Optional[Any] = None,
+    stripes_per_shard: int = 4,
+    seed: int = 0,
+) -> EncodedStream:
+    """Encode a large payload with stripe ranges fanned out across processes.
+
+    The payload is sliced at stripe boundaries (``k * chunk_size`` bytes);
+    each slice becomes one :class:`~repro.parallel.spec.TrialSpec` running
+    :func:`_shard_parity_trial` in a worker.  Because stripes are
+    independent and the executor reassembles results in spec order, the
+    result is byte-identical to :func:`stream_encode` for any worker count
+    — ``REPRO_PARALLEL_CHECK=1`` (or ``SweepExecutor(check=True)``) asserts
+    exactly that inline.  Data shards are striped locally; only the GF
+    parity work is distributed.
+    """
+    from repro.parallel.executor import SweepExecutor
+    from repro.parallel.spec import TrialSpec
+
+    if stripes_per_shard <= 0:
+        raise ValueError(
+            f"stripes_per_shard must be positive, got {stripes_per_shard}"
+        )
+    payload = (
+        bytes(source)
+        if isinstance(source, (bytes, bytearray, memoryview))
+        else b"".join(bytes(c) for c in ChunkReader(source, chunk_size))
+    )
+    _, scheme, n, k, lrc_tuple = _resolve_code(scheme, n, k, lrc)
+    chosen_backend = resolve_backend(backend)
+    meta = StreamMeta(
+        scheme=scheme, n=n, k=k, chunk_size=chunk_size,
+        length=len(payload), lrc=lrc_tuple,
+    )
+    if executor is None:
+        executor = SweepExecutor(workers=0)
+    total_stripes = meta.num_stripes
+    if total_stripes == 0:
+        return EncodedStream(
+            meta=meta, shards=tuple(() for _ in range(n))
+        )
+    stripe_bytes = k * chunk_size
+    specs = []
+    for low in range(0, total_stripes, stripes_per_shard):
+        high = min(low + stripes_per_shard, total_stripes)
+        specs.append(
+            TrialSpec(
+                fn=_shard_parity_trial,
+                config={
+                    "payload": payload[low * stripe_bytes : high * stripe_bytes],
+                    "scheme": scheme,
+                    "n": None if scheme == "lrc" else n,
+                    "k": None if scheme == "lrc" else k,
+                    "lrc": lrc_tuple,
+                    "chunk_size": chunk_size,
+                    "backend": chosen_backend,
+                },
+                seed=seed,
+                tag=f"stream.encode_shard[{low}:{high}]",
+            )
+        )
+    results = executor.map_trials(specs)
+    parity_shards: List[List[bytes]] = [[] for _ in range(meta.num_parity)]
+    for shard_result in results:
+        for j, chunks in enumerate(shard_result):
+            parity_shards[j].extend(chunks)
+    shards = tuple(_data_shard_chunks(payload, meta)) + tuple(
+        tuple(chunks) for chunks in parity_shards
+    )
+    return EncodedStream(meta=meta, shards=shards)
+
+
+# ---------------------------------------------------------------------------
+# Cluster data plane
+# ---------------------------------------------------------------------------
+
+
+class StreamingDataPlane:
+    """Real bytes for the simulated cluster's archival encode path.
+
+    The DES layer models *timing*; this plane carries the actual payloads:
+    per-block byte strings (deterministically synthesised on demand, or
+    supplied via :meth:`put`), streamed through
+    :func:`encode_blocks_streaming` when a stripe is encoded, with the
+    parity payloads committed against the block ids
+    ``NameNode.record_encoding`` mints.  Synthesised payloads are capped at
+    ``bytes_per_block`` so simulated 64 MB blocks don't cost 64 MB of
+    encoder memory — the cap only scales the payloads, never the metadata.
+
+    Args:
+        code: The ``(n, k)`` stripe geometry (must match the NameNode's).
+        scheme: Codec scheme (``"reed-solomon"``/``"cauchy-rs"``).
+        chunk_size: Streaming read granularity.
+        backend: GF backend override (defaults to ``REPRO_GF_BACKEND``).
+        bytes_per_block: Cap on synthesised payload bytes per block.
+        seed: Seed for deterministic payload synthesis.
+    """
+
+    def __init__(
+        self,
+        code: CodeParams,
+        scheme: str = "reed-solomon",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        backend: Optional[str] = None,
+        bytes_per_block: int = 1 << 16,
+        seed: int = 0,
+    ) -> None:
+        if bytes_per_block <= 0:
+            raise ValueError(
+                f"bytes_per_block must be positive, got {bytes_per_block}"
+            )
+        self.code = code
+        self.codec = make_codec(code.n, code.k, scheme)
+        self.chunk_size = chunk_size
+        self.backend = resolve_backend(backend)
+        self.bytes_per_block = bytes_per_block
+        self.seed = seed
+        self.payloads: Dict[int, bytes] = {}
+
+    def put(self, block_id: int, payload: bytes) -> None:
+        """Register a block's real bytes (overrides synthesis)."""
+        self.payloads[block_id] = bytes(payload)
+
+    def payload_for(self, block_id: int, size: int) -> bytes:
+        """The block's bytes, synthesising a deterministic payload once.
+
+        Synthesis is a pure function of ``(seed, block_id)``, so retried or
+        repeated encodes of the same stripe see identical bytes.
+        """
+        existing = self.payloads.get(block_id)
+        if existing is not None:
+            return existing
+        rng = random.Random((self.seed << 32) ^ block_id)
+        payload = rng.randbytes(min(size, self.bytes_per_block))
+        self.payloads[block_id] = payload
+        return payload
+
+    def encode_stripe(self, stripe: Any, store: Any) -> List[bytes]:
+        """Stream-encode a stripe's data blocks into parity payloads."""
+        sources = [
+            self.payload_for(block_id, store.block(block_id).size)
+            for block_id in stripe.block_ids
+        ]
+        length = max((len(s) for s in sources), default=0)
+        parity = encode_blocks_streaming(
+            sources,
+            self.codec,
+            chunk_size=self.chunk_size,
+            backend=self.backend,
+            length=length,
+        )
+        PERF.bump("stream.plane_stripes")
+        PERF.bump("stream.plane_bytes", sum(len(s) for s in sources))
+        return parity
+
+    def commit_parity(
+        self, parity_blocks: Sequence[Any], payloads: Sequence[bytes]
+    ) -> None:
+        """Store computed parity payloads under their minted block ids."""
+        if len(parity_blocks) != len(payloads):
+            raise ValueError(
+                f"{len(parity_blocks)} parity blocks but "
+                f"{len(payloads)} payloads"
+            )
+        for block, payload in zip(parity_blocks, payloads):
+            self.payloads[block.block_id] = payload
+
+    def stripe_payloads(self, stripe: Any) -> Dict[int, bytes]:
+        """All held payloads of a stripe keyed by stripe index (0..n-1)."""
+        blocks: Dict[int, bytes] = {}
+        for index, block_id in enumerate(stripe.block_ids):
+            payload = self.payloads.get(block_id)
+            if payload is not None:
+                blocks[index] = payload
+        for offset, block_id in enumerate(stripe.parity_block_ids):
+            payload = self.payloads.get(block_id)
+            if payload is not None:
+                blocks[self.code.k + offset] = payload
+        return blocks
+
+    def verify_stripe(self, stripe: Any) -> bool:
+        """Re-encode the stripe's data payloads and check its parities."""
+        blocks = self.stripe_payloads(stripe)
+        if sorted(blocks) != list(range(self.code.n)):
+            raise ValueError(
+                f"stripe {stripe.stripe_id} payloads incomplete: "
+                f"{sorted(blocks)}"
+            )
+        return self.codec.verify(blocks)
+
+    def decode_block(self, stripe: Any, index: int, exclude: Sequence[int] = ()) -> bytes:
+        """Rebuild one stripe member's payload from surviving payloads."""
+        blocks = self.stripe_payloads(stripe)
+        lost = set(exclude) | {index}
+        available = {i: b for i, b in blocks.items() if i not in lost}
+        return self.codec.reconstruct(index, available)

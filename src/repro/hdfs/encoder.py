@@ -29,6 +29,7 @@ from repro.core.parity import (
     download_plan,
 )
 from repro.core.stripe import Stripe
+from repro.erasure.stream import StreamingDataPlane
 from repro.faults.retry import RetryPolicy, with_retries
 from repro.hdfs.namenode import NameNode
 from repro.sim.engine import Simulator
@@ -75,6 +76,11 @@ class StripeEncoder:
         resilience: Optional fault metrics fed by the retry loop.
         rng: Random source for retry jitter and degraded encoder choice
             (deterministic default).
+        data_plane: Optional :class:`~repro.erasure.stream.StreamingDataPlane`.
+            When given, each encode streams the stripe's real block bytes
+            through the chunked GF pipeline and commits the resulting parity
+            payloads against the block ids ``record_encoding`` mints — the
+            simulation then carries verifiable bytes, not just timing.
     """
 
     def __init__(
@@ -89,6 +95,7 @@ class StripeEncoder:
         retry: Optional[RetryPolicy] = None,
         resilience: Optional[ResilienceMetrics] = None,
         rng: Optional[random.Random] = None,
+        data_plane: Optional[StreamingDataPlane] = None,
     ) -> None:
         if compute_bandwidth is not None and compute_bandwidth <= 0:
             raise ValueError("compute bandwidth must be positive")
@@ -102,6 +109,7 @@ class StripeEncoder:
         self.retry = retry
         self.resilience = resilience
         self.rng = rng if rng is not None else random.Random(0)
+        self.data_plane = data_plane
         self.records: List[EncodedStripe] = []
 
     # ------------------------------------------------------------------
@@ -221,7 +229,14 @@ class StripeEncoder:
         if downloads:
             yield self.sim.all_of(downloads)
 
-        # Step 2: compute parity, then parallel uploads.
+        # Step 2: compute parity, then parallel uploads.  With a data plane
+        # attached the parity bytes are real: the stripe's block payloads
+        # are streamed chunk-at-a-time through the GF pipeline.  Payload
+        # synthesis is deterministic per block, so a retried attempt
+        # recomputes identical bytes (idempotent).
+        parity_payloads = None
+        if self.data_plane is not None:
+            parity_payloads = self.data_plane.encode_stripe(stripe, store)
         if self.compute_bandwidth is not None:
             yield self.sim.timeout(data_bytes / self.compute_bandwidth)
         uploads = []
@@ -240,7 +255,9 @@ class StripeEncoder:
             yield self.sim.all_of(uploads)
 
         # Step 3: retain one replica per block, delete the rest (metadata).
-        self.namenode.record_encoding(stripe, plan)
+        parity_blocks = self.namenode.record_encoding(stripe, plan)
+        if self.data_plane is not None and parity_payloads is not None:
+            self.data_plane.commit_parity(parity_blocks, parity_payloads)
 
         record = EncodedStripe(
             stripe_id=stripe.stripe_id,

@@ -243,6 +243,7 @@ class ProjectModel:
         chain: Tuple[str, ...],
         fn: Optional[FunctionFacts] = None,
         class_key: Optional[str] = None,
+        _seen: frozenset = frozenset(),
     ) -> Tuple[str, str]:
         """Resolve a dotted chain as seen inside ``module`` (and, when
         given, inside function ``fn`` of class ``class_key``).
@@ -269,9 +270,13 @@ class ProjectModel:
                 return (KIND_FUNC, nested)
             typed = dict(fn.local_types)
             typed.update(dict(fn.annotations))
-            if head in typed and len(rest) == 1:
+            # ``_seen`` breaks cycles from self-referential local bindings
+            # (``view = view.cast(...)``) and mutually-recursive ones.
+            if head in typed and len(rest) == 1 and head not in _seen:
                 type_chain = tuple(typed[head].split("."))
-                owner = self.resolve_chain(module, type_chain, fn, class_key)
+                owner = self.resolve_chain(
+                    module, type_chain, fn, class_key, _seen | {head}
+                )
                 if owner[0] == KIND_CLASS:
                     method = self.resolve_method(owner[1], rest[0])
                     if method is not None:

@@ -177,3 +177,104 @@ def test_property_any_k_recovers(seed, k, m, length):
     out = codec.decode({i: blocks[i] for i in subset},
                        original_lengths=[len(d) for d in data])
     assert out == data
+
+
+class TestStreamingChunkContract:
+    """The explicit zero-padding/length-trailer contract (streaming plane).
+
+    These pin down the short-final-chunk bug class: the empty-source and
+    exactly-one-chunk cases the legacy per-stripe API never exercised.
+    """
+
+    def test_zero_pad(self):
+        from repro.erasure.codec import zero_pad
+
+        assert zero_pad(b"ab", 4) == b"ab\0\0"
+        assert zero_pad(b"abcd", 4) == b"abcd"
+        assert zero_pad(b"", 3) == b"\0\0\0"
+        with pytest.raises(ValueError):
+            zero_pad(b"abcde", 4)
+
+    def test_trailer_roundtrip(self):
+        from repro.erasure.codec import StreamTrailer
+
+        trailer = StreamTrailer(length=1234, chunk_size=64)
+        assert StreamTrailer.unpack(trailer.pack()) == trailer
+
+    def test_trailer_rejects_garbage(self):
+        from repro.erasure.codec import StreamTrailer
+
+        trailer = StreamTrailer(length=5, chunk_size=4)
+        packed = trailer.pack()
+        with pytest.raises(ValueError, match="magic"):
+            StreamTrailer.unpack(b"XXXX" + packed[4:])
+        with pytest.raises(ValueError, match="version"):
+            StreamTrailer.unpack(packed[:4] + b"\x7f" + packed[5:])
+        with pytest.raises(ValueError, match="bytes"):
+            StreamTrailer.unpack(packed[:-1])
+
+    def test_trailer_validation(self):
+        from repro.erasure.codec import StreamTrailer
+
+        with pytest.raises(ValueError):
+            StreamTrailer(length=-1, chunk_size=4)
+        with pytest.raises(ValueError):
+            StreamTrailer(length=0, chunk_size=0)
+
+    def test_empty_source_case(self):
+        from repro.erasure.codec import StreamTrailer
+
+        trailer = StreamTrailer(length=0, chunk_size=64)
+        assert trailer.num_chunks == 0
+        assert trailer.padding == 0
+        assert trailer.num_stripes(4) == 0
+        assert trailer.padded_length(4) == 0
+        assert trailer.strip(b"") == b""
+
+    def test_exactly_one_chunk_case(self):
+        from repro.erasure.codec import StreamTrailer
+
+        trailer = StreamTrailer(length=64, chunk_size=64)
+        assert trailer.num_chunks == 1
+        assert trailer.padding == 0  # a full chunk is never padded
+        assert trailer.num_stripes(4) == 1
+        assert trailer.padded_length(4) == 4 * 64
+
+    def test_short_final_chunk_case(self):
+        from repro.erasure.codec import StreamTrailer
+
+        trailer = StreamTrailer(length=65, chunk_size=64)
+        assert trailer.num_chunks == 2
+        assert trailer.padding == 63
+        assert trailer.strip(b"x" * 65 + b"\0" * 63) == b"x" * 65
+
+    def test_strip_rejects_truncated_payload(self):
+        from repro.erasure.codec import StreamTrailer
+
+        with pytest.raises(ValueError, match="shorter"):
+            StreamTrailer(length=10, chunk_size=4).strip(b"abc")
+
+    def test_encode_explicit_length_pads_blocks(self):
+        codec = make_codec(6, 4)
+        blocks = [b"abcd", b"ef", b"", b"ghij"]
+        explicit = codec.encode(blocks, length=4)
+        legacy = codec.encode([b"abcd", b"ef\0\0", b"\0\0\0\0", b"ghij"])
+        assert explicit == legacy
+        assert all(len(p) == 4 for p in explicit)
+
+    def test_encode_empty_source_with_explicit_length(self):
+        codec = make_codec(6, 4)
+        parity = codec.encode([b"", b"", b"", b""], length=0)
+        assert parity == [b"", b""]
+
+    def test_encode_rejects_oversize_block(self):
+        codec = make_codec(6, 4)
+        with pytest.raises(ValueError, match="exceeds"):
+            codec.encode([b"abcde", b"", b"", b""], length=4)
+        with pytest.raises(ValueError, match="non-negative"):
+            codec.encode([b"", b"", b"", b""], length=-1)
+
+    def test_legacy_contract_unchanged(self):
+        codec = make_codec(6, 4)
+        with pytest.raises(ValueError, match="non-empty"):
+            codec.encode([b"ab", b"", b"cd", b"ef"])

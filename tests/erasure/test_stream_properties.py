@@ -1,0 +1,177 @@
+"""Property round-trips for the streaming data plane.
+
+Encode a stream, drop up to ``m`` shards — every loss pattern for small
+codes, sampled patterns for large ones — then stream-decode and
+stream-repair back to the original bytes, and check that repaired parity
+re-verifies against a fresh encode.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.stream import (
+    EncodedStream,
+    StreamMeta,
+    stream_decode,
+    stream_encode,
+    stream_repair,
+)
+
+
+def reassemble(encoded, replacements):
+    """A fresh :class:`EncodedStream` with some shards swapped in."""
+    shards = list(encoded.shards)
+    for index, chunks in replacements.items():
+        shards[index] = tuple(chunks)
+    return EncodedStream(meta=encoded.meta, shards=tuple(shards))
+
+
+class TestAllLossPatternsSmallCodes:
+    @pytest.mark.parametrize("scheme,n,k,lrc", [
+        ("reed-solomon", 5, 3, None),
+        ("cauchy-rs", 6, 4, None),
+    ])
+    def test_every_loss_pattern_roundtrips(self, scheme, n, k, lrc):
+        r = random.Random(77)
+        payload = r.randbytes(3 * k * 16 + 5)  # 3 full stripes + tail
+        encoded = stream_encode(
+            payload, scheme=scheme, n=n, k=k, lrc=lrc, chunk_size=16
+        )
+        m = n - k
+        for count in range(1, m + 1):
+            for lost in itertools.combinations(range(n), count):
+                survivors = encoded.available(exclude=lost)
+                assert stream_decode(survivors, encoded.meta) == payload
+                for target in lost:
+                    rebuilt = stream_repair(target, survivors, encoded.meta)
+                    assert rebuilt == encoded.shards[target]
+
+    def test_lrc_recoverable_patterns_roundtrip(self):
+        r = random.Random(78)
+        lrc = (4, 2, 2)
+        payload = r.randbytes(150)
+        encoded = stream_encode(payload, scheme="lrc", lrc=lrc, chunk_size=16)
+        n, m = encoded.meta.n, encoded.meta.num_parity
+        recoverable = 0
+        for count in range(1, m + 1):
+            for lost in itertools.combinations(range(n), count):
+                survivors = encoded.available(exclude=lost)
+                try:
+                    decoded = stream_decode(survivors, encoded.meta)
+                except ValueError:
+                    # LRCs are not MDS: multi-loss patterns may be
+                    # unrecoverable, but every single loss must decode.
+                    assert count > 1, lost
+                    continue
+                recoverable += 1
+                assert decoded == payload
+                for target in lost:
+                    assert stream_repair(
+                        target, survivors, encoded.meta
+                    ) == encoded.shards[target]
+        assert recoverable > 0
+
+
+class TestSampledLossPatternsLargeCode:
+    @given(seed=st.integers(0, 2**18))
+    @settings(max_examples=10, deadline=None)
+    def test_property_sampled_patterns_paper_code(self, seed):
+        r = random.Random(seed)
+        n, k = 14, 10
+        payload = r.randbytes(r.randrange(1, 3 * k * 32))
+        encoded = stream_encode(payload, n=n, k=k, chunk_size=32)
+        lost = sorted(r.sample(range(n), r.randrange(1, n - k + 1)))
+        survivors = encoded.available(exclude=lost)
+        assert stream_decode(survivors, encoded.meta) == payload
+        target = r.choice(lost)
+        assert stream_repair(
+            target, survivors, encoded.meta
+        ) == encoded.shards[target]
+
+
+class TestRepairedParityReverifies:
+    @given(seed=st.integers(0, 2**18))
+    @settings(max_examples=15, deadline=None)
+    def test_property_repaired_shard_reverifies_against_fresh_encode(
+        self, seed
+    ):
+        r = random.Random(seed)
+        k = r.randrange(2, 6)
+        n = k + r.randrange(2, 4)
+        payload = r.randbytes(r.randrange(1, 200))
+        encoded = stream_encode(payload, n=n, k=k, chunk_size=16)
+        target = r.randrange(n)
+        survivors = encoded.available(exclude=[target])
+        rebuilt = stream_repair(target, survivors, encoded.meta)
+        repaired = reassemble(encoded, {target: rebuilt})
+        fresh = stream_encode(payload, n=n, k=k, chunk_size=16)
+        assert repaired == fresh
+
+    def test_lrc_local_repair_reverifies(self):
+        r = random.Random(55)
+        payload = r.randbytes(120)
+        encoded = stream_encode(
+            payload, scheme="lrc", lrc=(4, 2, 2), chunk_size=16
+        )
+        # Lose one data shard: the repair should use only its local group,
+        # and the repaired stream must equal a fresh encode.
+        survivors = encoded.available(exclude=[1])
+        rebuilt = stream_repair(1, survivors, encoded.meta)
+        repaired = reassemble(encoded, {1: rebuilt})
+        assert repaired == stream_encode(
+            payload, scheme="lrc", lrc=(4, 2, 2), chunk_size=16
+        )
+
+
+class TestValidation:
+    def test_decode_needs_k_survivors(self):
+        encoded = stream_encode(b"hello world", n=6, k=4, chunk_size=4)
+        survivors = encoded.available(exclude=[0, 1, 2])
+        with pytest.raises(ValueError, match="at least k"):
+            stream_decode(survivors, encoded.meta)
+
+    def test_chunk_contract_enforced(self):
+        encoded = stream_encode(b"hello world", n=6, k=4, chunk_size=4)
+        bad = dict(encoded.available())
+        bad[0] = tuple(c[:-1] for c in bad[0])
+        with pytest.raises(ValueError, match="chunk contract"):
+            stream_decode(bad, encoded.meta)
+
+    def test_shard_stream_length_enforced(self):
+        encoded = stream_encode(bytes(100), n=6, k=4, chunk_size=4)
+        bad = dict(encoded.available())
+        bad[2] = bad[2][:-1]
+        with pytest.raises(ValueError, match="chunks"):
+            stream_decode(bad, encoded.meta)
+
+    def test_repair_target_range(self):
+        encoded = stream_encode(b"abc", n=6, k=4, chunk_size=4)
+        with pytest.raises(ValueError, match="target"):
+            stream_repair(6, encoded.available(), encoded.meta)
+
+    def test_meta_validation(self):
+        with pytest.raises(ValueError):
+            StreamMeta(scheme="raptor", n=6, k=4, chunk_size=4, length=0)
+        with pytest.raises(ValueError):
+            StreamMeta(scheme="reed-solomon", n=4, k=4, chunk_size=4, length=0)
+        with pytest.raises(ValueError):
+            StreamMeta(scheme="reed-solomon", n=6, k=4, chunk_size=0, length=0)
+        with pytest.raises(ValueError):
+            StreamMeta(scheme="reed-solomon", n=6, k=4, chunk_size=4, length=-1)
+        with pytest.raises(ValueError):
+            StreamMeta(scheme="lrc", n=8, k=4, chunk_size=4, length=0)
+        with pytest.raises(ValueError):
+            StreamMeta(
+                scheme="reed-solomon", n=6, k=4, chunk_size=4, length=0,
+                lrc=(4, 2, 2),
+            )
+
+    def test_lrc_requires_parameters(self):
+        with pytest.raises(ValueError, match="lrc"):
+            stream_encode(b"x", scheme="lrc")
+        with pytest.raises(ValueError, match="only valid"):
+            stream_encode(b"x", n=6, k=4, lrc=(4, 2, 2))

@@ -1,0 +1,93 @@
+"""Sharded streaming encode through the SweepExecutor.
+
+Stripes are independent, so fanning stripe ranges across worker processes
+must be byte-identical to the sequential pass — and op attribution must
+stay hermetic: the executor resets the GF memo caches before every trial,
+so the merged op counts are the same for any worker count.
+"""
+
+import random
+
+import pytest
+
+from repro.erasure import reset_memo_caches
+from repro.erasure.stream import sharded_stream_encode, stream_encode
+from repro.parallel.executor import SweepExecutor
+from repro.sim.metrics import measure_ops
+
+WORKERS = 4
+
+
+class TestShardedIdentity:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_workers4_byte_identical_to_workers0(self, seed):
+        payload = random.Random(seed).randbytes(20_000)
+        sequential = sharded_stream_encode(
+            payload, n=6, k=4, chunk_size=512, stripes_per_shard=2,
+            executor=SweepExecutor(workers=0),
+        )
+        parallel = sharded_stream_encode(
+            payload, n=6, k=4, chunk_size=512, stripes_per_shard=2,
+            executor=SweepExecutor(workers=WORKERS),
+        )
+        assert parallel == sequential
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_sharded_matches_plain_stream_encode(self, seed):
+        r = random.Random(seed + 100)
+        payload = r.randbytes(r.randrange(1, 15_000))
+        plain = stream_encode(payload, n=5, k=3, chunk_size=256)
+        sharded = sharded_stream_encode(
+            payload, n=5, k=3, chunk_size=256, stripes_per_shard=3
+        )
+        assert sharded == plain
+
+    def test_inline_differential_check_passes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_CHECK", "1")
+        payload = random.Random(7).randbytes(12_000)
+        executor = SweepExecutor(workers=2)
+        encoded = sharded_stream_encode(
+            payload, n=6, k=4, chunk_size=512, stripes_per_shard=2,
+            executor=executor,
+        )
+        assert executor.last_report.check_passed is True
+        assert encoded.payload() == payload
+
+    def test_empty_payload_short_circuits(self):
+        encoded = sharded_stream_encode(b"", n=6, k=4, chunk_size=64)
+        assert encoded.meta.num_stripes == 0
+        assert encoded.shards == tuple(() for __ in range(6))
+
+    def test_lrc_sharded(self):
+        payload = random.Random(3).randbytes(5_000)
+        plain = stream_encode(payload, scheme="lrc", lrc=(4, 2, 2), chunk_size=128)
+        sharded = sharded_stream_encode(
+            payload, scheme="lrc", lrc=(4, 2, 2), chunk_size=128,
+            stripes_per_shard=2,
+            executor=SweepExecutor(workers=2),
+        )
+        assert sharded == plain
+
+
+class TestHermeticOps:
+    def _measured_run(self, workers):
+        payload = random.Random(11).randbytes(16_000)
+        reset_memo_caches()
+        with measure_ops() as measured:
+            encoded = sharded_stream_encode(
+                payload, n=6, k=4, chunk_size=512, stripes_per_shard=2,
+                executor=SweepExecutor(workers=workers),
+            )
+        return encoded, dict(measured.ops)
+
+    def test_ops_identical_workers0_vs_workers4(self):
+        first_encoded, first_ops = self._measured_run(0)
+        second_encoded, second_ops = self._measured_run(WORKERS)
+        assert first_encoded == second_encoded
+        assert first_ops == second_ops
+        assert first_ops.get("gf.kernel_calls", 0) > 0
+
+    def test_ops_stable_across_repeats(self):
+        __, first = self._measured_run(0)
+        __, second = self._measured_run(0)
+        assert first == second
