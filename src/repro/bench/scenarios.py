@@ -805,6 +805,117 @@ def _lint_whole_program(files: int, funcs: int):
     return run
 
 
+def _pipeline_encode_throughput(
+    block_bytes: int, chunk_sizes: List[int], n: int, k: int,
+):
+    """Hop-ordered pipelined parity MB/s per chunk size, plus oracles.
+
+    Every measured pass folds the ``k`` blocks in a shuffled hop order
+    and asserts byte-identity against the whole-stripe
+    ``codec.encode`` — the invariant the pipelined transition strategy
+    rests on.  At the smallest chunk size the scalar backend is run as a
+    second oracle.  Non-``wall_`` metrics (hop counts, GF kernel calls)
+    are exact.
+    """
+
+    def run(rng: random.Random) -> Dict[str, float]:
+        import time
+
+        from repro.erasure.codec import make_codec
+        from repro.pipeline.gfstream import pipelined_parity
+
+        codec = make_codec(n, k)
+        blocks = [rng.randbytes(block_bytes) for __ in range(k)]
+        expected = [bytes(p) for p in codec.encode(blocks)]
+        metrics: Dict[str, float] = {"block_bytes": float(block_bytes)}
+        mb = k * block_bytes / float(1 << 20)
+        for chunk_size in chunk_sizes:
+            order = list(range(k))
+            rng.shuffle(order)
+            with measure_ops() as measured:
+                start = time.perf_counter()
+                parity = pipelined_parity(
+                    blocks, codec, hop_order=order,
+                    chunk_size=chunk_size, backend="numpy",
+                )
+                elapsed = time.perf_counter() - start
+            if [bytes(p) for p in parity] != expected:
+                raise AssertionError(
+                    "pipelined parity diverged from whole-stripe encode"
+                )
+            metrics[f"wall_mb_per_s_numpy_c{chunk_size}"] = mb / max(
+                elapsed, 1e-9
+            )
+            metrics[f"gf_kernel_calls_c{chunk_size}"] = float(
+                measured.get("gf.kernel_calls")
+            )
+            metrics[f"hops_c{chunk_size}"] = float(
+                measured.get("pipeline.hops")
+            )
+        order = list(range(k))
+        rng.shuffle(order)
+        start = time.perf_counter()
+        oracle = pipelined_parity(
+            blocks, codec, hop_order=order,
+            chunk_size=min(chunk_sizes), backend="scalar",
+        )
+        wall_scalar = time.perf_counter() - start
+        if [bytes(p) for p in oracle] != expected:
+            raise AssertionError(
+                "scalar pipelined parity diverged from whole-stripe encode"
+            )
+        metrics["wall_scalar_s"] = wall_scalar
+        return metrics
+
+    return run
+
+
+def _pipeline_headtohead(stripes: int):
+    """RR vs EAR vs pipelined encoding wave on one seeded cluster.
+
+    Sequential (workers=None) so the scenario is self-contained; all
+    metrics come off the simulated clock and network counters, hence
+    exact and seed-stable.  The deltas are the tentpole's headline:
+    encoding-window and core-link-byte savings of the pipelined strategy
+    over the download strategies.
+    """
+
+    def run(rng: random.Random) -> Dict[str, float]:
+        from repro.pipeline.headtohead import head_to_head
+
+        seed = rng.randrange(2**31)
+        results = {
+            r["contender"]: r
+            for r in head_to_head(
+                seeds=(seed,), num_racks=6, nodes_per_rack=4,
+                num_stripes=stripes, disturb=False, workers=None,
+            )
+        }
+        if not all(r["clean"] for r in results.values()):
+            raise AssertionError("head-to-head wave was not clean")
+        pipeline = results["pipeline"]
+        if pipeline["parity_verified"] != pipeline["stripes_encoded"]:
+            raise AssertionError("pipelined parity failed verification")
+        metrics: Dict[str, float] = {"stripes": float(stripes)}
+        for contender, result in sorted(results.items()):
+            metrics[f"encode_window_{contender}"] = float(
+                result["encode_window"]
+            )
+            metrics[f"core_bytes_{contender}"] = float(result["core_bytes"])
+        metrics["window_saving_vs_rr"] = (
+            metrics["encode_window_rr"] - metrics["encode_window_pipeline"]
+        )
+        metrics["window_saving_vs_ear"] = (
+            metrics["encode_window_ear"] - metrics["encode_window_pipeline"]
+        )
+        metrics["core_saving_vs_rr"] = (
+            metrics["core_bytes_rr"] - metrics["core_bytes_pipeline"]
+        )
+        return metrics
+
+    return run
+
+
 def _sim_events(processes: int, timeouts: int):
     def run(rng: random.Random) -> Dict[str, float]:
         from repro.sim.engine import Simulator
@@ -931,6 +1042,23 @@ def builtin_scenarios(smoke: bool = False) -> List[Scenario]:
                 "chunk_sizes": list(stream_chunks),
             },
             _stream_repair_throughput(stream_payload, stream_chunks, 6, 4),
+        ),
+        scenario(
+            "pipeline_encode",
+            {
+                "n": 6,
+                "k": 4,
+                "block_bytes": stream_payload // 4,
+                "chunk_sizes": list(stream_chunks),
+            },
+            _pipeline_encode_throughput(
+                stream_payload // 4, stream_chunks, 6, 4
+            ),
+        ),
+        scenario(
+            "pipeline_headtohead",
+            {"stripes": 2 if smoke else 4, "contenders": "rr/ear/pipeline"},
+            _pipeline_headtohead(2 if smoke else 4),
         ),
         scenario(
             "maxflow_fresh",

@@ -296,6 +296,58 @@ def cmd_recovery(args) -> int:
     return 0
 
 
+def cmd_pipeline(args) -> int:
+    """Pipelined archival encoding: strategy drills and head-to-heads."""
+    import json
+
+    from repro.pipeline import head_to_head, head_to_head_rows, pipeline_trial
+
+    if args.head_to_head:
+        cache_dir = None
+        if args.workers is not None and not getattr(args, "no_cache", False):
+            from repro.parallel.cache import DEFAULT_CACHE_DIR
+
+            cache_dir = DEFAULT_CACHE_DIR
+        results = head_to_head(
+            seeds=tuple(range(args.seeds)),
+            num_stripes=args.stripes,
+            chunk_count=args.chunks,
+            disturb=not args.no_disturb,
+            workers=args.workers,
+            cache_dir=cache_dir,
+        )
+        if args.json:
+            print(json.dumps(results, indent=2, sort_keys=True))
+        else:
+            rows = head_to_head_rows(results)
+            headers = list(rows[0].keys())
+            print(format_table(
+                headers, [[str(row[h]) for h in headers] for row in rows]
+            ))
+        return 0 if all(r["clean"] for r in results) else 1
+
+    result = pipeline_trial(
+        seed=args.seed,
+        contender=args.strategy,
+        num_stripes=args.stripes,
+        chunk_count=args.chunks,
+        disturb=not args.no_disturb,
+    )
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        rows = [[key, str(value)] for key, value in sorted(result.items())]
+        print(format_table(["metric", "value"], rows))
+    if not result["clean"]:
+        if not args.json:
+            print("\nPIPELINE RUN FAILED: data was lost or encoding did "
+                  "not finish")
+        return 1
+    if not args.json:
+        print("\npipeline run clean: every stripe encoded, parity verified")
+    return 0
+
+
 def cmd_lint(args) -> int:
     """reprolint: AST-based determinism & resource-safety checks."""
     from repro.lint.cli import cmd_lint as run
@@ -462,6 +514,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_arguments(p)
     p.set_defaults(func=cmd_recovery)
 
+    p = sub.add_parser("pipeline", help=cmd_pipeline.__doc__)
+    p.add_argument(
+        "--strategy", default="pipeline",
+        choices=["rr", "ear", "pipeline"],
+        help="contender for a single run: rr/ear download-and-encode or "
+        "the pipelined strategy (default: pipeline)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--stripes", type=int, default=6)
+    p.add_argument(
+        "--chunks", type=int, default=4,
+        help="chunks each block is streamed in along the pipeline",
+    )
+    p.add_argument(
+        "--no-disturb", action="store_true",
+        help="skip the mid-encode node failure (measure the clean wave)",
+    )
+    p.add_argument(
+        "--head-to-head", action="store_true",
+        help="run the rr/ear/pipeline comparison grid instead of one "
+        "strategy",
+    )
+    p.add_argument(
+        "--seeds", type=int, default=1,
+        help="with --head-to-head: seeds per contender",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit raw trial results as JSON instead of a table",
+    )
+    _add_workers_arguments(p)
+    p.set_defaults(func=cmd_pipeline)
+
     p = sub.add_parser("bench", help=cmd_bench.__doc__)
     from repro.bench.cli import add_bench_arguments
 
@@ -505,7 +590,7 @@ def list_experiments() -> List[str]:
     return [
         "fig3", "theorem1", "fig8a", "fig8b", "fig9", "fig10", "fig12",
         "fig13a", "fig13b", "fig13c", "fig13d", "fig13e", "fig13f",
-        "fig14", "fig15", "chaos", "recovery",
+        "fig14", "fig15", "chaos", "recovery", "pipeline",
     ]
 
 

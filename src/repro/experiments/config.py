@@ -37,6 +37,24 @@ class PolicyName:
     ALL = (RR, EAR, RECOVERY)
 
 
+class StrategyName:
+    """Transition (replication -> erasure coding) strategies.
+
+    Orthogonal to the placement policy: the policy decides where blocks
+    and parity live, the strategy decides how the bytes move during the
+    encoding operation.
+    """
+
+    #: The paper's Section II-A operation: download ``k`` blocks to one
+    #: encoder node, compute, upload parity.
+    DOWNLOAD = "download"
+    #: RapidRAID-style hop-to-hop pipeline over the replica holders
+    #: (:mod:`repro.pipeline`), falling back to ``download`` on failure.
+    PIPELINE = "pipeline"
+
+    ALL = (DOWNLOAD, PIPELINE)
+
+
 @dataclass(frozen=True)
 class TestbedConfig:
     """The 13-machine testbed of Section V-A (Experiments A.1-A.3).

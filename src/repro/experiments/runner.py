@@ -18,7 +18,7 @@ from repro.core.policy import PlacementPolicy, ReplicationScheme
 from repro.core.random_replication import RandomReplication
 from repro.core.stripe import PreEncodingStore
 from repro.erasure.codec import CodeParams
-from repro.experiments.config import PolicyName
+from repro.experiments.config import PolicyName, StrategyName
 from repro.hdfs.client import CFSClient
 from repro.hdfs.encoder import StripeEncoder
 from repro.hdfs.mapreduce import JobTracker
@@ -108,6 +108,8 @@ def build_cluster(
     resilience: Optional[ResilienceMetrics] = None,
     max_task_attempts: Optional[int] = None,
     journal=None,
+    strategy: str = StrategyName.DOWNLOAD,
+    pipeline_chunks: int = 4,
 ) -> ClusterSetup:
     """Assemble a ready-to-run simulated cluster for one policy and seed.
 
@@ -121,6 +123,13 @@ def build_cluster(
     every NameNode-side metadata mutation is write-ahead logged and the
     cluster can be rebuilt crash-consistently via
     :func:`repro.journal.recovery.recover`.
+
+    ``strategy`` selects how encoding moves bytes: ``"download"`` is the
+    paper's single-encoder operation, ``"pipeline"`` wraps the encoder in
+    a :class:`~repro.pipeline.encoder.PipelinedEncoder` that streams
+    partial GF combinations hop-to-hop (``pipeline_chunks`` chunks per
+    block) and falls back to download-and-encode when its retry ladder
+    exhausts.
     """
     rng = random.Random(seed)
     sim = Simulator()
@@ -146,6 +155,36 @@ def build_cluster(
         resilience=resilience,
         rng=rng if retry is not None else None,
     )
+    if strategy == StrategyName.PIPELINE:
+        # Imported here: repro.pipeline sits above the experiments layer.
+        from repro.erasure.stream import StreamingDataPlane
+        from repro.pipeline.encoder import PipelinedEncoder
+        from repro.pipeline.metrics import PipelineMetrics
+
+        # One shared data plane: stripes that fall back to download-and-
+        # encode commit byte-identical parity through the same payloads.
+        data_plane = StreamingDataPlane(code, seed=seed)
+        encoder.data_plane = data_plane
+        encoder = PipelinedEncoder(
+            sim,
+            network,
+            namenode,
+            planner,
+            code=code,
+            fallback=encoder,
+            rng=rng,
+            retry=retry,
+            resilience=resilience,
+            metrics=PipelineMetrics(),
+            data_plane=data_plane,
+            chunk_count=pipeline_chunks,
+            throughput=encode_meter,
+            timeline=encode_timeline,
+        )
+    elif strategy != StrategyName.DOWNLOAD:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {StrategyName.ALL}"
+        )
     if retry is not None:
         attempts = 3 if max_task_attempts is None else max_task_attempts
         job_tracker = JobTracker(

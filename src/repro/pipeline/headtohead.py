@@ -1,0 +1,278 @@
+"""Strategy head-to-heads: RR vs EAR vs pipelined archival encoding.
+
+The question this subsystem exists to answer: *how much archival window
+and core-link traffic does hop-to-hop pipelining save over the paper's
+download-and-encode operation, and does that hold when nodes die
+mid-encode?*  Each contender is a (placement policy, transition
+strategy) pair:
+
+* ``rr``        — random placement, download-and-encode (the baseline CFS);
+* ``ear``       — EAR placement, download-and-encode (the paper);
+* ``pipeline``  — EAR placement, pipelined encoding (:mod:`repro.pipeline`).
+
+One trial builds a storm cluster, optionally fails a replica-heavy node
+five seconds into the encoding wave, runs the wave to completion, then
+(when disturbed) drains repairs — reporting the encoding window, encode
+throughput, total and cross-rack byte deltas of the wave, degraded-
+window exposure, and the pipeline's re-plan/fallback counts.  For the
+pipeline contender every encoded stripe's parity payloads are re-checked
+against the whole-stripe codec (the byte-identity oracle).
+
+``pipeline_trial`` is module-level and all-scalar so the grid rides the
+PR5 :class:`~repro.parallel.executor.SweepExecutor`: parallel across
+processes, fingerprint-cached, byte-identical to the sequential pass
+under ``REPRO_PARALLEL_CHECK=1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.stripe import StripeState
+from repro.erasure.codec import CodeParams
+from repro.parallel.executor import make_executor
+from repro.parallel.spec import TrialSpec
+from repro.recovery.storm import (
+    StormCluster,
+    build_storm_cluster,
+    encode_all,
+    storm_fingerprint,
+)
+
+#: Contender name -> (placement policy, transition strategy).
+CONTENDER_CONFIGS: Dict[str, Tuple[str, str]] = {
+    "rr": ("rr", "download"),
+    "ear": ("ear", "download"),
+    "pipeline": ("ear", "pipeline"),
+}
+
+#: Contenders compared by default, in canonical order.
+CONTENDERS: Tuple[str, ...] = ("rr", "ear", "pipeline")
+
+
+def _loaded_node(sc: StormCluster) -> int:
+    """The node holding the most replicas (deterministic tie-break)."""
+    counts = sc.store.replica_count_per_node()
+    return min(sorted(counts), key=lambda n: (-counts[n], n))
+
+
+def _settle(sc: StormCluster, rounds: int = 8,
+            round_time: float = 300.0) -> None:
+    """Keep scrubbing until no damage or queued repair work remains."""
+    sc.sim.run(until=sc.sim.now + 600.0)
+    for __ in range(rounds):
+        caught = sc.scrubber.scan_once()
+        if not caught and sc.repair_queue.pending_count == 0:
+            break
+        sc.sim.run(until=sc.sim.now + round_time)
+
+
+def pipeline_trial(
+    seed: int = 0,
+    contender: str = "pipeline",
+    code_n: int = 6,
+    code_k: int = 4,
+    num_racks: int = 8,
+    nodes_per_rack: int = 4,
+    num_stripes: int = 6,
+    block_size: int = 256_000,
+    ear_c: int = 2,
+    chunk_count: int = 4,
+    disturb: bool = True,
+) -> Dict[str, object]:
+    """One strategy run as a sweep trial (module-level, picklable).
+
+    With ``disturb`` the replica-heaviest node — almost certainly on
+    some stripe's pipeline route — fails permanently one second into
+    the encoding wave (mid-wave at these cluster sizes), exercising the
+    abort → re-plan → fallback ladder; without it the trial measures the
+    undisturbed encoding wave only.
+    """
+    try:
+        policy, strategy = CONTENDER_CONFIGS[contender]
+    except KeyError:
+        raise ValueError(
+            f"unknown contender {contender!r}; choose from "
+            f"{list(CONTENDERS)}"
+        ) from None
+    sc = build_storm_cluster(
+        policy=policy,
+        seed=seed,
+        num_racks=num_racks,
+        nodes_per_rack=nodes_per_rack,
+        num_stripes=num_stripes,
+        code=CodeParams(code_n, code_k),
+        block_size=block_size,
+        ear_c=ear_c,
+        strategy=strategy,
+        pipeline_chunks=chunk_count,
+    )
+    stats = sc.setup.network.stats
+    t0 = sc.sim.now
+    bytes0 = stats.bytes_total
+    cross0 = stats.bytes_cross_rack
+
+    if disturb:
+        victim = _loaded_node(sc)
+        sc.sim.process(sc.injector.fail_node_at(t0 + 1.0, victim))
+        sc.recovery.record_storm_event("pipeline_disturb")
+
+    encode_all(sc)
+    stripe_ids = {s.stripe_id for s in sc.stripes}
+    finish_times = [
+        r.finish_time
+        for r in sc.setup.encoder.records
+        if r.stripe_id in stripe_ids
+    ]
+    encode_window = (max(finish_times) - t0) if finish_times else 0.0
+    encoded_data = code_k * block_size * len(finish_times)
+    throughput = encoded_data / encode_window if encode_window else 0.0
+    total_bytes = stats.bytes_total - bytes0
+    core_bytes = stats.bytes_cross_rack - cross0
+
+    if disturb:
+        _settle(sc)
+
+    parity_verified = 0
+    if strategy == "pipeline":
+        plane = sc.setup.encoder.data_plane
+        for stripe in sc.stripes:
+            if stripe.state != StripeState.ENCODED:
+                continue
+            if not plane.verify_stripe(stripe):
+                raise AssertionError(
+                    f"stripe {stripe.stripe_id}: pipelined parity fails "
+                    "the whole-stripe codec oracle"
+                )
+            parity_verified += 1
+
+    pipeline_metrics = getattr(sc.setup.encoder, "metrics", None)
+    unrecoverable = tuple(sc.repair_queue.unrecoverable) + tuple(
+        block_id
+        for rep in sc.injector.reports
+        for block_id in rep.unrecoverable
+    )
+    stripes_encoded = len(finish_times)
+    recovery = sc.recovery.summary(now=sc.sim.now)
+    return {
+        "contender": contender,
+        "policy": policy,
+        "strategy": strategy,
+        "seed": seed,
+        "disturbed": disturb,
+        "stripes_encoded": stripes_encoded,
+        "stripes_total": len(sc.stripes),
+        "encode_window": repr(encode_window),
+        "encode_mb_per_s": repr(throughput / 1e6),
+        "total_bytes": repr(float(total_bytes)),
+        "core_bytes": repr(float(core_bytes)),
+        "parity_verified": parity_verified,
+        "pipeline_fallbacks": (
+            pipeline_metrics.stripes_fallback if pipeline_metrics else 0
+        ),
+        "pipeline_replans": (
+            pipeline_metrics.replans if pipeline_metrics else 0
+        ),
+        "time_at_margin_zero": repr(
+            float(recovery.get("time_at_margin_zero", 0.0))
+        ),
+        "unrecoverable": sorted(unrecoverable),
+        "clean": (
+            not unrecoverable
+            and not sc.encode_errors
+            and stripes_encoded == len(sc.stripes)
+        ),
+        "fingerprint": storm_fingerprint(sc),
+    }
+
+
+def head_to_head_specs(
+    contenders: Sequence[str] = CONTENDERS,
+    seeds: Sequence[int] = (0,),
+    code_n: int = 6,
+    code_k: int = 4,
+    num_racks: int = 8,
+    nodes_per_rack: int = 4,
+    num_stripes: int = 6,
+    ear_c: int = 2,
+    chunk_count: int = 4,
+    disturb: bool = True,
+) -> List[TrialSpec]:
+    """The trial grid: contenders × seeds."""
+    specs: List[TrialSpec] = []
+    for contender in contenders:
+        for seed in seeds:
+            specs.append(TrialSpec(
+                fn=pipeline_trial,
+                config={
+                    "contender": contender,
+                    "code_n": code_n,
+                    "code_k": code_k,
+                    "num_racks": num_racks,
+                    "nodes_per_rack": nodes_per_rack,
+                    "num_stripes": num_stripes,
+                    "ear_c": ear_c,
+                    "chunk_count": chunk_count,
+                    "disturb": disturb,
+                },
+                seed=seed,
+                tag=f"pipeline.headtohead.{contender}",
+            ))
+    return specs
+
+
+def head_to_head(
+    contenders: Sequence[str] = CONTENDERS,
+    seeds: Sequence[int] = (0,),
+    code_n: int = 6,
+    code_k: int = 4,
+    num_racks: int = 8,
+    nodes_per_rack: int = 4,
+    num_stripes: int = 6,
+    ear_c: int = 2,
+    chunk_count: int = 4,
+    disturb: bool = True,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """Run the grid, through the sweep executor when ``workers`` is given.
+
+    ``workers=None`` runs sequentially in-process (no executor at all);
+    ``workers=0`` uses the executor's in-process path (cache active);
+    larger values fan trials out to worker processes.  Results always
+    come back in spec order, so the two paths are comparable element by
+    element.
+    """
+    specs = head_to_head_specs(
+        contenders, seeds, code_n=code_n, code_k=code_k,
+        num_racks=num_racks, nodes_per_rack=nodes_per_rack,
+        num_stripes=num_stripes, ear_c=ear_c, chunk_count=chunk_count,
+        disturb=disturb,
+    )
+    executor = make_executor(workers, cache_dir)
+    if executor is None:
+        return [spec.run() for spec in specs]
+    return executor.map_trials(specs)
+
+
+def head_to_head_rows(
+    results: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Flatten head-to-head results into CLI table rows."""
+    rows: List[Dict[str, object]] = []
+    for result in results:
+        rows.append({
+            "contender": result["contender"],
+            "policy": result["policy"],
+            "strategy": result["strategy"],
+            "seed": result["seed"],
+            "clean": result["clean"],
+            "encode_window": result["encode_window"],
+            "encode_mb_per_s": result["encode_mb_per_s"],
+            "core_bytes": result["core_bytes"],
+            "replans": result["pipeline_replans"],
+            "fallbacks": result["pipeline_fallbacks"],
+            "time_at_margin_zero": result["time_at_margin_zero"],
+            "fingerprint": str(result["fingerprint"])[:16],
+        })
+    return rows

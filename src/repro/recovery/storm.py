@@ -106,6 +106,8 @@ def build_storm_cluster(
     scrub_interval: float = 10.0,
     repair_concurrency: int = 4,
     journal=None,
+    strategy: str = "download",
+    pipeline_chunks: int = 4,
 ) -> StormCluster:
     """Assemble a cluster with the full recovery stack, from one seed.
 
@@ -119,7 +121,9 @@ def build_storm_cluster(
     ``oversubscription`` is the intra-to-cross-rack bandwidth ratio (4:1
     by default, the usual datacenter core oversubscription) — it is what
     makes shared rack uplinks, not destination disks, the storm's
-    bottleneck.
+    bottleneck.  ``strategy`` picks the transition strategy
+    (``"download"`` or ``"pipeline"``; see
+    :class:`~repro.experiments.config.StrategyName`).
     """
     code = CodeParams(6, 4) if code is None else code
     master = random.Random(seed)
@@ -140,6 +144,7 @@ def build_storm_cluster(
         policy, topology, code, ReplicationScheme(3, 2), seed,
         block_size=block_size, ear_c=ear_c,
         retry=STORM_RETRY, resilience=resilience, journal=journal,
+        strategy=strategy, pipeline_chunks=pipeline_chunks,
     )
     populate_until_sealed(setup, num_stripes)
     stripes = setup.namenode.sealed_stripes()[:num_stripes]

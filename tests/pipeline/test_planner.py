@@ -1,0 +1,116 @@
+"""Pipeline planning over real placements: coverage, locality, failure.
+
+Plans are pure functions of (topology, placement, veto), so every test
+here pins exact determinism alongside the structural invariants: one hop
+per column on a genuine replica holder, EAR stripes collapsing into the
+core rack, and the PlacementError / SourceUnavailable split between
+permanent and transient source loss.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.policy import PlacementError, ReplicationScheme
+from repro.erasure.codec import CodeParams
+from repro.experiments.runner import build_cluster, populate_until_sealed
+from repro.pipeline.planner import plan_pipeline
+from repro.sim.netsim import SourceUnavailable
+
+CODE = CodeParams(6, 4)
+
+
+def make_setup(policy="ear", seed=0, num_stripes=4):
+    topology = ClusterTopology(
+        nodes_per_rack=4, num_racks=8,
+        intra_rack_bandwidth=1e6, cross_rack_bandwidth=1e6,
+    )
+    setup = build_cluster(
+        policy, topology, CODE, ReplicationScheme(3, 2), seed=seed,
+        block_size=256_000, ear_c=2,
+    )
+    populate_until_sealed(setup, num_stripes)
+    return setup
+
+
+def plan_for(setup, stripe, source_ok=None):
+    planner = setup.namenode.make_planner(CODE, rng=random.Random(0))
+    return plan_pipeline(
+        setup.topology, setup.namenode.block_store, stripe, planner,
+        source_ok=source_ok,
+    )
+
+
+class TestStructure:
+    @pytest.mark.parametrize("policy", ["rr", "ear"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_one_hop_per_column_on_a_replica_holder(self, policy, seed):
+        setup = make_setup(policy, seed=seed)
+        store = setup.namenode.block_store
+        for stripe in setup.namenode.sealed_stripes():
+            plan = plan_for(setup, stripe)
+            assert sorted(h.column for h in plan.hops) == list(range(CODE.k))
+            for hop in plan.hops:
+                assert hop.block_id == stripe.block_ids[hop.column]
+                assert hop.node in store.replica_nodes(hop.block_id)
+            assert plan.tail_node == plan.hops[-1].node
+            assert plan.commit.encoder_node == plan.tail_node
+
+    def test_cross_rack_hop_count_matches_chain(self):
+        setup = make_setup("rr", seed=3)
+        for stripe in setup.namenode.sealed_stripes():
+            plan = plan_for(setup, stripe)
+            expected = sum(
+                1 for a, b in zip(plan.hops, plan.hops[1:])
+                if setup.topology.rack_of(a.node)
+                != setup.topology.rack_of(b.node)
+            )
+            assert plan.cross_rack_hops == expected
+
+    def test_ear_stripes_pipeline_inside_the_core_rack(self):
+        setup = make_setup("ear")
+        for stripe in setup.namenode.sealed_stripes():
+            plan = plan_for(setup, stripe)
+            racks = {setup.topology.rack_of(h.node) for h in plan.hops}
+            assert racks == {stripe.core_rack}
+            assert plan.cross_rack_hops == 0
+
+    def test_deterministic_replans(self):
+        setup = make_setup("rr", seed=5)
+        stripe = setup.namenode.sealed_stripes()[0]
+        first = plan_for(setup, stripe)
+        again = plan_for(setup, stripe)
+        assert first.signature() == again.signature()
+        assert first.commit.parity_nodes == again.commit.parity_nodes
+
+
+class TestVeto:
+    def test_veto_routes_around_excluded_node(self):
+        setup = make_setup("rr", seed=1)
+        stripe = setup.namenode.sealed_stripes()[0]
+        base = plan_for(setup, stripe)
+        victim = base.hops[0].node
+        block = base.hops[0].block_id
+        replicas = setup.namenode.block_store.replica_nodes(block)
+        assert len(replicas) > 1, "test premise: block has another copy"
+        plan = plan_for(
+            setup, stripe, source_ok=lambda b, n: n != victim
+        )
+        assert all(h.node != victim for h in plan.hops)
+
+    def test_all_replicas_vetoed_is_transient(self):
+        setup = make_setup("rr", seed=1)
+        stripe = setup.namenode.sealed_stripes()[0]
+        with pytest.raises(SourceUnavailable):
+            plan_for(setup, stripe, source_ok=lambda b, n: False)
+
+    def test_no_replicas_at_all_is_permanent(self):
+        setup = make_setup("rr", seed=1)
+        stripe = setup.namenode.sealed_stripes()[0]
+        store = setup.namenode.block_store
+        block = stripe.block_ids[0]
+        for node in store.replica_nodes(block):
+            store.remove_replica(block, node)
+        with pytest.raises(PlacementError):
+            plan_for(setup, stripe)
