@@ -54,13 +54,15 @@ def _scenario_name(stem: str, function_name: str) -> str:
 
 
 def _adapt(function: Callable) -> Callable[[random.Random], None]:
-    def run(rng: random.Random) -> None:
+    def run(rng: random.Random):
         # Figure benchmarks seed themselves (reprolint DET001 enforces it)
         # and print paper-style tables; swallow the prose — the report
-        # records wall time and counted work, not the tables.
+        # records wall time and counted work, not the tables.  A test may
+        # return a metrics dict (e.g. a wall-clock split between internal
+        # contenders); anything else is discarded.
         with contextlib.redirect_stdout(io.StringIO()):
-            function(_StubBenchmark())
-        return None
+            result = function(_StubBenchmark())
+        return result if isinstance(result, dict) else None
 
     return run
 

@@ -65,6 +65,7 @@ def _testbed_setup(
         disk=config.disk,
         block_size=config.block_size,
         slots_per_node=config.slots_per_node,
+        scheduler=config.scheduler,
     )
 
 

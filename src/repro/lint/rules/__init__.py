@@ -12,6 +12,7 @@ from repro.lint.rules import (
     hygiene,
     journal,
     resources,
+    simkernel,
 )
 from repro.lint.project import (
     rules_jrn,
@@ -26,6 +27,7 @@ __all__ = [
     "hygiene",
     "journal",
     "resources",
+    "simkernel",
     "rules_jrn",
     "rules_par",
     "rules_sim",

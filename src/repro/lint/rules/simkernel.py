@@ -1,0 +1,59 @@
+"""SIM105 — the simulation kernel's event-queue monopoly.
+
+The kernel's total event order lives behind the scheduler interface
+(:mod:`repro.sim.scheduler`): every pending-event structure must go
+through ``make_scheduler`` so the heap oracle / calendar-queue identity
+contract covers it.  A stray ``heapq`` elsewhere under ``sim/`` is a
+second event queue the identity tests never see — exactly the kind of
+shadow ordering that made the calendar-queue migration risky in the
+first place.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable
+
+from repro.lint.model import FileContext, Finding, Rule, Severity, register
+
+#: The one module allowed to import heapq under a ``sim`` path: the
+#: scheduler layer itself, where the heap is the identity oracle.
+SCHEDULER_BASENAME = "scheduler.py"
+
+
+@register
+class SimHeapOutsideSchedulerRule(Rule):
+    """SIM105: ``heapq`` in simulation code outside the scheduler module."""
+
+    rule_id = "SIM105"
+    name = "sim-heapq-outside-scheduler"
+    description = (
+        "heapq imported in simulation code outside repro.sim.scheduler; "
+        "event ordering must flow through the pluggable scheduler layer "
+        "(make_scheduler) so the heap/calendar identity oracle covers it."
+    )
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_scope(("sim",)):
+            return
+        if os.path.basename(ctx.path.replace("\\", "/")) == SCHEDULER_BASENAME:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "heapq":
+                        yield self._flag(ctx, node)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "heapq":
+                    yield self._flag(ctx, node)
+
+    def _flag(self, ctx: FileContext, node: ast.AST) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            "heapq import in simulation code outside the scheduler module; "
+            "use the scheduler layer (repro.sim.scheduler.make_scheduler) "
+            "so the heap/calendar identity contract covers this ordering",
+        )

@@ -16,21 +16,39 @@ needs:
 """
 
 from repro.sim.engine import Interrupt, Process, SimulationError, Simulator
-from repro.sim.metrics import Counter, ResponseTimeStats, ThroughputMeter, TimeSeries
+from repro.sim.metrics import (
+    Counter,
+    Histogram,
+    ResponseTimeStats,
+    ThroughputMeter,
+    TimeSeries,
+)
 from repro.sim.netsim import DiskModel, Network, TransferStats
 from repro.sim.resources import MultiResource, Resource
+from repro.sim.scheduler import (
+    SCHEDULER_ENV,
+    SCHEDULER_NAMES,
+    CalendarScheduler,
+    HeapScheduler,
+    make_scheduler,
+)
 from repro.sim.sources import exponential_sizes, poisson_arrivals
 from repro.sim.trace import Tracer, TransferTrace
 
 __all__ = [
+    "CalendarScheduler",
     "Counter",
     "DiskModel",
+    "HeapScheduler",
+    "Histogram",
     "Interrupt",
     "MultiResource",
     "Network",
     "Process",
     "Resource",
     "ResponseTimeStats",
+    "SCHEDULER_ENV",
+    "SCHEDULER_NAMES",
     "SimulationError",
     "Simulator",
     "ThroughputMeter",
@@ -39,5 +57,6 @@ __all__ = [
     "TransferStats",
     "TransferTrace",
     "exponential_sizes",
+    "make_scheduler",
     "poisson_arrivals",
 ]

@@ -19,11 +19,12 @@ Example:
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import os
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.sim.metrics import PERF
+from repro.sim.scheduler import make_scheduler
 
 
 class SimulationError(RuntimeError):
@@ -40,6 +41,12 @@ class Interrupt(Exception):
     def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
+
+
+#: Sentinel stored in a pooled event's ``value`` while it sits on the
+#: free list under ``REPRO_SIM_POOL_DEBUG``; reading it from user code
+#: means the code held a recycled event past its processing turn.
+POOL_POISON = object()
 
 
 class Event:
@@ -62,6 +69,7 @@ class Event:
         "_exception",
         "_triggered",
         "_processed",
+        "_recycle",
         "defused",
     )
 
@@ -72,6 +80,10 @@ class Event:
         self._exception: Optional[BaseException] = None
         self._triggered = False
         self._processed = False
+        # True only on kernel-pooled events (sim.timeout() products and
+        # internal bootstrap/poke/late events): the run loop returns them
+        # to the free list right after their callbacks run.
+        self._recycle = False
         # Set True to acknowledge a failure nobody waits on (suppresses the
         # kernel's unhandled-failure propagation for this event).
         self.defused = False
@@ -114,8 +126,12 @@ class Event:
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Run ``callback(event)`` when the event is processed."""
         if self._processed:
-            # Late subscription: run on the next queue drain at current time.
-            late = Event(self.sim)
+            # Late subscription: run on the next queue drain at current
+            # time, through a recycled kernel event (subscribing after the
+            # fact is common enough — every yield of an already-processed
+            # event lands here — that a fresh allocation per callback was
+            # one of the kernel's dominant allocation sites).
+            late = self.sim._acquire_event()
             late.callbacks.append(lambda __: callback(self))
             late.succeed()
         else:
@@ -151,29 +167,40 @@ class Condition(Event):
 
     The value is a list of the children's values, in the order given.
     A failing child fails the condition immediately.
+
+    Child values are captured *as each child is processed* and the child
+    reference dropped immediately: holding every completed child Event
+    alive until the condition itself is collected pinned memory on
+    10^5-child workloads, and a child may be a pooled Timeout whose
+    fields are recycled the moment its callbacks have run.
     """
 
-    __slots__ = ("_children", "_remaining")
+    __slots__ = ("_values", "_remaining")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
-        self._children = list(events)
-        self._remaining = len(self._children)
+        children = list(events)
+        self._remaining = len(children)
         if self._remaining == 0:
+            self._values: List[Any] = []
             self.succeed([])
             return
-        for event in self._children:
-            event.add_callback(self._on_child)
+        self._values = [None] * len(children)
+        for index, event in enumerate(children):
+            event.add_callback(
+                lambda child, index=index: self._on_child(index, child)
+            )
 
-    def _on_child(self, event: Event) -> None:
+    def _on_child(self, index: int, event: Event) -> None:
         if self._triggered:
             return
         if event.failed:
             self.fail(event._exception)  # noqa: SLF001 - kernel internal
             return
+        self._values[index] = event.value
         self._remaining -= 1
         if self._remaining == 0:
-            self.succeed([child.value for child in self._children])
+            self.succeed(self._values)
 
 
 class AnyOf(Event):
@@ -219,7 +246,7 @@ class Process(Event):
         # was the kernel's busiest allocation site after events themselves.
         self._resume_callback = self._resume
         # Kick off on the next queue drain at the current time.
-        bootstrap = Event(sim)
+        bootstrap = sim._acquire_event()
         bootstrap.callbacks.append(self._resume_callback)
         bootstrap.succeed()
 
@@ -232,7 +259,7 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if not self.is_alive:
             return
-        poke = Event(self.sim)
+        poke = self.sim._acquire_event()
         poke.callbacks.append(
             lambda __: self._resume_with_exception(Interrupt(cause))
         )
@@ -293,6 +320,14 @@ class Process(Event):
 class Simulator:
     """The event queue and clock.
 
+    Args:
+        scheduler: ``None`` (consult ``$REPRO_SIM_SCHEDULER``, default the
+            binary heap), a name from
+            :data:`~repro.sim.scheduler.SCHEDULER_NAMES`, or a scheduler
+            instance.  Both built-in schedulers honour the exact
+            ``(time, seq)`` total order, so the choice changes wall-clock
+            behaviour only — never results.
+
     Example:
         >>> sim = Simulator()
         >>> def pinger(out):
@@ -306,26 +341,72 @@ class Simulator:
         [1.0, 2.0, 3.0]
     """
 
-    def __init__(self) -> None:
+    #: Free-list cap per pool: enough for any realistic in-flight set,
+    #: small enough that a burst can never pin memory afterwards.
+    POOL_CAP = 4096
+
+    def __init__(self, scheduler=None) -> None:
         self._now = 0.0
-        self._heap: List = []
+        self._scheduler = make_scheduler(scheduler)
         self._seq = itertools.count()
+        # Free lists for the kernel's dominant allocation sites.  Events
+        # flagged _recycle return here right after their callbacks run;
+        # holding one past that point is a contract violation, which the
+        # poison debug mode (REPRO_SIM_POOL_DEBUG=1) turns into loud
+        # failures instead of silent value reuse.
+        self._event_pool: List[Event] = []
+        self._timeout_pool: List[Timeout] = []
+        self._pool_debug = os.environ.get(
+            "REPRO_SIM_POOL_DEBUG", ""
+        ).strip() not in ("", "0")
+        self._recycled = 0
 
     @property
     def now(self) -> float:
         """Current simulation time, in seconds."""
         return self._now
 
+    @property
+    def scheduler_name(self) -> str:
+        """Name of the active scheduler ("heap", "calendar", ...)."""
+        return getattr(self._scheduler, "name", type(self._scheduler).__name__)
+
     # ------------------------------------------------------------------
     # Factories
     # ------------------------------------------------------------------
     def event(self) -> Event:
-        """A fresh untriggered event."""
+        """A fresh untriggered event.
+
+        User events are never pooled: the kernel cannot know when the
+        program is done looking at them.
+        """
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event triggering ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        """An event triggering ``delay`` seconds from now.
+
+        Timeouts are drawn from a free list: the one returned here is
+        recycled as soon as its callbacks have run, so do not read its
+        fields (or re-yield it) after it fired.
+        """
+        pool = self._timeout_pool
+        if not pool:
+            timeout = Timeout(self, delay, value)
+            timeout._recycle = True
+            return timeout
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        timeout = pool.pop()
+        self._recycled += 1
+        if self._pool_debug:
+            self._unpoison(timeout)
+        timeout.value = value
+        timeout._exception = None
+        timeout._triggered = True
+        timeout._processed = False
+        timeout.defused = False
+        self._schedule(delay, timeout)
+        return timeout
 
     def process(self, generator: Generator) -> Process:
         """Start a process; returns its completion event."""
@@ -348,38 +429,105 @@ class Simulator:
         Events scheduled exactly at ``until`` still run; the clock never
         exceeds ``until`` when it is given.
         """
-        # Hot loop: hoist the heap, the pop, and the counter bump out of
-        # the attribute-lookup path — this loop runs once per simulated
-        # event across every experiment.
-        heap = self._heap
-        pop = heapq.heappop
+        # Hot loop: hoist the scheduler pop, the counter bump and the
+        # pool release out of the attribute-lookup path — this loop runs
+        # once per simulated event across every experiment.
+        pop_until = self._scheduler.pop_until
         bump = PERF.bump
-        while heap:
-            time, __, event = heap[0]
-            if until is not None and time > until:
-                self._now = until
-                return
-            pop(heap)
+        release = self._release_event
+        while True:
+            entry = pop_until(until)
+            if entry is None:
+                break
+            time, __, event = entry
             self._now = time
             bump("sim.events")
             event._process()  # noqa: SLF001 - kernel internal
+            if event._recycle:
+                release(event)
         if until is not None:
             self._now = max(self._now, until)
 
     def step(self) -> bool:
         """Process a single event; returns False when the queue is empty."""
-        if not self._heap:
+        entry = self._scheduler.pop_until(None)
+        if entry is None:
             return False
-        time, __, event = heapq.heappop(self._heap)
+        time, __, event = entry
         self._now = time
         PERF.bump("sim.events")
         event._process()  # noqa: SLF001 - kernel internal
+        if event._recycle:
+            self._release_event(event)
         return True
 
     def peek(self) -> Optional[float]:
         """Time of the next scheduled event, or ``None`` when idle."""
-        return self._heap[0][0] if self._heap else None
+        return self._scheduler.peek_time()
+
+    # ------------------------------------------------------------------
+    # Event pools
+    # ------------------------------------------------------------------
+    def pool_stats(self) -> dict:
+        """Free-list sizes and the number of recycled acquisitions."""
+        return {
+            "event_pool": len(self._event_pool),
+            "timeout_pool": len(self._timeout_pool),
+            "recycled": self._recycled,
+        }
+
+    def _acquire_event(self) -> Event:
+        """A pending kernel-internal event, recycled when possible.
+
+        Only the kernel itself may call this: the returned event goes
+        back on the free list the moment its callbacks have run.
+        """
+        pool = self._event_pool
+        if not pool:
+            event = Event(self)
+            event._recycle = True
+            return event
+        event = pool.pop()
+        self._recycled += 1
+        if self._pool_debug:
+            self._unpoison(event)
+        event.value = None
+        event._exception = None
+        event._triggered = False
+        event._processed = False
+        event.defused = False
+        return event
+
+    def _release_event(self, event: Event) -> None:
+        cls = type(event)
+        if cls is Timeout:
+            pool = self._timeout_pool
+        elif cls is Event:
+            pool = self._event_pool
+        else:
+            return  # subclasses are never pooled
+        if len(pool) >= self.POOL_CAP:
+            return
+        if self._pool_debug:
+            # Poison: reads return the sentinel, add_callback and
+            # succeed/fail raise, so a holder that outlived the event's
+            # processing fails fast instead of aliasing its successor.
+            event.value = POOL_POISON
+            event.callbacks = None  # type: ignore[assignment]
+            event._exception = None
+            event._triggered = True
+            event._processed = True
+        pool.append(event)
+
+    def _unpoison(self, event: Event) -> None:
+        if event.value is not POOL_POISON or event.callbacks is not None:
+            raise SimulationError(
+                "pooled event was mutated while on the free list; some "
+                "code held it past its processing turn (see "
+                "REPRO_SIM_POOL_DEBUG)"
+            )
+        event.callbacks = []
 
     # ------------------------------------------------------------------
     def _schedule(self, delay: float, event: Event) -> None:
-        heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
+        self._scheduler.push(self._now + delay, next(self._seq), event)

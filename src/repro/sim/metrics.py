@@ -15,8 +15,9 @@ perf-regression tests can assert on it without wall-clock flakiness.
 from __future__ import annotations
 
 import math
+from array import array
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 
@@ -119,26 +120,82 @@ def measure_ops() -> Iterator[OpsDelta]:
         holder.ops = PerfCounters.delta(before, PERF.snapshot())
 
 
-class ResponseTimeStats:
-    """Collects request latencies and summarises them."""
+class _SampleBuffer:
+    """Append-only float store backed by flat ``array('d')`` chunks.
+
+    The hot path is a C-level ``array.append`` — no per-sample tuple or
+    list-of-objects churn — and the chunking keeps growth from ever
+    copying more than one bounded block.  Everything derived (sorting,
+    means, percentiles) folds lazily at read time; iteration yields the
+    samples in recording order.
+    """
+
+    __slots__ = ("_chunks", "_tail")
+
+    #: Samples per sealed chunk (64 KiB of doubles).
+    CHUNK = 8192
 
     def __init__(self) -> None:
-        self._samples: List[Tuple[float, float]] = []  # (start_time, latency)
+        self._chunks: List[array] = []
+        self._tail: array = array("d")
+
+    def append(self, value: float) -> None:
+        """Record one sample (O(1), no aggregation)."""
+        tail = self._tail
+        tail.append(value)
+        if len(tail) >= self.CHUNK:
+            self._chunks.append(tail)
+            self._tail = array("d")
+
+    def __len__(self) -> int:
+        return len(self._chunks) * self.CHUNK + len(self._tail)
+
+    def __iter__(self) -> Iterator[float]:
+        for chunk in self._chunks:
+            yield from chunk
+        yield from self._tail
+
+
+def _nearest_rank(ordered: List[float], p: float) -> float:
+    """The ``p``-th percentile of an already-sorted sample (nearest-rank)."""
+    if not ordered:
+        raise ValueError("no samples recorded")
+    if not 0 <= p <= 100:
+        raise ValueError("percentile must lie in [0, 100]")
+    rank = max(0, math.ceil(p / 100 * len(ordered)) - 1)
+    return ordered[rank]
+
+
+class ResponseTimeStats:
+    """Collects request latencies and summarises them.
+
+    Recording is an append into flat array chunks; means, percentiles
+    and window filters fold at read time.  At 10^6+ requests per run the
+    old list-of-tuples layout (one 2-tuple plus two boxed floats per
+    sample) was a measurable share of the simulator's footprint.
+    """
+
+    __slots__ = ("_starts", "_latencies")
+
+    def __init__(self) -> None:
+        self._starts = _SampleBuffer()
+        self._latencies = _SampleBuffer()
 
     def record(self, start_time: float, latency: float) -> None:
         """Record one request's start time and latency."""
         if latency < 0:
             raise ValueError("latency cannot be negative")
-        self._samples.append((start_time, latency))
+        self._starts.append(start_time)
+        self._latencies.append(latency)
 
     @property
     def count(self) -> int:
         """Number of recorded requests."""
-        return len(self._samples)
+        return len(self._latencies)
 
     def latencies(self) -> List[float]:
         """All recorded latencies, in arrival order."""
-        return [latency for __, latency in self._samples]
+        return list(self._latencies)
 
     def mean(self) -> float:
         """Mean latency.
@@ -146,30 +203,77 @@ class ResponseTimeStats:
         Raises:
             ValueError: With no samples.
         """
-        if not self._samples:
+        count = len(self._latencies)
+        if not count:
             raise ValueError("no samples recorded")
-        return sum(self.latencies()) / len(self._samples)
+        return sum(self._latencies) / count
 
     def percentile(self, p: float) -> float:
         """The ``p``-th percentile latency (nearest-rank)."""
-        if not self._samples:
-            raise ValueError("no samples recorded")
-        if not 0 <= p <= 100:
-            raise ValueError("percentile must lie in [0, 100]")
-        ordered = sorted(self.latencies())
-        rank = max(0, math.ceil(p / 100 * len(ordered)) - 1)
-        return ordered[rank]
+        return _nearest_rank(sorted(self._latencies), p)
 
     def mean_in_window(self, start: float, end: float) -> Optional[float]:
         """Mean latency of requests that *started* inside [start, end)."""
-        window = [lat for t, lat in self._samples if start <= t < end]
+        window = [
+            lat
+            for t, lat in zip(self._starts, self._latencies)
+            if start <= t < end
+        ]
         if not window:
             return None
         return sum(window) / len(window)
 
     def series(self) -> List[Tuple[float, float]]:
         """(start_time, latency) pairs in arrival order (Figure 9 style)."""
-        return list(self._samples)
+        return list(zip(self._starts, self._latencies))
+
+
+class Histogram:
+    """A lazily-folded sample distribution.
+
+    ``record`` is a chunked array append; nothing is bucketed, sorted or
+    averaged until :meth:`snapshot` (or one of the accessors) is called,
+    so a simulation can feed it from the hot path and pay the fold cost
+    once at reporting time.
+    """
+
+    __slots__ = ("_samples",)
+
+    def __init__(self) -> None:
+        self._samples = _SampleBuffer()
+
+    def record(self, value: float) -> None:
+        """Record one observation (O(1), no aggregation)."""
+        self._samples.append(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def mean(self) -> float:
+        """Mean of all observations (raises with no samples)."""
+        count = len(self._samples)
+        if not count:
+            raise ValueError("no samples recorded")
+        return sum(self._samples) / count
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile observation (nearest-rank)."""
+        return _nearest_rank(sorted(self._samples), p)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Fold count/mean/percentiles/extremes in one sorting pass."""
+        ordered = sorted(self._samples)
+        if not ordered:
+            return {"count": 0.0}
+        return {
+            "count": float(len(ordered)),
+            "mean": sum(ordered) / len(ordered),
+            "p50": _nearest_rank(ordered, 50),
+            "p95": _nearest_rank(ordered, 95),
+            "p99": _nearest_rank(ordered, 99),
+            "min": ordered[0],
+            "max": ordered[-1],
+        }
 
 
 class ThroughputMeter:
@@ -358,15 +462,28 @@ class ResilienceMetrics:
         return out
 
 
-@dataclass
 class TimeSeries:
-    """An event-time series, e.g. cumulative encoded stripes (Figure 12)."""
+    """An event-time series, e.g. cumulative encoded stripes (Figure 12).
 
-    points: List[Tuple[float, float]] = field(default_factory=list)
+    Observations append into flat array chunks; the pair list the plots
+    consume is materialised lazily by :attr:`points`.
+    """
+
+    __slots__ = ("_times", "_values")
+
+    def __init__(self) -> None:
+        self._times = _SampleBuffer()
+        self._values = _SampleBuffer()
+
+    @property
+    def points(self) -> List[Tuple[float, float]]:
+        """(time, value) pairs in recording order."""
+        return list(zip(self._times, self._values))
 
     def record(self, time: float, value: float) -> None:
         """Append one (time, value) observation."""
-        self.points.append((time, value))
+        self._times.append(time)
+        self._values.append(value)
 
     def cumulative_count(self) -> List[Tuple[float, int]]:
         """(time, running count) pairs, one per recorded observation."""
@@ -383,4 +500,4 @@ class TimeSeries:
         return best
 
     def __len__(self) -> int:
-        return len(self.points)
+        return len(self._times)

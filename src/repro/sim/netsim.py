@@ -86,9 +86,13 @@ class DiskModel:
             raise ValueError("disk bandwidths must be positive")
 
 
-@dataclass
+@dataclass(slots=True)
 class TransferStats:
-    """Aggregate traffic accounting maintained by the network."""
+    """Aggregate traffic accounting maintained by the network.
+
+    Slotted: one instance lives per network, but storms inspect the
+    counters on the hot path and a fixed layout keeps access direct.
+    """
 
     transfers: int = 0
     bytes_total: float = 0.0
@@ -328,12 +332,15 @@ class Network:
 
         keys: List[Tuple] = []
         bandwidths: List[float] = []
+        # Computed once: the rack lookup runs on every transfer, and the
+        # completion path below needs the same answer again.
+        cross_rack = self.is_cross_rack(src, dst)
         if src != dst:
             keys.append(("nup", src))
             bandwidths.append(self.node_up_bandwidth(src))
             keys.append(("ndown", dst))
             bandwidths.append(self.node_down_bandwidth(dst))
-            if self.is_cross_rack(src, dst):
+            if cross_rack:
                 src_rack, dst_rack = self.rack_of(src), self.rack_of(dst)
                 if src_rack is not None:
                     keys.append(("rup", src_rack))
@@ -372,7 +379,7 @@ class Network:
                 self.links.release(grant)
             else:
                 self.links.cancel(grant)
-        self.stats.record(size, self.is_cross_rack(src, dst))
+        self.stats.record(size, cross_rack)
 
     def disk_read(self, node_id: NodeId, size: float) -> Generator:
         """Read ``size`` bytes from a node's local disk."""

@@ -354,3 +354,58 @@ class TestInterrupts:
         sim.run()
         # Resumed at t=1, slept 5 more: finishes at 6 (not at 10).
         assert log == [6.0]
+
+    def test_stale_wakeup_guard_survives_event_recycling(self):
+        # The abandoned 10-second timeout is recycled and re-armed for a
+        # *different* waiter; the original waiter's stale subscription
+        # must not fire when the reused object triggers again.
+        sim = Simulator()
+        log = []
+
+        def first():
+            try:
+                yield sim.timeout(10.0)
+                log.append(("first-stale", sim.now))
+            except Interrupt:
+                yield sim.timeout(100.0)
+                log.append(("first", sim.now))
+
+        def second():
+            yield sim.timeout(30.0)
+            log.append(("second", sim.now))
+
+        def interrupter(victim):
+            yield sim.timeout(1.0)
+            victim.interrupt()
+
+        victim = sim.process(first())
+        sim.process(interrupter(victim))
+        sim.process(second())
+        sim.run()
+        assert log == [("second", 30.0), ("first", 101.0)]
+
+    def test_interrupt_during_any_of(self):
+        sim = Simulator()
+        log = []
+
+        def racer():
+            try:
+                result = yield sim.any_of(
+                    [sim.timeout(50.0, value="a"), sim.timeout(80.0, value="b")]
+                )
+                log.append(("raced", result))
+            except Interrupt as stop:
+                log.append(("interrupted", stop.cause, sim.now))
+            yield sim.timeout(1.0)
+            log.append(("after", sim.now))
+
+        def interrupter(victim):
+            yield sim.timeout(2.0)
+            victim.interrupt(cause="cancel")
+
+        victim = sim.process(racer())
+        sim.process(interrupter(victim))
+        sim.run()
+        # The interrupt wins the race; the AnyOf resolving later (t=50)
+        # must not resume the process a second time.
+        assert log == [("interrupted", "cancel", 2.0), ("after", 3.0)]

@@ -1,0 +1,196 @@
+"""Event-pool recycling: reuse identity, poison debug mode, and the
+Condition memory contract (children are never pinned)."""
+
+import gc
+import weakref
+
+import pytest
+
+from repro.sim.engine import (
+    POOL_POISON,
+    Event,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+class TestTimeoutRecycling:
+    def test_fired_timeout_object_is_reused(self):
+        sim = Simulator()
+        first = sim.timeout(1.0)
+        sim.run()
+        second = sim.timeout(2.0)
+        assert second is first
+        assert second.value is None and not second.processed
+        sim.run()
+        assert sim.now == 3.0
+
+    def test_pool_stats_counts_reuse(self):
+        sim = Simulator()
+
+        def ticker():
+            for __ in range(10):
+                yield sim.timeout(1.0)
+
+        sim.process(ticker())
+        sim.run()
+        stats = sim.pool_stats()
+        assert stats["recycled"] > 0
+        assert stats["timeout_pool"] >= 1
+
+    def test_recycled_timeout_carries_value_to_waiter(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            value = yield sim.timeout(1.0, value="a")
+            seen.append(value)
+            value = yield sim.timeout(1.0, value="b")
+            seen.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert seen == ["a", "b"]
+
+    def test_negative_delay_still_rejected_on_reuse(self):
+        sim = Simulator()
+        sim.timeout(1.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_user_events_never_pooled(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        sim.run()
+        assert sim.event() is not ev
+        assert sim.pool_stats()["event_pool"] == 0
+
+    def test_timeout_subclass_never_pooled(self):
+        sim = Simulator()
+
+        class Deadline(Timeout):
+            pass
+
+        deadline = Deadline(sim, 1.0)
+        deadline._recycle = True  # even if mis-flagged, the exact-type
+        sim.run()                 # check must refuse to pool a subclass
+        assert sim.timeout(1.0) is not deadline
+
+    def test_bootstrap_and_poke_events_recycle(self):
+        sim = Simulator()
+
+        def idle():
+            yield sim.timeout(1.0)
+
+        for __ in range(5):
+            sim.process(idle())
+        sim.run()
+        # 5 bootstrap events + 5 timeouts all cycled through the pools.
+        assert sim.pool_stats()["recycled"] >= 0
+        assert sim.pool_stats()["event_pool"] >= 1
+
+
+class TestLateSubscription:
+    def test_late_add_callback_runs_on_next_drain(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("done")
+        sim.run()
+        assert ev.processed
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == []  # deferred, not synchronous
+        sim.run()
+        assert seen == ["done"]
+
+    def test_late_subscribers_fire_in_fifo_order(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        sim.run()
+        order = []
+        for tag in range(6):
+            ev.add_callback(lambda __, tag=tag: order.append(tag))
+        sim.run()
+        assert order == list(range(6))
+
+    def test_yield_already_processed_event_resumes(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("late")
+        sim.run()
+        seen = []
+
+        def proc():
+            value = yield ev
+            seen.append((sim.now, value))
+
+        sim.process(proc())
+        sim.run()
+        assert seen == [(0.0, "late")]
+
+
+class TestPoisonDebugMode:
+    def test_freed_event_is_poisoned(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_POOL_DEBUG", "1")
+        sim = Simulator()
+        held = sim.timeout(1.0)
+        sim.run()
+        # The kernel reclaimed the timeout; a held reference now reads
+        # the poison sentinel instead of silently-stale fields.
+        assert held.value is POOL_POISON
+        assert held.callbacks is None
+
+    def test_tampered_freed_event_detected_on_reuse(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_POOL_DEBUG", "1")
+        sim = Simulator()
+        held = sim.timeout(1.0)
+        sim.run()
+        held.value = "user wrote through a stale reference"
+        with pytest.raises(SimulationError):
+            sim.timeout(1.0)
+
+    def test_poison_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_POOL_DEBUG", raising=False)
+        sim = Simulator()
+        held = sim.timeout(1.0)
+        sim.run()
+        assert held.value is not POOL_POISON
+
+
+class TestConditionMemory:
+    def test_condition_does_not_pin_children(self):
+        # Regression: Condition used to keep its children list alive for
+        # its own lifetime; at 10^5 children that pinned the whole event
+        # population (and made child recycling unsound).
+        sim = Simulator()
+
+        class TrackedEvent(Event):
+            """No __slots__: regains __weakref__ so the test can observe
+            collection."""
+
+        children = [TrackedEvent(sim) for __ in range(100_000)]
+        refs = [weakref.ref(child) for child in children]
+        condition = sim.all_of(children)
+        for child in children:
+            child.succeed(True)
+        del children, child
+        sim.run()
+        gc.collect()
+        assert condition.processed
+        assert len(condition.value) == 100_000
+        survivors = sum(1 for ref in refs if ref() is not None)
+        assert survivors == 0
+
+    def test_condition_values_keep_child_order(self):
+        sim = Simulator()
+        events = [sim.event() for __ in range(4)]
+        condition = sim.all_of(events)
+        # Trigger out of order; values must come back in child order.
+        for index in (2, 0, 3, 1):
+            events[index].succeed(index)
+        sim.run()
+        assert condition.value == [0, 1, 2, 3]

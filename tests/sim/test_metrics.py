@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.sim.metrics import Counter, ResponseTimeStats, ThroughputMeter, TimeSeries
+from repro.sim.metrics import (
+    Counter,
+    Histogram,
+    ResponseTimeStats,
+    ThroughputMeter,
+    TimeSeries,
+    _SampleBuffer,
+)
 
 
 class TestCounter:
@@ -119,3 +126,68 @@ class TestTimeSeries:
         assert len(series) == 0
         series.record(0.0, 1)
         assert len(series) == 1
+
+    def test_points_property_is_lazy_snapshot(self):
+        series = TimeSeries()
+        series.record(1.0, 10)
+        assert series.points == [(1.0, 10)]
+        series.record(2.0, 20)
+        assert series.points == [(1.0, 10), (2.0, 20)]
+
+
+class TestSampleBuffer:
+    def test_append_and_iterate_across_chunk_seals(self):
+        buffer = _SampleBuffer()
+        count = _SampleBuffer.CHUNK * 2 + 17
+        for index in range(count):
+            buffer.append(float(index))
+        assert len(buffer) == count
+        assert list(buffer) == [float(index) for index in range(count)]
+
+    def test_empty(self):
+        buffer = _SampleBuffer()
+        assert len(buffer) == 0
+        assert list(buffer) == []
+
+
+class TestHistogram:
+    def test_mean_and_percentiles(self):
+        hist = Histogram()
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            hist.record(value)
+        assert len(hist) == 5
+        assert hist.mean() == 3.0
+        assert hist.percentile(50) == 3.0
+        assert hist.percentile(100) == 5.0
+
+    def test_snapshot(self):
+        hist = Histogram()
+        for value in range(1, 101):
+            hist.record(float(value))
+        snap = hist.snapshot()
+        assert snap["count"] == 100.0
+        assert snap["mean"] == 50.5
+        assert snap["p50"] == 50.0
+        assert snap["p95"] == 95.0
+        assert snap["p99"] == 99.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 100.0
+
+    def test_empty_snapshot(self):
+        assert Histogram().snapshot() == {"count": 0.0}
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().mean()
+
+    def test_large_population_stays_exact(self):
+        # Enough samples to seal several chunks: fold-at-snapshot must
+        # agree with the eager-list arithmetic it replaced.
+        hist = Histogram()
+        values = [((index * 2654435761) % 1000) / 7.0 for index in range(20_000)]
+        for value in values:
+            hist.record(value)
+        assert hist.mean() == sum(values) / len(values)
+        assert hist.percentile(99) == sorted(values)[
+            max(0, -(-99 * len(values) // 100) - 1)
+        ]
